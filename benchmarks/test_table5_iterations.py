@@ -1,0 +1,38 @@
+"""Table V — iteration counts: DO-LP vs Thrifty.
+
+Paper: Thrifty needs fewer iterations on every power-law dataset
+(ratios 0.11-0.94, mean 0.61; the Unified Labels Array effect).
+Shape asserted: ratio < 1 on a large majority, mean ratio < 0.95.
+"""
+
+import statistics
+
+from conftest import PL_DATASETS, SCALE, run_once
+
+from repro.experiments import format_table, table5_iterations
+
+PAPER_RATIO = {"Pkc": 0.50, "WWiki": 0.76, "LJLnks": 0.40, "LJGrp": 0.57,
+               "Twtr10": 0.71, "Twtr": 0.73, "Wbbs": 0.11,
+               "TwtrMpi": 0.73, "Frndstr": 0.50, "SK": 0.87,
+               "WbCc": 0.94, "UKDls": 0.27, "UU": 0.70, "UKDmn": 0.54,
+               "ClWb9": 0.89}
+
+
+def test_table5_iterations(benchmark):
+    rows = run_once(benchmark,
+                    lambda: table5_iterations(PL_DATASETS, scale=SCALE))
+    table = [[r["dataset"], r["dolp"], r["thrifty"],
+              f'{r["ratio"]:.2f}', PAPER_RATIO[r["dataset"]]]
+             for r in rows]
+    print()
+    print(format_table(
+        ["dataset", "DO-LP", "Thrifty", "ratio", "paper ratio"], table,
+        title="Table V: iterations to convergence"))
+
+    ratios = [r["ratio"] for r in rows]
+    mean = statistics.mean(ratios)
+    print(f"mean ratio: {mean:.2f}  (paper: 0.61)")
+    fewer = sum(1 for r in ratios if r < 1.0)
+    assert fewer >= len(rows) - 2, \
+        "Thrifty should need fewer iterations nearly everywhere"
+    assert mean < 0.95

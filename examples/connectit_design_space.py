@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Exploring the ConnectIt design space (paper Related Work).
+
+The paper wanted to compare against ConnectIt — a framework that
+composes a cheap *sampling* phase (merge most of the giant component)
+with a *finish* phase (complete the rest) — but could not build it.
+This example runs the reimplemented design space on a skewed surrogate
+and shows where Afforest and Thrifty sit inside it.
+
+Run:  python examples/connectit_design_space.py
+"""
+
+from repro.connectit import connectit_cc, connectit_design_space
+from repro.core import thrifty_cc
+from repro.baselines import afforest_cc
+from repro.graph import load_dataset
+from repro.instrument import simulate_run_time
+from repro.parallel import SKYLAKEX
+from repro.validate import same_partition
+
+
+def explore(name: str = "SK", scale: float = 0.5) -> None:
+    graph = load_dataset(name, scale)
+    print(f"dataset {name} (surrogate): |V|={graph.num_vertices}, "
+          f"|E|={graph.num_undirected_edges}")
+    print()
+
+    rows = []
+    reference = thrifty_cc(graph, dataset=name)
+    rows.append(("thrifty (this paper)", reference))
+    rows.append(("afforest (standalone)", afforest_cc(graph,
+                                                      dataset=name)))
+    for sampling, finish in connectit_design_space():
+        r = connectit_cc(graph, sampling=sampling, finish=finish,
+                         dataset=name)
+        assert same_partition(reference.labels, r.labels)
+        rows.append((f"{sampling:>5} + {finish}", r))
+
+    timed = []
+    for label, result in rows:
+        ms = simulate_run_time(result.trace, SKYLAKEX,
+                               graph.num_vertices).total_ms
+        timed.append((ms, label, result.counters().edges_processed))
+    timed.sort()
+
+    print(f"{'rank':>4} {'configuration':>28} {'sim ms':>9} "
+          f"{'edges processed':>16}")
+    for i, (ms, label, edges) in enumerate(timed, 1):
+        print(f"{i:4d} {label:>28} {ms:9.3f} {edges:16d}")
+    print()
+    fewest = min(timed, key=lambda t: t[2])
+    print("=> 'kout + skip-giant' is Afforest expressed in the")
+    print("   framework, and the 'thrifty-pull' finishes import the")
+    print("   paper's zero-convergence idea into ConnectIt.")
+    print(f"   Fewest edges processed: {fewest[1].strip()} "
+          f"({fewest[2]} edges) — on this compressed surrogate,")
+    print("   edge-thrift and simulated time can disagree because a")
+    print("   whole-graph vectorized pass parallelizes better than")
+    print("   the pointer-chasing finds; at the paper's billion-edge")
+    print("   scale the edge counts dominate (see EXPERIMENTS.md).")
+
+
+if __name__ == "__main__":
+    explore()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Paper Figure 2, executed: why initial label placement matters.
+
+Figure 2 shows a 7-vertex graph where DO-LP needs as many iterations
+as the graph's diameter because the smallest label starts at fringe
+vertex A, creating repeated wavefronts.  This script executes the
+pseudocode references step by step on that exact graph and prints the
+label state after every iteration, for DO-LP and for Thrifty's
+zero-planted variant.
+
+Run:  python examples/figure2_walkthrough.py
+"""
+
+import numpy as np
+
+from repro.graph import build_graph, from_pairs
+
+NAMES = "ABCDEFG"
+
+# The Figure 2 graph: A-B, B-C, C-D, C-E, D-E, D-F, E-F, E-G, F-G.
+EDGES = [(0, 1), (1, 2), (2, 3), (2, 4), (3, 4),
+         (3, 5), (4, 5), (4, 6), (5, 6)]
+
+
+def show(labels) -> str:
+    return "  ".join(f"{NAMES[v]}:{int(l)}"
+                     for v, l in enumerate(labels))
+
+
+def dolp_walkthrough(graph) -> None:
+    """Synchronous LP with identity labels (the Figure 2 run)."""
+    print("== DO-LP (identity labels; label 0 starts at fringe A) ==")
+    n = graph.num_vertices
+    labels = np.arange(n, dtype=np.int64)
+    print(f"  init: {show(labels)}")
+    iteration = 0
+    while True:
+        iteration += 1
+        new = labels.copy()
+        for v in range(n):
+            for u in graph.neighbors(v):
+                if labels[u] < new[v]:
+                    new[v] = labels[u]
+        if np.array_equal(new, labels):
+            break
+        labels = new
+        print(f"  after iteration {iteration}: {show(labels)}")
+    print(f"  converged after {iteration - 1} label-changing "
+          f"iterations (graph diameter: 4)")
+    print()
+
+
+def thrifty_walkthrough(graph) -> None:
+    """Zero planted at the max-degree (core) vertex E."""
+    print("== Thrifty (zero planted at the hub) ==")
+    n = graph.num_vertices
+    hub = graph.max_degree_vertex()
+    print(f"  max-degree vertex: {NAMES[hub]} "
+          f"(degree {graph.degree(hub)})")
+    labels = np.arange(1, n + 1, dtype=np.int64)
+    labels[hub] = 0
+    print(f"  init (Zero Planting): {show(labels)}")
+
+    # Initial Push: one hop from the hub.
+    for u in graph.neighbors(hub):
+        if labels[hub] < labels[u]:
+            labels[u] = labels[hub]
+    print(f"  after Initial Push:   {show(labels)}")
+
+    iteration = 1
+    while True:
+        iteration += 1
+        changed = False
+        new = labels.copy()
+        for v in range(n):
+            if labels[v] == 0:       # Zero Convergence: skip
+                continue
+            for u in graph.neighbors(v):
+                if labels[u] < new[v]:
+                    new[v] = labels[u]
+                if new[v] == 0:      # Zero Convergence: break
+                    break
+        changed = not np.array_equal(new, labels)
+        labels = new
+        if not changed:
+            break
+        print(f"  after iteration {iteration}:    {show(labels)}")
+    print(f"  converged after {iteration - 1} label-changing "
+          f"iterations — the hub floods the core first, then the")
+    print("  fringe, instead of re-propagating wavefronts.")
+
+
+if __name__ == "__main__":
+    graph = build_graph(from_pairs(EDGES), drop_zero_degree=False)
+    dolp_walkthrough(graph)
+    thrifty_walkthrough(graph)

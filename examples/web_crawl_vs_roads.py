@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Structure-awareness demo: where Thrifty wins and where it loses.
+
+The paper's key claim is *structure-aware* performance: Thrifty
+exploits skewed degrees + a giant component, so it excels on web/social
+graphs but loses to disjoint-set algorithms on road networks (high
+diameter, uniform degrees).  This example reproduces that contrast on
+two surrogates and explains it from the traces.
+
+Run:  python examples/web_crawl_vs_roads.py
+"""
+
+from repro import connected_components, SKYLAKEX
+from repro.graph import (
+    degree_stats,
+    estimate_diameter,
+    is_skewed,
+    load_dataset,
+)
+from repro.instrument import Direction, simulate_run_time
+
+
+def profile(name: str, scale: float) -> None:
+    graph = load_dataset(name, scale)
+    stats = degree_stats(graph)
+    print(f"--- {name}: |V|={graph.num_vertices}, "
+          f"|E|={graph.num_undirected_edges} ---")
+    print(f"skewed: {is_skewed(graph)}  max degree: {stats.max}  "
+          f"diameter (est.): {estimate_diameter(graph)}")
+
+    rows = []
+    for method in ("thrifty", "dolp", "afforest", "jt"):
+        r = connected_components(graph, method, dataset=name)
+        t = simulate_run_time(r.trace, SKYLAKEX, graph.num_vertices)
+        rows.append((method, t.total_ms, r.num_iterations,
+                     r.counters().edges_processed))
+    rows.sort(key=lambda x: x[1])
+    print(f"{'rank':>4} {'method':>9} {'sim ms':>9} {'iters':>6} "
+          f"{'edges':>10}")
+    for i, (method, ms, iters, edges) in enumerate(rows, 1):
+        print(f"{i:4d} {method:>9} {ms:9.3f} {iters:6d} {edges:10d}")
+    winner = rows[0][0]
+    print(f"winner: {winner}")
+
+    # Why: inspect Thrifty's schedule.
+    r = connected_components(graph, "thrifty", dataset=name)
+    dirs = [rec.direction for rec in r.trace.iterations]
+    pushes = sum(1 for d in dirs if d == Direction.PUSH)
+    pulls = sum(1 for d in dirs
+                if d in (Direction.PULL, Direction.PULL_FRONTIER))
+    print(f"thrifty schedule: {pulls} pulls + {pushes} pushes "
+          f"({len(dirs)} iterations total)")
+    print()
+    return winner
+
+
+if __name__ == "__main__":
+    web_winner = profile("SK", scale=0.5)     # web crawl: skewed
+    # Roads need full scale: compressing them further also compresses
+    # the diameter that makes label propagation lose.
+    road_winner = profile("USRd", scale=1.0)   # road network: uniform
+    print("=> On the skewed web graph label propagation converges in a")
+    print("   handful of cheap iterations; on the road network the")
+    print("   wavefront needs ~diameter iterations, so a single-pass")
+    print("   union-find wins — exactly the paper's Table IV contrast.")

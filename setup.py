@@ -1,0 +1,6 @@
+"""Setuptools shim: enables `setup.py develop` on offline machines
+where the `wheel` package (needed for PEP 660 editable installs) is
+unavailable. All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

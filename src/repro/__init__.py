@@ -1,0 +1,52 @@
+"""Thrifty Label Propagation — CLUSTER 2021 reproduction.
+
+Public API highlights:
+
+>>> from repro import connected_components
+>>> from repro.graph import rmat_graph
+>>> g = rmat_graph(12, 8, seed=1)
+>>> result = connected_components(g, method="thrifty")
+>>> result.num_components >= 1
+True
+
+Subpackages:
+
+* :mod:`repro.graph` — CSR graphs, generators, dataset surrogates
+* :mod:`repro.core` — Thrifty, DO-LP, the shared LP engine
+* :mod:`repro.baselines` — SV, JT, Afforest, BFS-CC
+* :mod:`repro.parallel` — simulated parallel runtime
+* :mod:`repro.instrument` — counters, PAPI proxies, cost model
+* :mod:`repro.experiments` — harness regenerating every paper artifact
+"""
+
+from .api import ALGORITHMS, connected_components, num_components
+from .core import CCResult, LPOptions, dolp_cc, thrifty_cc, unified_dolp_cc
+from .parallel import EPYC, MACHINES, SKYLAKEX, MachineSpec
+from .validate import (
+    canonicalize,
+    check_labels_consistent,
+    same_partition,
+    validate_against_reference,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ALGORITHMS",
+    "connected_components",
+    "num_components",
+    "CCResult",
+    "LPOptions",
+    "thrifty_cc",
+    "dolp_cc",
+    "unified_dolp_cc",
+    "MachineSpec",
+    "SKYLAKEX",
+    "EPYC",
+    "MACHINES",
+    "same_partition",
+    "canonicalize",
+    "validate_against_reference",
+    "check_labels_consistent",
+]

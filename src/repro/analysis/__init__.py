@@ -1,0 +1,25 @@
+"""Structural analysis: wavefront statistics and vertex reordering."""
+
+from .reordering import (
+    bfs_relabel,
+    degree_sort_relabel,
+    random_relabel,
+    relabel,
+)
+from .wavefront import (
+    DistanceProfile,
+    WavefrontStats,
+    hub_distance_profile,
+    wavefront_statistics,
+)
+
+__all__ = [
+    "WavefrontStats",
+    "wavefront_statistics",
+    "DistanceProfile",
+    "hub_distance_profile",
+    "relabel",
+    "degree_sort_relabel",
+    "bfs_relabel",
+    "random_relabel",
+]

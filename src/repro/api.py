@@ -1,0 +1,104 @@
+"""Public front door: ``connected_components(graph, method=...)``.
+
+Every algorithm from the paper's evaluation is addressable by name:
+
+=============  ====================================================
+``thrifty``    Thrifty Label Propagation (Algorithm 2, this paper)
+``dolp``       Direction-Optimizing Label Propagation (Algorithm 1)
+``unified``    DO-LP + Unified Labels Array (ablation variant)
+``sv``         Shiloach-Vishkin
+``fastsv``     FastSV (LP-flavoured SV variant, Related Work)
+``lp-shortcut``  LP with pointer-jump shortcutting [65]
+``jt``         Jayanti-Tarjan
+``afforest``   Afforest
+``bfs``        BFS-CC
+``kla``        K-Level Asynchronous LP (Section VII, extension)
+``connectit``  ConnectIt sampling x finish (Related Work, extension)
+=============  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .baselines import afforest_cc, bfs_cc, fastsv_cc, \
+    jayanti_tarjan_cc, shiloach_vishkin_cc
+from .baselines.lp_shortcut import lp_shortcut_cc
+from .connectit import connectit_cc
+from .core import CCResult, dolp_cc, thrifty_cc, unified_dolp_cc
+from .core.kla import KLAOptions, kla_cc
+from .graph.csr import CSRGraph
+from .parallel.machine import SKYLAKEX, MachineSpec
+
+__all__ = ["ALGORITHMS", "connected_components", "num_components"]
+
+ALGORITHMS: dict[str, Callable[..., CCResult]] = {
+    "thrifty": thrifty_cc,
+    "dolp": dolp_cc,
+    "unified": unified_dolp_cc,
+    "sv": shiloach_vishkin_cc,
+    "fastsv": fastsv_cc,
+    "lp-shortcut": lp_shortcut_cc,
+    "jt": jayanti_tarjan_cc,
+    "afforest": afforest_cc,
+    "bfs": bfs_cc,
+    "connectit": connectit_cc,
+}
+
+
+def _kla_adapter(graph: CSRGraph, *, k: int = 4,
+                 zero_planting: bool = True,
+                 zero_convergence: bool = True,
+                 dataset: str = "") -> CCResult:
+    """Adapter exposing KLA through the keyword-style front door."""
+    return kla_cc(graph,
+                  KLAOptions(k=k, zero_planting=zero_planting,
+                             zero_convergence=zero_convergence),
+                  dataset=dataset)
+
+
+ALGORITHMS["kla"] = _kla_adapter
+
+# Algorithms whose execution (not just cost model) depends on the
+# machine's thread count / topology.
+_MACHINE_AWARE = {"thrifty", "dolp", "unified"}
+
+
+def connected_components(graph: CSRGraph,
+                         method: str = "thrifty",
+                         *,
+                         machine: MachineSpec = SKYLAKEX,
+                         dataset: str = "",
+                         **kwargs) -> CCResult:
+    """Compute connected components with the named algorithm.
+
+    Parameters
+    ----------
+    graph:
+        Canonical CSR graph (see :func:`repro.graph.build_graph`).
+    method:
+        One of :data:`ALGORITHMS`.
+    machine:
+        Simulated machine (affects LP scheduling and all cost models).
+    kwargs:
+        Forwarded to the algorithm (thresholds, seeds, ...).
+
+    Returns
+    -------
+    CCResult
+        Labels plus the full per-iteration trace.
+    """
+    try:
+        fn = ALGORITHMS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {method!r}; pick one of "
+            f"{sorted(ALGORITHMS)}") from None
+    if method in _MACHINE_AWARE:
+        kwargs.setdefault("machine", machine)
+    return fn(graph, dataset=dataset, **kwargs)
+
+
+def num_components(graph: CSRGraph, method: str = "thrifty") -> int:
+    """Number of connected components (convenience wrapper)."""
+    return connected_components(graph, method).num_components

@@ -1,0 +1,29 @@
+"""Baseline CC algorithms the paper compares against."""
+
+from .afforest import afforest_cc
+from .bfs_cc import bfs_cc
+from .fastsv import fastsv_cc
+from .disjoint_set import (
+    DisjointSet,
+    flatten_parents,
+    link_roots,
+    pointer_jump_roots,
+    union_edge_batch,
+)
+from .jayanti_tarjan import jayanti_tarjan_cc
+from .lp_shortcut import lp_shortcut_cc
+from .shiloach_vishkin import shiloach_vishkin_cc
+
+__all__ = [
+    "DisjointSet",
+    "pointer_jump_roots",
+    "link_roots",
+    "flatten_parents",
+    "union_edge_batch",
+    "shiloach_vishkin_cc",
+    "fastsv_cc",
+    "lp_shortcut_cc",
+    "jayanti_tarjan_cc",
+    "afforest_cc",
+    "bfs_cc",
+]

@@ -1,0 +1,168 @@
+"""Disjoint-set (union-find) substrate for the tree-hooking baselines.
+
+Two layers:
+
+* :class:`DisjointSet` — a classic scalar union-find with union by
+  rank and path halving.  Used directly by tests and by small-scale
+  verification; too slow (pure Python) for the benchmark graphs.
+* Vectorized primitives — :func:`pointer_jump_roots` and
+  :func:`link_roots` — batched equivalents of rounds of concurrent
+  hooking, used by the SV / JT / Afforest simulations.  They operate
+  on a parent array with NumPy scatter/gather; every round is a
+  linearization of a batch of concurrent links, the same modelling
+  step as ``batch_atomic_min`` (see repro.parallel.atomics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DisjointSet", "pointer_jump_roots", "link_roots",
+           "flatten_parents", "union_edge_batch"]
+
+
+class DisjointSet:
+    """Scalar union-find with union-by-rank and path halving."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self.parent = np.arange(n, dtype=np.int64)
+        self.rank = np.zeros(n, dtype=np.int8)
+        self._num_sets = n
+
+    def find(self, x: int) -> int:
+        """Root of x's set, halving the path along the way."""
+        p = self.parent
+        while p[x] != x:
+            p[x] = p[p[x]]
+            x = int(p[x])
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of a and b; True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        self._num_sets -= 1
+        return True
+
+    def same_set(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    @property
+    def num_sets(self) -> int:
+        return self._num_sets
+
+    def labels(self) -> np.ndarray:
+        """Root id of every element (fully compressed)."""
+        return flatten_parents(self.parent.copy())
+
+
+def union_edge_batch(parent: np.ndarray, eu: np.ndarray, ev: np.ndarray,
+                     *, max_rounds: int = 10_000) -> tuple[int, int]:
+    """Union a batch of edges to quiescence (linearized rounds).
+
+    Returns ``(links, hops)``: successful links and total pointer-jump
+    hops spent resolving roots — the modelled find cost the callers
+    charge to their counters.
+    """
+    links = 0
+    hops = 0
+    rounds = 0
+    while eu.size and rounds < max_rounds:
+        rounds += 1
+        roots, h = pointer_jump_roots(parent)
+        hops += h
+        ru, rv = roots[eu], roots[ev]
+        cross = ru != rv
+        eu, ev = eu[cross], ev[cross]
+        ru, rv = ru[cross], rv[cross]
+        if eu.size == 0:
+            break
+        links += link_roots(parent, ru, rv)
+    if eu.size:
+        raise RuntimeError("union batch failed to converge")
+    return links, hops
+
+
+def pointer_jump_roots(parent: np.ndarray) -> tuple[np.ndarray, int]:
+    """Roots of all elements via repeated parent[parent] jumping.
+
+    Returns ``(roots, hops)`` where ``hops`` is the total number of
+    dependent parent reads a per-element sequential walk would have
+    made — the quantity the cost model charges for find operations.
+    """
+    roots = parent.copy()
+    hops = 0
+    while True:
+        nxt = roots[roots]
+        moved = nxt != roots
+        n_moved = int(np.count_nonzero(moved))
+        hops += n_moved
+        if n_moved == 0:
+            return roots, hops
+        roots = nxt
+
+
+def flatten_parents(parent: np.ndarray) -> np.ndarray:
+    """Fully compress a parent array in place; returns it."""
+    while True:
+        nxt = parent[parent]
+        if np.array_equal(nxt, parent):
+            return parent
+        parent[:] = nxt
+
+
+def link_roots(parent: np.ndarray,
+               a_roots: np.ndarray,
+               b_roots: np.ndarray,
+               priority: np.ndarray | None = None) -> int:
+    """Linearized batch of concurrent root links.
+
+    For each pair, the root with the larger priority value is pointed
+    at the one with the smaller (priority defaults to the vertex id,
+    i.e. link-to-smaller-id, the LP minimum convention).  Conflicting
+    links to the same loser keep the best winner, matching the winner
+    of a CAS loop.  Returns the number of roots actually linked.
+
+    Acyclicity: parent pointers always lead to strictly smaller
+    priority, so no cycle can form within or across batches.
+
+    Contract: a batch may re-link an element that stopped being a root
+    earlier in the same batch, which can temporarily split a merged
+    set — exactly as racy concurrent hooking does.  Callers must loop
+    until no edge crosses two sets (as SV/JT/Afforest all do).
+    """
+    if priority is None:
+        # Smaller id = higher priority (becomes the winner/parent).
+        lo = np.minimum(a_roots, b_roots)
+        hi = np.maximum(a_roots, b_roots)
+    else:
+        a_first = priority[a_roots] < priority[b_roots]
+        lo = np.where(a_first, a_roots, b_roots)
+        hi = np.where(a_first, b_roots, a_roots)
+    mask = lo != hi
+    lo, hi = lo[mask], hi[mask]
+    if hi.size == 0:
+        return 0
+    if priority is None:
+        before = parent[hi].copy()
+        np.minimum.at(parent, hi, lo)
+        return int(np.count_nonzero(parent[hi] < before))
+    # Keep, per loser, the winner with the best (lowest) priority.
+    order = np.lexsort((priority[lo], hi))
+    hi_sorted = hi[order]
+    lo_sorted = lo[order]
+    first = np.ones(hi_sorted.size, dtype=bool)
+    first[1:] = hi_sorted[1:] != hi_sorted[:-1]
+    losers = hi_sorted[first]
+    winners = lo_sorted[first]
+    changed = parent[losers] != winners
+    parent[losers[changed]] = winners[changed]
+    return int(np.count_nonzero(changed))

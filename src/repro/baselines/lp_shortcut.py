@@ -1,0 +1,82 @@
+"""Label propagation with shortcutting [65] (Stergiou et al. style).
+
+The paper's Related Work: "Shortcutting technique is used in [65] to
+accelerate the label propagation CC."  The idea: treat labels as
+parent pointers and periodically apply pointer jumping
+(``label[v] <- label[label[v]]``), letting information travel
+exponentially instead of one hop per iteration — an orthogonal answer
+to the slow-wavefront problem that Thrifty attacks with the Unified
+Labels Array.
+
+One round here is: a synchronous min-propagation step over all edges,
+followed by ``shortcut_depth`` pointer-jump passes over the label
+array.  With labels initialized to vertex ids, ``label[v]`` is always
+a vertex id of a (transitively) smaller-labelled vertex in the same
+component, so jumping preserves correctness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.result import CCResult
+from ..graph.csr import CSRGraph
+from ..instrument.counters import OpCounters
+from ..instrument.trace import Direction, IterationRecord, RunTrace
+
+__all__ = ["lp_shortcut_cc"]
+
+_MAX_ROUNDS = 10_000
+
+
+def lp_shortcut_cc(graph: CSRGraph, *, shortcut_depth: int = 2,
+                   dataset: str = "") -> CCResult:
+    """Run shortcutting LP; labels are component-minimum vertex ids."""
+    if shortcut_depth < 0:
+        raise ValueError("shortcut_depth must be >= 0")
+    n = graph.num_vertices
+    trace = RunTrace(algorithm="lp-shortcut", dataset=dataset)
+    labels = np.arange(n, dtype=np.int64)
+    trace.setup_counters.sequential_accesses += n
+    trace.setup_counters.label_writes += n
+    if n == 0:
+        return CCResult(labels=labels, trace=trace)
+    src = graph.edge_sources()
+    m = src.size
+
+    for _ in range(_MAX_ROUNDS):
+        counters = OpCounters()
+        prev = labels.copy()
+        # Propagation step: min over neighbours.
+        gathered = labels[graph.indices]
+        np.minimum.at(labels, src, gathered)
+        counters.record_pull_scan(m, n)
+        # Shortcutting: label[v] <- label[label[v]], repeated.
+        for _d in range(shortcut_depth):
+            nxt = labels[labels]
+            counters.random_accesses += n
+            counters.label_reads += n
+            if np.array_equal(nxt, labels):
+                break
+            labels = nxt
+            counters.label_writes += n
+            counters.sequential_accesses += n
+        changed = int(np.count_nonzero(labels != prev))
+        counters.record_label_commits(changed, random=False)
+        counters.iterations = 1
+        trace.add(IterationRecord(
+            index=trace.num_iterations,
+            direction=Direction.PULL,
+            density=1.0,
+            active_vertices=n,
+            active_edges=m,
+            changed_vertices=changed,
+            converged_fraction=0.0,
+            counters=counters,
+        ))
+        if changed == 0:
+            break
+    else:
+        raise RuntimeError("shortcutting LP failed to converge")
+    trace.iterations[-1].converged_fraction = 1.0
+    return CCResult(labels=labels.copy(), trace=trace)

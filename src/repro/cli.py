@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Subcommands
+-----------
+``run``       run one algorithm on a dataset surrogate or edge-list file
+``datasets``  list the Table II surrogate registry
+``generate``  write a synthetic graph to an edge-list / npz file
+``experiment``
+              regenerate a paper table/figure by experiment id
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import experiments
+from .api import ALGORITHMS, connected_components
+from .experiments.tables import format_table
+from .graph.datasets import ALL_DATASET_NAMES, DATASETS, load_dataset
+from .graph.io import load_graph, save_csr_npz, save_edge_list_text
+from .instrument.costmodel import simulate_run_time
+from .parallel.machine import MACHINES
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "fig1": lambda a: _print_fig1(a),
+    "table1": lambda a: _print_rows(experiments.table1_giant_component()),
+    "table4": lambda a: _print_rows(
+        experiments.table4_execution_times(datasets=a.datasets
+                                           or ALL_DATASET_NAMES)),
+    "table5": lambda a: _print_rows(experiments.table5_iterations()),
+    "fig3": lambda a: _print_rows(
+        experiments.fig3_dolp_convergence(a.datasets[0]
+                                          if a.datasets else "Twtr")),
+    "fig5": lambda a: _print_rows(experiments.fig5_work_reduction()),
+    "fig6": lambda a: _print_rows(experiments.fig6_hw_counters()),
+    "fig7": lambda a: _print_curves(
+        experiments.fig7_8_convergence_comparison(
+            a.datasets[0] if a.datasets else "Twtr")),
+    "table6": lambda a: _print_rows(experiments.table6_initial_push()),
+    "table7": lambda a: _print_table7(),
+    "fig9": lambda a: _print_rows(experiments.fig9_10_ablation()),
+}
+
+
+def _print_rows(rows: list[dict]) -> None:
+    if not rows:
+        print("(no rows)")
+        return
+    headers = list(rows[0].keys())
+    print(format_table(headers, [[r[h] for h in headers] for r in rows]))
+
+
+def _print_fig1(args) -> None:
+    for machine in ("SkylakeX", "Epyc"):
+        out = experiments.fig1_speedup_summary(machine)
+        print(format_table(
+            ["machine", *out.keys()],
+            [[machine, *(f"{v:.1f}x" for v in out.values())]],
+            title=f"Thrifty geo-mean speedup ({machine})"))
+
+
+def _print_curves(curves: dict[str, list[float]]) -> None:
+    for name, series in curves.items():
+        pts = " ".join(f"{x:.1f}" for x in series)
+        print(f"{name:>8}: {pts}")
+
+
+def _print_table7() -> None:
+    out = experiments.table7_threshold()
+    for threshold, rows in out.items():
+        print(f"--- threshold = {100 * threshold:g}% ---")
+        _print_rows(rows)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Thrifty Label Propagation reproduction toolkit")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a CC algorithm")
+    run.add_argument("input", help="dataset name (see `repro datasets`) "
+                                   "or path to an edge-list/.npz file")
+    run.add_argument("--method", default="thrifty",
+                     choices=sorted(ALGORITHMS))
+    run.add_argument("--machine", default="SkylakeX",
+                     choices=sorted(MACHINES))
+    run.add_argument("--scale", type=float, default=1.0,
+                     help="dataset scale factor (surrogates only)")
+    run.add_argument("--trace", action="store_true",
+                     help="print the per-iteration execution trace")
+
+    sub.add_parser("datasets", help="list dataset surrogates")
+
+    gen = sub.add_parser("generate", help="write a synthetic graph")
+    gen.add_argument("dataset", help="dataset surrogate name")
+    gen.add_argument("output", help="output path (.txt or .npz)")
+    gen.add_argument("--scale", type=float, default=1.0)
+
+    exp = sub.add_parser("experiment",
+                         help="regenerate a paper table/figure")
+    exp.add_argument("id", choices=sorted(_EXPERIMENTS))
+    exp.add_argument("datasets", nargs="*",
+                     help="optional dataset names to restrict to")
+
+    rep = sub.add_parser("report",
+                         help="regenerate all artifacts into markdown")
+    rep.add_argument("--out", default="report.md")
+    rep.add_argument("--scale", type=float, default=1.0)
+    rep.add_argument("--machine", default="SkylakeX",
+                     choices=sorted(MACHINES))
+
+    tri = sub.add_parser("trials",
+                         help="verified multi-trial measurement")
+    tri.add_argument("input", help="dataset name or edge-list path")
+    tri.add_argument("--method", default="thrifty",
+                     choices=sorted(ALGORITHMS))
+    tri.add_argument("--machine", default="SkylakeX",
+                     choices=sorted(MACHINES))
+    tri.add_argument("--trials", type=int, default=5)
+    tri.add_argument("--scale", type=float, default=1.0)
+    return p
+
+
+def _cmd_run(args) -> int:
+    if args.input in DATASETS:
+        graph = load_dataset(args.input, args.scale)
+        name = args.input
+    else:
+        graph = load_graph(args.input)
+        name = args.input
+    machine = MACHINES[args.machine]
+    result = connected_components(graph, args.method, machine=machine,
+                                  dataset=name)
+    timing = simulate_run_time(result.trace, machine, graph.num_vertices)
+    c = result.counters()
+    print(f"dataset            : {name}  (|V|={graph.num_vertices}, "
+          f"|E|={graph.num_undirected_edges})")
+    print(f"algorithm          : {result.algorithm}")
+    print(f"components         : {result.num_components}")
+    print(f"iterations         : {result.num_iterations}")
+    print(f"edges processed    : {c.edges_processed} "
+          f"({100 * c.edges_processed / max(graph.num_edges, 1):.2f}% of |E|)")
+    print(f"simulated time     : {timing.total_ms:.3f} ms on {machine.name}")
+    if args.trace:
+        print()
+        rows = [[rec.index, rec.direction.value, f"{rec.density:.4f}",
+                 rec.active_vertices, rec.changed_vertices,
+                 f"{100 * rec.converged_fraction:.1f}",
+                 f"{ms:.4f}"]
+                for rec, ms in zip(result.trace.iterations,
+                                   timing.per_iteration_ms)]
+        print(format_table(
+            ["iter", "direction", "density", "active", "changed",
+             "converged %", "sim ms"], rows))
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    rows = []
+    for spec in DATASETS.values():
+        rows.append([spec.name, spec.kind,
+                     "yes" if spec.power_law else "no",
+                     spec.paper_vertices_m, spec.paper_edges_b,
+                     spec.paper_cc])
+    print(format_table(
+        ["name", "kind", "power-law", "paper |V| (M)", "paper |E| (B)",
+         "paper |CC|"], rows))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    graph = load_dataset(args.dataset, args.scale)
+    if args.output.endswith(".npz"):
+        save_csr_npz(graph, args.output)
+    else:
+        save_edge_list_text(graph.to_edge_list(), args.output,
+                            header=f"surrogate for {args.dataset}")
+    print(f"wrote {args.output}: |V|={graph.num_vertices}, "
+          f"|E|={graph.num_undirected_edges}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "datasets":
+        return _cmd_datasets(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "experiment":
+        _EXPERIMENTS[args.id](args)
+        return 0
+    if args.command == "trials":
+        from .experiments.protocol import run_trials
+        if args.input in DATASETS:
+            graph = load_dataset(args.input, args.scale)
+        else:
+            graph = load_graph(args.input)
+        stats = run_trials(graph, args.method, num_trials=args.trials,
+                           machine=args.machine)
+        print(f"{args.method} on {args.input}: {stats.num_trials} "
+              f"verified trials on {stats.machine}")
+        print(f"  simulated ms: mean={stats.mean_ms:.3f} "
+              f"min={stats.min_ms:.3f} max={stats.max_ms:.3f} "
+              f"stdev={stats.stdev_ms:.4f}")
+        print(f"  iterations  : {stats.iterations}")
+        return 0
+    if args.command == "report":
+        from .experiments.report import generate_report
+        text = generate_report(scale=args.scale, machine=args.machine)
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out} ({len(text)} chars)")
+        return 0
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":   # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""ConnectIt-style sampling x finish CC framework (Related Work)."""
+
+from .finish import FINISH_STRATEGIES
+from .framework import connectit_cc, connectit_design_space
+from .sampling import SAMPLING_STRATEGIES
+
+__all__ = [
+    "connectit_cc",
+    "connectit_design_space",
+    "SAMPLING_STRATEGIES",
+    "FINISH_STRATEGIES",
+]

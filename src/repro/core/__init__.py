@@ -1,0 +1,33 @@
+"""The paper's contribution: DO-LP, Thrifty, and their shared engine."""
+
+from .dolp import DOLP_OPTIONS, dolp_cc
+from .kla import KLAOptions, kla_cc
+from .engine import LPOptions, label_propagation_cc
+from .labels import identity_labels, zero_planted_labels
+from .reference import (
+    reference_dolp,
+    reference_label_propagation_iterations,
+    reference_thrifty,
+)
+from .result import CCResult
+from .thrifty import THRIFTY_OPTIONS, thrifty_cc
+from .unified import UNIFIED_OPTIONS, unified_dolp_cc
+
+__all__ = [
+    "CCResult",
+    "LPOptions",
+    "label_propagation_cc",
+    "DOLP_OPTIONS",
+    "KLAOptions",
+    "kla_cc",
+    "dolp_cc",
+    "UNIFIED_OPTIONS",
+    "unified_dolp_cc",
+    "THRIFTY_OPTIONS",
+    "thrifty_cc",
+    "identity_labels",
+    "zero_planted_labels",
+    "reference_dolp",
+    "reference_thrifty",
+    "reference_label_propagation_iterations",
+]

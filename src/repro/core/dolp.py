@@ -1,0 +1,45 @@
+"""Direction-Optimizing Label Propagation (Algorithm 1) — the baseline.
+
+Two label arrays with an end-of-iteration synchronization pass, a
+detailed frontier in every iteration, identity initial labels, and the
+classic ~5% push/pull density threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..graph.csr import CSRGraph
+from ..parallel.machine import SKYLAKEX, MachineSpec
+from .engine import LPOptions, label_propagation_cc
+from .result import CCResult
+
+__all__ = ["DOLP_OPTIONS", "dolp_cc"]
+
+#: Canonical DO-LP configuration (Section II-A; threshold per [35], [25]).
+DOLP_OPTIONS = LPOptions(
+    unified_labels=False,
+    zero_convergence=False,
+    zero_planting=False,
+    initial_push=False,
+    count_only_pulls=False,
+    threshold=0.05,
+    algorithm_name="dolp",
+)
+
+
+def dolp_cc(graph: CSRGraph,
+            *,
+            machine: MachineSpec = SKYLAKEX,
+            num_threads: int | None = None,
+            dataset: str = "",
+            **overrides) -> CCResult:
+    """Run DO-LP connected components.
+
+    ``overrides`` may adjust any :class:`LPOptions` field except the
+    four optimization switches (use :mod:`repro.core.engine` directly
+    for custom ablations).
+    """
+    opts = replace(DOLP_OPTIONS, machine=machine,
+                   num_threads=num_threads or machine.cores, **overrides)
+    return label_propagation_cc(graph, opts, dataset=dataset)

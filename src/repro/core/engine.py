@@ -1,0 +1,372 @@
+"""The direction-optimizing label-propagation engine.
+
+One engine executes Algorithm 1, Algorithm 2, and every ablation in
+between: the four Thrifty optimizations are independent switches in
+:class:`LPOptions`.
+
+    DO-LP     = LPOptions(unified_labels=False, zero_convergence=False,
+                          zero_planting=False, initial_push=False,
+                          threshold=0.05)
+    Unified   = DO-LP + unified_labels=True      (Figures 9/10 variant)
+    Thrifty   = all four switches on, threshold=0.01
+
+Execution model (DESIGN.md Section 5): the simulated work-stealing
+schedule fixes a deterministic partition visit order; with unified
+labels the pull commits updates in-place per sub-block of
+``block_size`` vertices, so labels propagate multiple hops within one
+iteration exactly as the paper's in-place C loops do (at block rather
+than single-vertex granularity).  Without unified labels the pull is
+double-buffered and block order is irrelevant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..instrument.counters import OpCounters
+from ..instrument.trace import Direction, IterationRecord, RunTrace
+from ..parallel.atomics import batch_atomic_min
+from ..parallel.frontier import CountOnlyFrontier, Frontier
+from ..parallel.machine import SKYLAKEX, MachineSpec
+from ..parallel.partition import (
+    PARTITIONS_PER_THREAD,
+    edge_balanced_partitions,
+)
+from ..parallel.scheduler import WorkStealingScheduler
+from ..parallel.worklist import LocalWorklists
+from .kernels import (
+    block_async_min,
+    concat_adjacency,
+    intra_block_groups,
+    pull_block,
+    zero_cut_scan_lengths,
+)
+from .labels import identity_labels, zero_planted_labels
+from .result import CCResult
+
+__all__ = ["LPOptions", "label_propagation_cc"]
+
+
+@dataclass(frozen=True)
+class LPOptions:
+    """Configuration of the label-propagation engine.
+
+    The four booleans are the paper's four optimizations; defaults
+    correspond to full Thrifty.
+    """
+
+    unified_labels: bool = True
+    zero_convergence: bool = True
+    zero_planting: bool = True
+    initial_push: bool = True
+    # Thrifty's Section IV-E frontier policy: dense pulls only count
+    # active vertices/edges; a Pull-Frontier iteration materializes the
+    # frontier just before switching to push.  DO-LP (False) collects a
+    # detailed frontier in every pull.
+    count_only_pulls: bool = True
+    threshold: float = 0.01
+    num_threads: int = 32
+    machine: MachineSpec = SKYLAKEX
+    partitions_per_thread: int = PARTITIONS_PER_THREAD
+    block_size: int = 64
+    track_convergence: bool = True
+    race_rate: float = 0.0
+    max_iterations: int = 1_000_000
+    algorithm_name: str = "thrifty"
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.threshold <= 1.0):
+            raise ValueError("threshold must be in (0, 1]")
+        if self.num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        if self.block_size < 1:
+            raise ValueError("block_size must be >= 1")
+
+    def with_machine(self, machine: MachineSpec,
+                     num_threads: int | None = None) -> "LPOptions":
+        """Re-target the options at another machine (threads = cores)."""
+        return replace(self, machine=machine,
+                       num_threads=num_threads or machine.cores)
+
+
+class _Engine:
+    """Mutable run state; one instance per call."""
+
+    def __init__(self, graph: CSRGraph, opts: LPOptions,
+                 dataset: str) -> None:
+        self.graph = graph
+        self.opts = opts
+        self.n = graph.num_vertices
+        self.counters = OpCounters()
+        self.trace = RunTrace(algorithm=opts.algorithm_name,
+                              dataset=dataset)
+        self.snapshots: list[np.ndarray] = []
+        self.partitioning = edge_balanced_partitions(
+            graph, opts.num_threads, opts.partitions_per_thread)
+        scheduler = WorkStealingScheduler(self.partitioning, opts.machine)
+        self.partition_order = scheduler.partition_order(
+            self.partitioning.edge_counts(graph).astype(np.float64))
+        # Labels.
+        if self.n == 0:
+            self.labels = identity_labels(0)
+            self.hub = -1
+        elif opts.zero_planting:
+            self.labels, self.hub = zero_planted_labels(
+                graph, self.partitioning, self.counters)
+        else:
+            self.labels = identity_labels(self.n)
+            self.hub = graph.max_degree_vertex()
+            self.counters.sequential_accesses += self.n
+            self.counters.label_writes += self.n
+        self.old_labels = None if opts.unified_labels else self.labels.copy()
+        # Unified labels: precompute each block's internal components
+        # for block-asynchronous in-iteration propagation (DESIGN.md
+        # Section 5 / kernels.intra_block_groups).
+        if opts.unified_labels:
+            bounds = [0]
+            for p in range(self.partitioning.num_partitions):
+                lo_p, hi_p = self.partitioning.vertex_range(p)
+                for lo in range(lo_p, hi_p, opts.block_size):
+                    bounds.append(min(lo + opts.block_size, hi_p))
+            if bounds[-1] != self.n:
+                bounds.append(self.n)
+            self.block_bounds = np.array(sorted(set(bounds)),
+                                         dtype=np.int64)
+            self.groups = intra_block_groups(graph, self.block_bounds[1:])
+        else:
+            self.block_bounds = None
+            self.groups = None
+
+    # -- label access shims ----------------------------------------------
+
+    def _read_array(self) -> np.ndarray:
+        """Array a traversal reads: current (unified) or previous."""
+        return self.labels if self.opts.unified_labels else self.old_labels
+
+    def _end_iteration_sync(self) -> None:
+        """DO-LP's labels synchronization (Algorithm 1 lines 21-22)."""
+        if not self.opts.unified_labels:
+            self.old_labels[:] = self.labels
+            self.counters.record_sync_pass(self.n)
+
+    # -- traversals --------------------------------------------------------
+
+    def initial_push(self) -> Frontier:
+        """Thrifty iteration 0: push the hub's label one hop."""
+        g = self.graph
+        targets = g.neighbors(self.hub).astype(np.int64)
+        values = np.full(targets.size, self._read_array()[self.hub],
+                         dtype=self.labels.dtype)
+        changed = batch_atomic_min(self.labels, targets, values)
+        self.counters.record_push_scan(int(targets.size), 1)
+        self.counters.record_cas_successes(int(changed.size))
+        frontier = Frontier(self.n)
+        frontier.set_many(g, changed)
+        self.counters.record_frontier_updates(int(changed.size))
+        self._end_iteration_sync()
+        return frontier
+
+    def pull(self, collect_frontier: bool
+             ) -> tuple[Frontier | None, CountOnlyFrontier]:
+        """One pull iteration over all vertices in schedule order.
+
+        Returns ``(detailed_frontier_or_None, counts)``.  With unified
+        labels the commit is in-place per block; otherwise double-
+        buffered (block order then has no effect on the result).
+        """
+        g = self.graph
+        opts = self.opts
+        read = self._read_array()
+        counts = CountOnlyFrontier()
+        detailed = Frontier(self.n) if collect_frontier else None
+        zero = opts.zero_convergence
+        # Without unified labels the pull is double-buffered, so block
+        # order cannot affect the result: one whole-graph block is both
+        # faster and bit-identical.
+        if opts.unified_labels:
+            blocks = ((lo, min(lo + opts.block_size, hi_p))
+                      for p in self.partition_order
+                      for lo_p, hi_p in (self.partitioning.vertex_range(int(p)),)
+                      for lo in range(lo_p, hi_p, opts.block_size))
+        else:
+            blocks = iter([(0, self.n)])
+        for lo, hi in blocks:
+                if zero:
+                    skip = read[lo:hi] == 0
+                    scanned = zero_cut_scan_lengths(g, read, lo, hi, skip)
+                    edges = int(scanned.sum())
+                else:
+                    edges = int(g.indptr[hi] - g.indptr[lo])
+                new, changed = pull_block(g, read, lo, hi)
+                if opts.unified_labels and hi > lo:
+                    # Block-async: a thread's sequential sweep floods
+                    # each internal component within the iteration.
+                    new = block_async_min(new, self.groups[lo:hi] - lo)
+                    changed = new < read[lo:hi]
+                self.counters.record_pull_scan(edges, hi - lo)
+                n_changed = int(changed.sum())
+                if n_changed:
+                    rows = lo + np.flatnonzero(changed)
+                    self.labels[rows] = new[changed]
+                    self.counters.record_label_commits(n_changed,
+                                                       random=False)
+                    counts.add(n_changed, int(g.degrees[rows].sum()))
+                    if detailed is not None:
+                        detailed.set_many(g, rows)
+                        self.counters.record_frontier_updates(n_changed)
+        self._end_iteration_sync()
+        return detailed, counts
+
+    def push(self, frontier: Frontier) -> Frontier:
+        """One push iteration from a detailed frontier.
+
+        Frontier vertices are drained through the per-thread local
+        worklists in chunks of ``block_size``; with unified labels each
+        chunk reads the labels as updated by earlier chunks.
+        """
+        g = self.graph
+        opts = self.opts
+        active = frontier.vertices()
+        self.counters.sequential_accesses += int(active.size)
+        worklists = LocalWorklists(self.n, opts.num_threads,
+                                   race_rate=opts.race_rate)
+        for lo in range(0, active.size, opts.block_size):
+            chunk = active[lo:lo + opts.block_size]
+            read = self._read_array()
+            targets, deg = concat_adjacency(g, chunk)
+            if targets.size == 0:
+                self.counters.record_push_scan(0, int(chunk.size))
+                continue
+            values = np.repeat(read[chunk], deg)
+            changed = batch_atomic_min(self.labels, targets.astype(np.int64),
+                                       values)
+            self.counters.record_push_scan(int(targets.size),
+                                           int(chunk.size))
+            self.counters.record_cas_successes(int(changed.size))
+            if changed.size:
+                owner = chunk[0] % opts.num_threads  # chunk's sim thread
+                enq = worklists.push_batch(int(owner), changed)
+                self.counters.record_frontier_updates(enq)
+        self._end_iteration_sync()
+        new_frontier = Frontier(self.n)
+        new_frontier.set_many(g, worklists.drain_order())
+        return new_frontier
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def record(self, direction: Direction, density: float,
+               active_v: int, active_e: int, changed: int,
+               before: OpCounters) -> None:
+        delta = self.counters - before
+        delta.iterations = 1
+        self.trace.add(IterationRecord(
+            index=self.trace.num_iterations,
+            direction=direction,
+            density=density,
+            active_vertices=active_v,
+            active_edges=active_e,
+            changed_vertices=changed,
+            converged_fraction=0.0,   # filled post-hoc
+            counters=delta,
+        ))
+        if self.opts.track_convergence:
+            self.snapshots.append(self.labels.astype(np.int64, copy=True))
+
+    def finalize(self) -> CCResult:
+        if self.opts.track_convergence and self.snapshots:
+            final = self.labels
+            for rec, snap in zip(self.trace.iterations, self.snapshots):
+                rec.converged_fraction = float(
+                    np.count_nonzero(snap == final) / max(self.n, 1))
+        return CCResult(labels=self.labels.copy(), trace=self.trace)
+
+
+def label_propagation_cc(graph: CSRGraph,
+                         opts: LPOptions | None = None,
+                         *, dataset: str = "") -> CCResult:
+    """Run the configured LP algorithm to convergence.
+
+    The returned :class:`CCResult` carries the full per-iteration
+    trace; all evaluation artifacts are derived from it.
+    """
+    opts = opts or LPOptions()
+    eng = _Engine(graph, opts, dataset)
+    eng.trace.setup_counters = eng.counters.copy()
+    n = eng.n
+    if n == 0:
+        return eng.finalize()
+    g = graph
+
+    # --- iteration 0 -----------------------------------------------------
+    detailed: Frontier | None
+    counts: CountOnlyFrontier | None
+    if opts.initial_push:
+        before = eng.counters.copy()
+        hub_deg = g.degree(eng.hub)
+        density = ((1 + hub_deg) / g.num_edges) if g.num_edges else 0.0
+        detailed = eng.initial_push()
+        eng.record(Direction.INITIAL_PUSH, density, 1, hub_deg,
+                   detailed.num_active, before)
+        # Iteration 1 is always a full pull (Table VI): it is what
+        # seeds label comparison for every vertex outside the hub's
+        # component — without it a sparse post-push frontier could
+        # drain before other components ever propagate.
+        before = eng.counters.copy()
+        density = detailed.density(g)
+        active_v, active_e = detailed.num_active, detailed.num_active_edges
+        collect = not opts.count_only_pulls
+        new_detailed, new_counts = eng.pull(collect_frontier=collect)
+        eng.record(Direction.PULL, density, active_v, active_e,
+                   new_counts.num_active, before)
+        if collect:
+            detailed, counts = new_detailed, None
+        else:
+            detailed, counts = None, new_counts
+    else:
+        # DO-LP bootstrap: everything active.
+        detailed = Frontier.full(g)
+        counts = None
+
+    # --- main loop ---------------------------------------------------------
+    while eng.trace.num_iterations < opts.max_iterations:
+        if detailed is not None:
+            density = detailed.density(g)
+            active_v = detailed.num_active
+            active_e = detailed.num_active_edges
+        else:
+            density = counts.density(g)
+            active_v = counts.num_active
+            active_e = counts.num_active_edges
+        if active_v == 0:
+            break
+        before = eng.counters.copy()
+        if density < opts.threshold:
+            if detailed is None:
+                # Pull-Frontier: materialize the frontier first.
+                new_detailed, new_counts = eng.pull(collect_frontier=True)
+                eng.record(Direction.PULL_FRONTIER, density, active_v,
+                           active_e, new_detailed.num_active, before)
+                detailed, counts = new_detailed, None
+            else:
+                new_frontier = eng.push(detailed)
+                eng.record(Direction.PUSH, density, active_v, active_e,
+                           new_frontier.num_active, before)
+                detailed, counts = new_frontier, None
+        else:
+            collect = not opts.count_only_pulls
+            new_detailed, new_counts = eng.pull(collect_frontier=collect)
+            eng.record(Direction.PULL, density, active_v, active_e,
+                       new_counts.num_active, before)
+            if collect:
+                detailed, counts = new_detailed, None
+            else:
+                detailed, counts = None, new_counts
+    else:
+        raise RuntimeError(
+            f"{opts.algorithm_name} exceeded max_iterations="
+            f"{opts.max_iterations}; graph or options are pathological")
+
+    return eng.finalize()

@@ -1,0 +1,201 @@
+"""Vectorized traversal kernels shared by DO-LP and Thrifty.
+
+These are the batch equivalents of the paper's C inner loops:
+
+* :func:`pull_block` — the pull traversal over a contiguous vertex
+  block: per-row minimum over neighbour labels (``minimum.reduceat``
+  over the CSR slice).
+* :func:`zero_cut_scan_lengths` — exact count of edges a sequential
+  scan with the Zero Convergence early-exit (Algorithm 2 line 31)
+  would touch: the position of each row's first zero-labelled
+  neighbour, found with one ``flatnonzero`` + ``searchsorted``.
+* :func:`concat_adjacency` — gather the adjacency lists of an
+  arbitrary vertex set (push traversals, BFS frontiers).
+
+The kernels *compute* with whole-block batches but *account* work in
+the counters exactly as the modelled sequential/parallel C loops
+would — counters, not NumPy op counts, are the reproduction's ground
+truth (DESIGN.md Section 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = [
+    "pull_block",
+    "zero_cut_scan_lengths",
+    "concat_adjacency",
+    "segment_min",
+    "intra_block_groups",
+    "block_async_min",
+]
+
+
+def segment_min(values: np.ndarray, starts: np.ndarray,
+                ends: np.ndarray, fill: np.ndarray) -> np.ndarray:
+    """Per-segment minimum of ``values[starts[i]:ends[i]]``.
+
+    Empty segments get ``fill[i]``.  Segments must be non-overlapping
+    and ascending (CSR rows always are).
+    """
+    out = np.asarray(fill).copy()
+    nonempty = ends > starts
+    if not nonempty.any():
+        return out
+    s = starts[nonempty]
+    mins = np.minimum.reduceat(values, s)
+    # reduceat's segment i ends at the next start; CSR rows are
+    # contiguous (ends[i] == starts[i+1] for adjacent rows), and any
+    # gap rows were empty, so the tail beyond ends[i] belongs to later
+    # segments only when rows are contiguous — which they are here.
+    out[nonempty] = np.minimum(out[nonempty], mins)
+    return out
+
+
+def pull_block(graph: CSRGraph, labels: np.ndarray,
+               lo: int, hi: int) -> tuple[np.ndarray, np.ndarray]:
+    """Candidate labels for rows ``[lo, hi)`` from the current array.
+
+    Returns ``(new_labels_block, changed_mask)`` where
+    ``new_labels_block[i] = min(labels[lo+i], min of neighbour labels)``.
+    Does *not* write; callers decide commit policy (double-buffered for
+    DO-LP, in-place for Thrifty).
+    """
+    if hi <= lo:
+        empty = np.empty(0, dtype=labels.dtype)
+        return empty, np.empty(0, dtype=bool)
+    s0 = int(graph.indptr[lo])
+    s1 = int(graph.indptr[hi])
+    own = labels[lo:hi]
+    if s1 == s0:
+        return own.copy(), np.zeros(hi - lo, dtype=bool)
+    nbr_labels = labels[graph.indices[s0:s1]]
+    starts = (graph.indptr[lo:hi] - s0).astype(np.int64)
+    ends = (graph.indptr[lo + 1:hi + 1] - s0).astype(np.int64)
+    new = segment_min(nbr_labels, starts, ends, own)
+    return new, new < own
+
+
+def zero_cut_scan_lengths(graph: CSRGraph, labels: np.ndarray,
+                          lo: int, hi: int,
+                          skip: np.ndarray | None = None) -> np.ndarray:
+    """Edges a Zero-Convergence scan of rows ``[lo, hi)`` would touch.
+
+    For each row: 0 if the row is skipped (own label already zero),
+    otherwise the 1-based position of its first zero-labelled
+    neighbour (the scan breaks there), or the full degree when no
+    neighbour is zero.
+
+    ``skip`` is the per-row skip mask (default: ``labels[lo:hi]==0``).
+    """
+    if hi <= lo:
+        return np.empty(0, dtype=np.int64)
+    s0 = int(graph.indptr[lo])
+    s1 = int(graph.indptr[hi])
+    row_start = (graph.indptr[lo:hi] - s0).astype(np.int64)
+    row_end = (graph.indptr[lo + 1:hi + 1] - s0).astype(np.int64)
+    full = row_end - row_start
+    if s1 == s0:
+        return np.zeros(hi - lo, dtype=np.int64)
+    zero_pos = np.flatnonzero(labels[graph.indices[s0:s1]] == 0)
+    if zero_pos.size:
+        k = np.searchsorted(zero_pos, row_start, side="left")
+        k_clip = np.minimum(k, zero_pos.size - 1)
+        first = zero_pos[k_clip]
+        has_zero = (k < zero_pos.size) & (first < row_end)
+        scanned = np.where(has_zero, first - row_start + 1, full)
+    else:
+        scanned = full
+    if skip is None:
+        skip = labels[lo:hi] == 0
+    return np.where(skip, 0, scanned)
+
+
+def intra_block_groups(graph: CSRGraph, block_bounds: np.ndarray
+                       ) -> np.ndarray:
+    """Connected components of each block's internal subgraph.
+
+    ``block_bounds`` partitions ``[0, n)`` into contiguous blocks;
+    an edge is *internal* when both endpoints fall in the same block.
+    Returns ``groups[v]`` = minimum vertex id of v's internal
+    component (so ``groups[v] == v`` for singleton/boundary-only
+    vertices).
+
+    This is simulation machinery for the Unified Labels Array: a real
+    thread sweeps its range vertex-by-vertex reading freshly-written
+    labels, so a label entering a block propagates through the block's
+    internal subgraph within the same iteration.  The engine models
+    that as one group-min per block per pull ("block-asynchronous"
+    execution); the groups are static, so they are computed once here
+    by pointer-jumping CC over intra-block edges only.
+    """
+    n = graph.num_vertices
+    parent = np.arange(n, dtype=np.int64)
+    if n == 0 or graph.num_edges == 0:
+        return parent
+    src = graph.edge_sources()
+    dst = graph.indices.astype(np.int64)
+    block_of = np.searchsorted(block_bounds, np.arange(n), side="right")
+    same = block_of[src] == block_of[dst]
+    eu, ev = src[same], dst[same]
+    while eu.size:
+        # Resolve roots, keep only cross-component edges, link to min.
+        while True:
+            nxt = parent[parent]
+            if np.array_equal(nxt, parent):
+                break
+            parent = nxt
+        ru, rv = parent[eu], parent[ev]
+        cross = ru != rv
+        eu, ev, ru, rv = eu[cross], ev[cross], ru[cross], rv[cross]
+        if eu.size == 0:
+            break
+        lo = np.minimum(ru, rv)
+        hi = np.maximum(ru, rv)
+        np.minimum.at(parent, hi, lo)
+    while True:
+        nxt = parent[parent]
+        if np.array_equal(nxt, parent):
+            return parent
+        parent = nxt
+
+
+def block_async_min(jacobi: np.ndarray, groups_local: np.ndarray
+                    ) -> np.ndarray:
+    """Propagate one Jacobi step to quiescence within a block.
+
+    ``jacobi`` holds each row's one-step min (own + neighbour
+    snapshot); ``groups_local`` the 0-based internal-component id of
+    each row.  The block-asynchronous fixpoint is simply the group
+    minimum of the Jacobi values — every label entering an internal
+    component floods it.
+    """
+    tmp = np.full(jacobi.size, np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(tmp, groups_local, jacobi)
+    return np.minimum(jacobi, tmp[groups_local])
+
+
+def concat_adjacency(graph: CSRGraph, rows: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate the adjacency lists of ``rows``.
+
+    Returns ``(targets, counts)`` where ``targets`` is the
+    concatenation of each row's neighbours (row-major order) and
+    ``counts[i] = degree(rows[i])``.  Sources repeated per edge are
+    ``np.repeat(rows, counts)``.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    counts = graph.degrees[rows]
+    total = int(counts.sum())
+    if total == 0:
+        return (np.empty(0, dtype=graph.indices.dtype),
+                counts.astype(np.int64))
+    offsets = np.zeros(rows.size, dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    idx = np.arange(total, dtype=np.int64)
+    seg = np.searchsorted(offsets, idx, side="right") - 1
+    pos = graph.indptr[rows][seg] + (idx - offsets[seg])
+    return graph.indices[pos], counts.astype(np.int64)

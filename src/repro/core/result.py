@@ -1,0 +1,66 @@
+"""Common result type returned by every CC implementation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..instrument.counters import OpCounters
+from ..instrument.trace import RunTrace
+
+__all__ = ["CCResult"]
+
+
+@dataclass
+class CCResult:
+    """Labels plus the full execution record of one CC run.
+
+    ``labels[v]`` is an arbitrary per-component identifier; two
+    vertices are connected iff their labels are equal.  Use
+    :meth:`canonical_labels` to compare results across algorithms.
+    """
+
+    labels: np.ndarray
+    trace: RunTrace
+
+    @property
+    def algorithm(self) -> str:
+        return self.trace.algorithm
+
+    @property
+    def num_iterations(self) -> int:
+        return self.trace.num_iterations
+
+    @property
+    def num_components(self) -> int:
+        return int(np.unique(self.labels).size)
+
+    def counters(self) -> OpCounters:
+        return self.trace.total_counters()
+
+    def canonical_labels(self) -> np.ndarray:
+        """Relabel components as the minimum vertex id they contain.
+
+        Algorithm-independent: any two correct CC results have equal
+        canonical labels.
+        """
+        labels = self.labels
+        n = labels.size
+        if n == 0:
+            return labels.astype(np.int64)
+        order = np.argsort(labels, kind="stable")
+        sorted_labels = labels[order]
+        starts = np.empty(n, dtype=bool)
+        starts[0] = True
+        starts[1:] = sorted_labels[1:] != sorted_labels[:-1]
+        group = np.cumsum(starts) - 1
+        rep = np.minimum.reduceat(order, np.flatnonzero(starts))
+        out = np.empty(n, dtype=np.int64)
+        out[order] = rep[group]
+        return out
+
+    def component_sizes(self) -> np.ndarray:
+        """Component sizes, descending."""
+        _, counts = np.unique(self.labels, return_counts=True)
+        return np.sort(counts)[::-1].astype(np.int64)

@@ -1,0 +1,22 @@
+"""Distributed LP simulation (paper Section VII future work)."""
+
+from .comm import CommStats, Fabric
+from .costmodel import (
+    ETHERNET_25G,
+    HDR_INFINIBAND,
+    NetworkSpec,
+    simulate_distributed_time,
+)
+from .lp import DistributedLPOptions, DistributedResult, distributed_cc
+
+__all__ = [
+    "Fabric",
+    "CommStats",
+    "DistributedLPOptions",
+    "DistributedResult",
+    "distributed_cc",
+    "NetworkSpec",
+    "ETHERNET_25G",
+    "HDR_INFINIBAND",
+    "simulate_distributed_time",
+]

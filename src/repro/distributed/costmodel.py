@@ -1,0 +1,84 @@
+"""Simulated time for distributed runs: compute + alpha-beta network.
+
+The shared-memory cost model prices one machine; a distributed
+superstep additionally pays communication.  The classic alpha-beta
+(LogP-ish) model:
+
+    t_step = t_compute(max loaded rank)
+           + alpha                      (per-superstep latency)
+           + max_rank_bytes / beta      (bottleneck-rank bandwidth)
+
+Compute per rank approximates the balanced share of the superstep's
+counted work priced by the node's cost model; the communication term
+uses the fabric's exact per-rank message maxima.  As with the
+shared-memory model, only relative shapes are claimed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..instrument.costmodel import CostModel
+from ..parallel.machine import SKYLAKEX, MachineSpec
+from .comm import MESSAGE_BYTES
+from .lp import DistributedResult
+
+__all__ = ["NetworkSpec", "ETHERNET_25G", "HDR_INFINIBAND",
+           "simulate_distributed_time"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Interconnect parameters for the alpha-beta model."""
+
+    name: str
+    latency_us: float          # alpha: per-superstep round latency
+    bandwidth_gbps: float      # beta: per-node bandwidth
+
+    def __post_init__(self) -> None:
+        if self.latency_us <= 0 or self.bandwidth_gbps <= 0:
+            raise ValueError("latency and bandwidth must be positive")
+
+    def transfer_ms(self, num_bytes: int) -> float:
+        return (self.latency_us / 1e3
+                + num_bytes * 8 / (self.bandwidth_gbps * 1e9) * 1e3)
+
+
+ETHERNET_25G = NetworkSpec("25GbE", latency_us=30.0, bandwidth_gbps=25.0)
+HDR_INFINIBAND = NetworkSpec("HDR-IB", latency_us=2.0,
+                             bandwidth_gbps=200.0)
+
+
+def simulate_distributed_time(result: DistributedResult,
+                              num_vertices: int,
+                              num_ranks: int,
+                              *,
+                              node: MachineSpec = SKYLAKEX,
+                              network: NetworkSpec = ETHERNET_25G
+                              ) -> float:
+    """Simulated wall-clock (ms) of a distributed run.
+
+    Compute: each superstep's counters are divided evenly across
+    ranks (block partitions are near-balanced by construction) and
+    priced with the node's cost model; every rank is a full ``node``.
+    Communication: one alpha per superstep plus the bottleneck rank's
+    bytes (``max_rank_messages_per_step`` is tracked exactly; the
+    per-step maximum is approximated by the run-level maximum).
+    """
+    if num_ranks < 1:
+        raise ValueError("num_ranks must be >= 1")
+    cm = CostModel(node, max(num_vertices // num_ranks, 1))
+    total_ms = 0.0
+    trace = result.result.trace
+    for rec in trace.iterations:
+        share = rec.counters.copy()
+        for field_name, value in share.as_dict().items():
+            setattr(share, field_name, value // num_ranks)
+        share.iterations = 1
+        total_ms += cm.iteration_ms(share)
+    if num_ranks > 1 and trace.num_iterations:
+        per_step_bytes = (result.comm.max_rank_messages_per_step
+                          * MESSAGE_BYTES)
+        total_ms += trace.num_iterations * network.transfer_ms(
+            per_step_bytes)
+    return total_ms

@@ -1,0 +1,40 @@
+"""Evaluation harness: one driver per paper table/figure."""
+
+from .paper import (
+    fig1_speedup_summary,
+    fig3_dolp_convergence,
+    fig5_work_reduction,
+    fig6_hw_counters,
+    fig7_8_convergence_comparison,
+    fig9_10_ablation,
+    table1_giant_component,
+    table4_execution_times,
+    table5_iterations,
+    table6_initial_push,
+    table7_threshold,
+)
+from .protocol import TrialStats, run_trials
+from .report import generate_report
+from .runner import ExperimentRun, clear_cache, timed_run
+from .tables import format_table
+
+__all__ = [
+    "ExperimentRun",
+    "timed_run",
+    "clear_cache",
+    "format_table",
+    "TrialStats",
+    "run_trials",
+    "generate_report",
+    "fig1_speedup_summary",
+    "table1_giant_component",
+    "table4_execution_times",
+    "table5_iterations",
+    "fig3_dolp_convergence",
+    "fig5_work_reduction",
+    "fig6_hw_counters",
+    "fig7_8_convergence_comparison",
+    "table6_initial_push",
+    "table7_threshold",
+    "fig9_10_ablation",
+]

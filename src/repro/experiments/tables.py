@@ -1,0 +1,40 @@
+"""Plain-text table formatting for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_float"]
+
+
+def format_float(x: float, digits: int = 2) -> str:
+    """Compact float: integers lose the decimal point."""
+    if x == int(x) and abs(x) < 1e15:
+        return str(int(x))
+    return f"{x:.{digits}f}"
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]],
+                 *, title: str | None = None,
+                 float_digits: int = 2) -> str:
+    """Render an aligned monospace table."""
+    def cell(x: Any) -> str:
+        if isinstance(x, float):
+            return format_float(x, float_digits)
+        return str(x)
+
+    str_rows = [[cell(x) for x in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Synthetic graph generators used as dataset surrogates.
+
+See DESIGN.md Section 2: the paper's real-world datasets are replaced
+by generators that control the structural properties Thrifty exploits —
+degree skew, giant-component fraction, and diameter.
+"""
+
+from .barabasi_albert import barabasi_albert_edges, barabasi_albert_graph
+from .chung_lu import chung_lu_edges, chung_lu_graph, power_law_weights
+from .erdos_renyi import erdos_renyi_edges, erdos_renyi_graph
+from .rmat import rmat_edges, rmat_graph
+from .road import cycle_graph, grid_edges, path_graph, road_network_graph
+from .rng import as_generator, split
+from .stitched import (
+    disjoint_union,
+    star_graph,
+    with_dust_components,
+    with_tendrils,
+)
+
+__all__ = [
+    "as_generator",
+    "split",
+    "barabasi_albert_edges",
+    "barabasi_albert_graph",
+    "chung_lu_edges",
+    "chung_lu_graph",
+    "power_law_weights",
+    "erdos_renyi_edges",
+    "erdos_renyi_graph",
+    "rmat_edges",
+    "rmat_graph",
+    "grid_edges",
+    "road_network_graph",
+    "path_graph",
+    "cycle_graph",
+    "disjoint_union",
+    "with_dust_components",
+    "with_tendrils",
+    "star_graph",
+]

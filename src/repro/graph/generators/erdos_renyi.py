@@ -1,0 +1,40 @@
+"""Erdős-Rényi G(n, m) generator — the non-skewed control case.
+
+Uniform random graphs have a Poisson (light-tailed) degree
+distribution; Thrifty's structural assumptions (hubs, skew) do not
+hold, making ER useful as a negative control in tests and ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..builders import build_graph
+from ..coo import EdgeList
+from ..csr import CSRGraph
+from .rng import as_generator
+
+__all__ = ["erdos_renyi_edges", "erdos_renyi_graph"]
+
+
+def erdos_renyi_edges(num_vertices: int,
+                      num_edges: int,
+                      *,
+                      seed: int | np.random.Generator | None = 0
+                      ) -> EdgeList:
+    """Draw ``num_edges`` uniform directed edges (with replacement)."""
+    rng = as_generator(seed)
+    src = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    dst = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    return EdgeList(src, dst, num_vertices)
+
+
+def erdos_renyi_graph(num_vertices: int,
+                      avg_degree: float = 8.0,
+                      *,
+                      seed: int | np.random.Generator | None = 0,
+                      drop_zero_degree: bool = True) -> CSRGraph:
+    """Uniform random CSR graph with the given average degree."""
+    m = int(round(num_vertices * avg_degree / 2))
+    edges = erdos_renyi_edges(num_vertices, m, seed=seed)
+    return build_graph(edges, drop_zero_degree=drop_zero_degree)

@@ -1,0 +1,75 @@
+"""RMAT / stochastic-Kronecker power-law graph generator.
+
+RMAT recursively subdivides the adjacency matrix into quadrants with
+probabilities (a, b, c, d); skew in (a vs d) yields the heavy-tailed
+degree distribution of social networks and web crawls.  This is the
+generator GAPBS and Graph500 use for their synthetic skewed inputs, so
+it is the natural surrogate for the paper's social/web datasets.
+
+Fully vectorized: all ``num_edges`` bit paths are drawn at once as a
+(num_edges, scale) boolean matrix per dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..builders import build_graph
+from ..coo import EdgeList
+from ..csr import CSRGraph
+from .rng import as_generator
+
+__all__ = ["rmat_edges", "rmat_graph"]
+
+
+def rmat_edges(scale: int,
+               num_edges: int,
+               *,
+               a: float = 0.57, b: float = 0.19, c: float = 0.19,
+               seed: int | np.random.Generator | None = 0) -> EdgeList:
+    """Draw ``num_edges`` directed RMAT edges over ``2**scale`` vertices.
+
+    Default (a, b, c) are the Graph500 parameters (d = 1-a-b-c = 0.05).
+    """
+    if scale < 0:
+        raise ValueError("scale must be >= 0")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("quadrant probabilities must be non-negative")
+    rng = as_generator(seed)
+    n = 1 << scale
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    # For each of `scale` levels decide the quadrant for every edge.
+    # P(src bit = 1) = c + d; P(dst bit = 1 | src bit) follows the
+    # conditional quadrant distribution.
+    p_src1 = c + d
+    for _ in range(scale):
+        u = rng.random(num_edges)
+        v = rng.random(num_edges)
+        src_bit = u < p_src1
+        # Conditional probability that the dst bit is 1:
+        #   given src_bit=0 -> b / (a + b); given src_bit=1 -> d / (c + d)
+        p_dst1 = np.where(src_bit,
+                          d / (c + d) if (c + d) > 0 else 0.0,
+                          b / (a + b) if (a + b) > 0 else 0.0)
+        dst_bit = v < p_dst1
+        src = (src << 1) | src_bit
+        dst = (dst << 1) | dst_bit
+    return EdgeList(src, dst, n)
+
+
+def rmat_graph(scale: int,
+               edge_factor: int = 16,
+               *,
+               a: float = 0.57, b: float = 0.19, c: float = 0.19,
+               seed: int | np.random.Generator | None = 0,
+               drop_zero_degree: bool = True) -> CSRGraph:
+    """Canonical CSR RMAT graph with ``edge_factor * 2**scale`` edge draws.
+
+    Zero-degree vertices are removed by default, matching the paper's
+    dataset preparation.
+    """
+    edges = rmat_edges(scale, edge_factor * (1 << scale),
+                       a=a, b=b, c=c, seed=seed)
+    return build_graph(edges, drop_zero_degree=drop_zero_degree)

@@ -1,0 +1,104 @@
+"""Road-network surrogates: perturbed 2-D lattices.
+
+GB/US Roads in Table II are the paper's non-power-law datasets: degree
+is nearly uniform (2-4), and the diameter is enormous, which is exactly
+why label propagation (wavefront per iteration) loses to disjoint-set
+algorithms there.  A 2-D grid with a small fraction of removed and
+added-shortcut edges reproduces both properties at any scale:
+
+* degree stays in {2, 3, 4} (plus a few shortcut endpoints),
+* diameter ~ O(sqrt(|V|)), i.e. hundreds of LP iterations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..builders import build_graph
+from ..coo import EdgeList
+from ..csr import CSRGraph
+from .rng import as_generator
+
+__all__ = ["grid_edges", "road_network_graph", "path_graph", "cycle_graph"]
+
+
+def grid_edges(rows: int, cols: int) -> EdgeList:
+    """4-connected lattice edges over ``rows x cols`` vertices."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid must be at least 1x1")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    horiz_src = ids[:, :-1].ravel()
+    horiz_dst = ids[:, 1:].ravel()
+    vert_src = ids[:-1, :].ravel()
+    vert_dst = ids[1:, :].ravel()
+    return EdgeList(np.concatenate([horiz_src, vert_src]),
+                    np.concatenate([horiz_dst, vert_dst]),
+                    rows * cols)
+
+
+def road_network_graph(rows: int, cols: int,
+                       *,
+                       remove_fraction: float = 0.05,
+                       shortcut_fraction: float = 0.005,
+                       permute_fraction: float = 0.25,
+                       seed: int | np.random.Generator | None = 0
+                       ) -> CSRGraph:
+    """Perturbed lattice: drop a few street segments, add a few bridges.
+
+    ``remove_fraction`` of lattice edges are deleted (dead ends, rivers)
+    and ``shortcut_fraction * |E|`` random short-range shortcuts are
+    added (bridges, motorways).  Shortcuts connect vertices within a
+    small Manhattan radius so the diameter stays O(sqrt(n)), like real
+    road networks.
+
+    ``permute_fraction`` of vertex ids are scattered randomly: real
+    road datasets have partial (not perfect row-major) spatial id
+    locality, and a perfectly ordered lattice would let an in-order
+    label sweep flood the whole map in one iteration.
+    """
+    if not (0.0 <= permute_fraction <= 1.0):
+        raise ValueError("permute_fraction must be in [0, 1]")
+    rng = as_generator(seed)
+    base = grid_edges(rows, cols)
+    m = base.num_edges
+    keep = rng.random(m) >= remove_fraction
+    src = base.src[keep]
+    dst = base.dst[keep]
+    num_short = int(round(shortcut_fraction * m))
+    if num_short:
+        r = rng.integers(0, rows, size=num_short)
+        c = rng.integers(0, cols, size=num_short)
+        dr = rng.integers(-3, 4, size=num_short)
+        dc = rng.integers(-3, 4, size=num_short)
+        r2 = np.clip(r + dr, 0, rows - 1)
+        c2 = np.clip(c + dc, 0, cols - 1)
+        src = np.concatenate([src, r * cols + c])
+        dst = np.concatenate([dst, r2 * cols + c2])
+    n = rows * cols
+    k = int(round(permute_fraction * n))
+    if k > 1:
+        remap = np.arange(n, dtype=np.int64)
+        sel = rng.choice(n, size=k, replace=False)
+        remap[sel] = sel[rng.permutation(k)]
+        src = remap[src]
+        dst = remap[dst]
+    edges = EdgeList(src, dst, n)
+    return build_graph(edges, drop_zero_degree=True)
+
+
+def path_graph(num_vertices: int) -> CSRGraph:
+    """Simple path 0-1-...-n-1: the worst case for label propagation."""
+    if num_vertices < 1:
+        raise ValueError("path needs at least one vertex")
+    v = np.arange(num_vertices - 1, dtype=np.int64)
+    return build_graph(EdgeList(v, v + 1, num_vertices),
+                       drop_zero_degree=False)
+
+
+def cycle_graph(num_vertices: int) -> CSRGraph:
+    """Cycle 0-1-...-n-1-0."""
+    if num_vertices < 3:
+        raise ValueError("cycle needs at least three vertices")
+    v = np.arange(num_vertices, dtype=np.int64)
+    return build_graph(EdgeList(v, (v + 1) % num_vertices, num_vertices),
+                       drop_zero_degree=False)

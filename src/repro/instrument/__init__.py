@@ -1,0 +1,19 @@
+"""Instrumentation: operation counters, traces, hardware proxies, time."""
+
+from .counters import OpCounters
+from .costmodel import CostModel, TimedRun, simulate_run_time
+from .papi import HardwareProxy, model_hardware_counters, random_miss_rate
+from .trace import Direction, IterationRecord, RunTrace
+
+__all__ = [
+    "OpCounters",
+    "Direction",
+    "IterationRecord",
+    "RunTrace",
+    "HardwareProxy",
+    "model_hardware_counters",
+    "random_miss_rate",
+    "CostModel",
+    "TimedRun",
+    "simulate_run_time",
+]

@@ -1,0 +1,39 @@
+"""Simulated parallel runtime: machines, partitions, scheduling, atomics.
+
+This package is the substitution (DESIGN.md Section 2) for the paper's
+pthreads/futex/libnuma runtime: deterministic, instrumentable, and
+faithful to the visit orders and thread-local structures the paper's
+algorithms rely on.
+"""
+
+from .atomics import atomic_min, batch_atomic_min, batch_atomic_min_count
+from .frontier import AdaptiveFrontier, CountOnlyFrontier, Frontier
+from .machine import EPYC, MACHINES, SKYLAKEX, MachineSpec
+from .partition import (
+    PARTITIONS_PER_THREAD,
+    Partitioning,
+    edge_balanced_partitions,
+    vertex_balanced_partitions,
+)
+from .scheduler import ScheduleStep, WorkStealingScheduler
+from .worklist import LocalWorklists
+
+__all__ = [
+    "MachineSpec",
+    "SKYLAKEX",
+    "EPYC",
+    "MACHINES",
+    "Partitioning",
+    "edge_balanced_partitions",
+    "vertex_balanced_partitions",
+    "PARTITIONS_PER_THREAD",
+    "WorkStealingScheduler",
+    "ScheduleStep",
+    "Frontier",
+    "CountOnlyFrontier",
+    "AdaptiveFrontier",
+    "atomic_min",
+    "batch_atomic_min",
+    "batch_atomic_min_count",
+    "LocalWorklists",
+]

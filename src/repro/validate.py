@@ -1,0 +1,100 @@
+"""Correctness validation of CC results.
+
+Two independent checks:
+
+* :func:`same_partition` — two results agree as vertex partitions
+  (canonical labels equal), algorithm-independent.
+* :func:`validate_against_reference` — a result matches scipy's
+  connected_components on the same graph (external oracle).
+* :func:`check_labels_consistent` — structural invariant: every edge
+  joins vertices with equal labels, and vertices with equal labels are
+  genuinely connected (oracle-free necessary+sufficient check).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .core.result import CCResult
+from .graph.csr import CSRGraph
+from .graph.properties import component_labels_reference
+
+__all__ = [
+    "same_partition",
+    "validate_against_reference",
+    "check_labels_consistent",
+    "canonicalize",
+]
+
+
+def canonicalize(labels: np.ndarray) -> np.ndarray:
+    """Relabel a component assignment by minimum member vertex id."""
+    labels = np.asarray(labels)
+    n = labels.size
+    if n == 0:
+        return labels.astype(np.int64)
+    uniq, inv = np.unique(labels, return_inverse=True)
+    mins = np.full(uniq.size, np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(mins, inv, np.arange(n, dtype=np.int64))
+    return mins[inv]
+
+
+def same_partition(a: np.ndarray | CCResult,
+                   b: np.ndarray | CCResult) -> bool:
+    """True iff two label arrays induce the same vertex partition."""
+    la = a.labels if isinstance(a, CCResult) else np.asarray(a)
+    lb = b.labels if isinstance(b, CCResult) else np.asarray(b)
+    if la.shape != lb.shape:
+        return False
+    return bool(np.array_equal(canonicalize(la), canonicalize(lb)))
+
+
+def validate_against_reference(graph: CSRGraph,
+                               result: CCResult) -> None:
+    """Raise AssertionError unless ``result`` matches scipy's CC."""
+    ref = component_labels_reference(graph)
+    if not same_partition(result.labels, ref):
+        got = np.unique(result.labels).size
+        want = np.unique(ref).size
+        raise AssertionError(
+            f"{result.algorithm}: wrong components "
+            f"({got} found, {want} expected)")
+
+
+def check_labels_consistent(graph: CSRGraph,
+                            labels: np.ndarray) -> None:
+    """Oracle-free consistency check.
+
+    1. No edge crosses two labels (labels are unions of components).
+    2. The number of distinct labels equals the number of components
+       found by a simple BFS sweep (labels are not coarser either).
+    """
+    labels = np.asarray(labels)
+    if labels.shape != (graph.num_vertices,):
+        raise AssertionError("labels has the wrong shape")
+    src = graph.edge_sources()
+    if src.size and np.any(labels[src] != labels[graph.indices]):
+        bad = np.flatnonzero(labels[src] != labels[graph.indices])[0]
+        raise AssertionError(
+            f"edge ({src[bad]}, {graph.indices[bad]}) crosses labels")
+    # Count true components with an ad-hoc visited sweep.
+    n = graph.num_vertices
+    seen = np.zeros(n, dtype=bool)
+    true_components = 0
+    for seed in range(n):
+        if seen[seed]:
+            continue
+        true_components += 1
+        frontier = np.array([seed], dtype=np.int64)
+        seen[seed] = True
+        while frontier.size:
+            nxt_parts = [graph.neighbors(int(v)) for v in frontier]
+            nxt = (np.unique(np.concatenate(nxt_parts))
+                   if nxt_parts else np.empty(0, dtype=np.int64))
+            nxt = nxt[~seen[nxt]]
+            seen[nxt] = True
+            frontier = nxt.astype(np.int64)
+    found = int(np.unique(labels).size)
+    if found != true_components:
+        raise AssertionError(
+            f"{found} labels but {true_components} true components")

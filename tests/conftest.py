@@ -1,0 +1,101 @@
+"""Shared fixtures: a zoo of small graphs with known structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, build_graph, from_pairs
+from repro.graph.generators import (
+    chung_lu_graph,
+    erdos_renyi_graph,
+    path_graph,
+    rmat_graph,
+    road_network_graph,
+    star_graph,
+    with_dust_components,
+)
+
+
+def graph_from_pairs(pairs, n=None) -> CSRGraph:
+    """Edge pairs -> canonical CSR (keeps isolated vertices out)."""
+    return build_graph(from_pairs(pairs, n), drop_zero_degree=False)
+
+
+@pytest.fixture
+def triangle() -> CSRGraph:
+    return graph_from_pairs([(0, 1), (1, 2), (2, 0)])
+
+
+@pytest.fixture
+def two_triangles() -> CSRGraph:
+    """Two components: {0,1,2} and {3,4,5}."""
+    return graph_from_pairs([(0, 1), (1, 2), (2, 0),
+                             (3, 4), (4, 5), (5, 3)])
+
+
+@pytest.fixture
+def path10() -> CSRGraph:
+    return path_graph(10)
+
+
+@pytest.fixture
+def star20() -> CSRGraph:
+    return star_graph(20)
+
+
+@pytest.fixture
+def figure2_graph() -> CSRGraph:
+    """The worked example of paper Figure 2 (A..G -> 0..6).
+
+    A(0)-B(1), B-C(2), C-D(3), C-E(4), D-E, D-F(5), E-F, E-G(6), F-G.
+    Vertex E(4) is in the core; A(0) on the fringe.
+    """
+    return graph_from_pairs([(0, 1), (1, 2), (2, 3), (2, 4), (3, 4),
+                             (3, 5), (4, 5), (4, 6), (5, 6)])
+
+
+@pytest.fixture(scope="session")
+def small_skewed() -> CSRGraph:
+    """A small power-law graph with one giant component + dust."""
+    g = rmat_graph(9, 8, seed=11)
+    return with_dust_components(g, 12, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_social() -> CSRGraph:
+    return chung_lu_graph(600, 10.0, exponent=2.1, seed=12)
+
+
+@pytest.fixture(scope="session")
+def small_road() -> CSRGraph:
+    return road_network_graph(24, 18, seed=13)
+
+
+@pytest.fixture(scope="session")
+def small_uniform() -> CSRGraph:
+    return erdos_renyi_graph(400, 6.0, seed=14)
+
+
+def graph_zoo() -> list[tuple[str, CSRGraph]]:
+    """Deterministic suite used by exhaustive correctness tests."""
+    zoo = [
+        ("single", graph_from_pairs([], 1)),
+        ("one_edge", graph_from_pairs([(0, 1)])),
+        ("triangle", graph_from_pairs([(0, 1), (1, 2), (2, 0)])),
+        ("two_comp", graph_from_pairs([(0, 1), (1, 2), (3, 4)])),
+        ("path", path_graph(17)),
+        ("star", star_graph(9)),
+        ("rmat", rmat_graph(8, 6, seed=5)),
+        ("chung_lu", chung_lu_graph(300, 8.0, seed=6)),
+        ("road", road_network_graph(12, 12, seed=7)),
+        ("uniform", erdos_renyi_graph(200, 4.0, seed=8)),
+        ("dusty", with_dust_components(rmat_graph(7, 8, seed=9), 8,
+                                       seed=9)),
+    ]
+    return zoo
+
+
+@pytest.fixture(scope="session", params=[name for name, _ in graph_zoo()])
+def zoo_graph(request) -> CSRGraph:
+    return dict(graph_zoo())[request.param]

@@ -1,0 +1,112 @@
+"""Tests for the wavefront analysis and reordering utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bfs_relabel,
+    degree_sort_relabel,
+    hub_distance_profile,
+    random_relabel,
+    relabel,
+    wavefront_statistics,
+)
+from repro.graph import component_labels_reference
+from repro.graph.generators import path_graph, rmat_graph, star_graph
+from repro.validate import same_partition
+
+
+class TestWavefrontStatistics:
+    def test_path_repeated_wavefronts(self):
+        """On a path labelled 0..n-1, vertex k updates k times: each
+        smaller label sweeps past it — the Section III-A pathology."""
+        g = path_graph(8)
+        ws = wavefront_statistics(g)
+        assert ws.max_updates == 7
+        assert ws.update_histogram[7] == 1   # the far endpoint
+        assert ws.overwrite_fraction > 0.5
+
+    def test_star_no_overwrites(self):
+        """A star converges in one round; nothing is overwritten."""
+        ws = wavefront_statistics(star_graph(10))
+        assert ws.max_updates == 1
+        assert ws.overwrite_fraction == 0.0
+
+    def test_zero_planting_shifts_source(self):
+        # Build a graph whose hub is NOT vertex 0: star centred on 5.
+        from repro.graph import build_graph, from_pairs
+        pairs = [(5, i) for i in range(5)] + [(5, 6), (5, 7), (0, 1)]
+        g = build_graph(from_pairs(pairs), drop_zero_degree=False)
+        plain = wavefront_statistics(g)
+        planted = wavefront_statistics(g, zero_planted=True)
+        # Zero planted on the hub: fewer total updates than waves
+        # flowing from the fringe vertex 0.
+        assert planted.total_updates <= plain.total_updates
+
+    def test_empty_graph(self):
+        from repro.graph import CSRGraph
+        g = CSRGraph(np.array([0]), np.empty(0, np.int64))
+        ws = wavefront_statistics(g)
+        assert ws.total_updates == 0
+
+
+class TestHubDistanceProfile:
+    def test_star_hub(self):
+        p = hub_distance_profile(star_graph(12))
+        assert p.source == 0
+        assert p.eccentricity == 1
+        assert p.coverage_within(1) == 1.0
+
+    def test_hub_closer_than_fringe(self):
+        g = rmat_graph(9, 8, seed=2)
+        hub = hub_distance_profile(g)
+        # compare to the (typically peripheral) highest-id vertex
+        fringe = hub_distance_profile(g, source=g.num_vertices - 1)
+        assert hub.mean_distance <= fringe.mean_distance
+
+    def test_unreachable_counted(self, two_triangles):
+        p = hub_distance_profile(two_triangles, source=0)
+        assert p.unreachable == 3
+
+    def test_histogram_sums(self):
+        g = rmat_graph(8, 8, seed=3)
+        p = hub_distance_profile(g)
+        assert int(p.histogram.sum()) + p.unreachable == g.num_vertices
+
+
+class TestRelabel:
+    def test_identity_perm(self, small_skewed):
+        g2, _ = relabel(small_skewed,
+                        np.arange(small_skewed.num_vertices))
+        assert np.array_equal(g2.indptr, small_skewed.indptr)
+        assert np.array_equal(g2.indices, small_skewed.indices)
+
+    def test_invalid_perm_rejected(self, triangle):
+        with pytest.raises(ValueError, match="permutation"):
+            relabel(triangle, np.array([0, 0, 1]))
+        with pytest.raises(ValueError, match="one entry"):
+            relabel(triangle, np.array([0, 1]))
+
+    @pytest.mark.parametrize("strategy", ["degree", "bfs", "random"])
+    def test_structure_preserved(self, strategy, small_skewed):
+        fn = {"degree": degree_sort_relabel,
+              "bfs": bfs_relabel,
+              "random": lambda g: random_relabel(g, 7)}[strategy]
+        g2, perm = fn(small_skewed)
+        assert g2.num_edges == small_skewed.num_edges
+        ref = component_labels_reference(small_skewed)
+        ref2 = component_labels_reference(g2)
+        assert same_partition(ref2[perm], ref)
+
+    def test_degree_sort_puts_hub_first(self, small_skewed):
+        g2, perm = degree_sort_relabel(small_skewed)
+        assert g2.max_degree_vertex() == 0
+        assert np.all(np.diff(g2.degrees) <= 0)
+
+    def test_bfs_relabel_hub_is_zero(self, small_skewed):
+        g2, perm = bfs_relabel(small_skewed)
+        assert perm[small_skewed.max_degree_vertex()] == 0
+
+    def test_degree_preserved_under_perm(self, small_skewed):
+        g2, perm = random_relabel(small_skewed, 3)
+        assert np.array_equal(g2.degrees[perm], small_skewed.degrees)

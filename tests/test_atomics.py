@@ -1,0 +1,66 @@
+"""Tests for atomic-min emulation."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import atomic_min, batch_atomic_min, \
+    batch_atomic_min_count
+
+
+class TestScalarAtomicMin:
+    def test_lowers_and_reports(self):
+        a = np.array([5, 5, 5])
+        assert atomic_min(a, 1, 3)
+        assert a[1] == 3
+
+    def test_no_change_when_larger(self):
+        a = np.array([2])
+        assert not atomic_min(a, 0, 7)
+        assert a[0] == 2
+
+    def test_equal_is_no_change(self):
+        a = np.array([4])
+        assert not atomic_min(a, 0, 4)
+
+
+class TestBatchAtomicMin:
+    def test_matches_sequential_replay(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            a1 = rng.integers(0, 50, size=30).astype(np.int64)
+            a2 = a1.copy()
+            idx = rng.integers(0, 30, size=100)
+            val = rng.integers(0, 50, size=100).astype(np.int64)
+            changed = batch_atomic_min(a1, idx, val)
+            seq_changed = set()
+            for i, v in zip(idx, val):
+                if v < a2[i]:
+                    a2[i] = v
+                    seq_changed.add(int(i))
+            assert np.array_equal(a1, a2)
+            assert set(changed.tolist()) == seq_changed
+
+    def test_duplicate_targets_resolve_to_min(self):
+        a = np.array([10], dtype=np.int64)
+        changed = batch_atomic_min(a, np.array([0, 0, 0]),
+                                   np.array([7, 3, 5]))
+        assert a[0] == 3
+        assert changed.tolist() == [0]
+
+    def test_empty_batch(self):
+        a = np.array([1])
+        changed = batch_atomic_min(a, np.empty(0, np.int64),
+                                   np.empty(0, np.int64))
+        assert changed.size == 0
+
+    def test_shape_mismatch(self):
+        a = np.array([1])
+        with pytest.raises(ValueError, match="equal shapes"):
+            batch_atomic_min(a, np.array([0]), np.array([1, 2]))
+
+    def test_count_variant(self):
+        a = np.array([9, 9, 9], dtype=np.int64)
+        changed, count = batch_atomic_min_count(
+            a, np.array([0, 1, 1]), np.array([1, 2, 3]))
+        assert count == 2
+        assert set(changed.tolist()) == {0, 1}

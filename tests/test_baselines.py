@@ -1,0 +1,102 @@
+"""Tests for SV, JT, Afforest and BFS-CC."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    afforest_cc,
+    bfs_cc,
+    jayanti_tarjan_cc,
+    shiloach_vishkin_cc,
+)
+from repro.graph import component_labels_reference
+from repro.graph.generators import path_graph, star_graph
+from repro.validate import same_partition, validate_against_reference
+
+ALL = [shiloach_vishkin_cc, jayanti_tarjan_cc, afforest_cc, bfs_cc]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("algo", ALL,
+                             ids=["sv", "jt", "afforest", "bfs"])
+    def test_on_zoo(self, algo, zoo_graph):
+        validate_against_reference(zoo_graph, algo(zoo_graph))
+
+    @pytest.mark.parametrize("algo", ALL,
+                             ids=["sv", "jt", "afforest", "bfs"])
+    def test_empty_graph(self, algo):
+        from repro.graph import CSRGraph
+        g = CSRGraph(np.array([0]), np.empty(0, np.int64))
+        assert algo(g).labels.size == 0
+
+    def test_jt_seed_does_not_change_partition(self, small_skewed):
+        a = jayanti_tarjan_cc(small_skewed, seed=1)
+        b = jayanti_tarjan_cc(small_skewed, seed=2)
+        assert same_partition(a.labels, b.labels)
+
+    def test_afforest_seed_does_not_change_partition(self, small_skewed):
+        a = afforest_cc(small_skewed, seed=1)
+        b = afforest_cc(small_skewed, seed=2)
+        assert same_partition(a.labels, b.labels)
+
+    def test_afforest_neighbor_rounds_variants(self, small_skewed):
+        for k in (1, 2, 4):
+            r = afforest_cc(small_skewed, neighbor_rounds=k)
+            validate_against_reference(small_skewed, r)
+
+
+class TestCostShapes:
+    def test_sv_processes_all_edges_every_round(self, small_skewed):
+        r = shiloach_vishkin_cc(small_skewed)
+        m = small_skewed.num_edges
+        assert r.counters().edges_processed == r.num_iterations * m
+
+    def test_sv_logarithmic_rounds(self, small_skewed):
+        r = shiloach_vishkin_cc(small_skewed)
+        bound = 2 * math.log2(small_skewed.num_vertices) + 4
+        assert r.num_iterations <= bound
+
+    def test_jt_processes_each_edge_once(self, small_skewed):
+        r = jayanti_tarjan_cc(small_skewed)
+        assert r.counters().edges_processed == \
+            small_skewed.num_undirected_edges
+        assert r.num_iterations == 1
+
+    def test_jt_charges_finds(self, small_skewed):
+        c = jayanti_tarjan_cc(small_skewed).counters()
+        assert c.dependent_accesses >= \
+            2 * small_skewed.num_undirected_edges
+
+    def test_afforest_skips_giant_component(self, small_skewed):
+        c = afforest_cc(small_skewed).counters()
+        # Phase 1 samples ~2 edges/vertex; phase 3 only the dust.
+        assert c.edges_processed < 3 * small_skewed.num_vertices
+        assert c.edges_processed < 0.5 * small_skewed.num_edges
+
+    def test_afforest_trace_has_three_phases(self, small_skewed):
+        assert afforest_cc(small_skewed).num_iterations == 3
+
+    def test_bfs_labels_are_component_minima(self, two_triangles):
+        r = bfs_cc(two_triangles)
+        assert np.array_equal(r.labels, [0, 0, 0, 3, 3, 3])
+
+    def test_bfs_levels_reflect_diameter(self):
+        g = path_graph(64)
+        r = bfs_cc(g)
+        assert r.num_iterations >= 63
+
+    def test_bfs_direction_optimization_on_star(self):
+        # Hub-first BFS: one big top-down level should flip bottom-up.
+        g = star_graph(2000)
+        r = bfs_cc(g)
+        assert r.num_iterations <= 3
+        total = r.counters().edges_processed
+        assert total <= 3 * g.num_edges
+
+    def test_converged_fraction_reaches_one(self, small_skewed):
+        for algo in ALL:
+            trace = algo(small_skewed).trace
+            assert trace.iterations[-1].converged_fraction == \
+                pytest.approx(1.0)

@@ -1,0 +1,122 @@
+"""Tests for the edges -> canonical CSR pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.graph import build_graph, compact_vertices, from_pairs
+from repro.graph.coo import EdgeList
+
+
+class TestFromPairs:
+    def test_basic(self):
+        e = from_pairs([(0, 1), (2, 3)])
+        assert e.num_vertices == 4
+        assert e.num_edges == 2
+
+    def test_explicit_num_vertices(self):
+        e = from_pairs([(0, 1)], num_vertices=10)
+        assert e.num_vertices == 10
+
+    def test_empty(self):
+        e = from_pairs([])
+        assert e.num_edges == 0
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError, match=r"\(u, v\)"):
+            from_pairs([(0, 1, 2)])
+
+
+class TestCompactVertices:
+    def test_removes_isolated(self):
+        e = from_pairs([(0, 5)], num_vertices=10)
+        compacted, old_ids = compact_vertices(e)
+        assert compacted.num_vertices == 2
+        assert np.array_equal(old_ids, [0, 5])
+
+    def test_mapping_preserves_edges(self):
+        e = from_pairs([(2, 7), (7, 9)], num_vertices=12)
+        compacted, old_ids = compact_vertices(e)
+        # Every compacted edge maps back to an original edge.
+        back = set(zip(old_ids[compacted.src], old_ids[compacted.dst]))
+        assert back == {(2, 7), (7, 9)}
+
+    def test_empty_edge_list(self):
+        e = from_pairs([], num_vertices=5)
+        compacted, old_ids = compact_vertices(e)
+        assert compacted.num_vertices == 0
+        assert old_ids.size == 0
+
+
+class TestBuildGraph:
+    def test_symmetrizes(self):
+        g = build_graph(from_pairs([(0, 1)]))
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+
+    def test_drops_self_loops_by_default(self):
+        g = build_graph(from_pairs([(0, 0), (0, 1)]))
+        assert not g.has_edge(0, 0)
+        assert g.num_undirected_edges == 1
+
+    def test_keep_self_loops_opt_in(self):
+        g = build_graph(from_pairs([(0, 0), (0, 1)]),
+                        keep_self_loops=True)
+        assert g.has_edge(0, 0)
+
+    def test_drops_zero_degree_by_default(self):
+        g = build_graph(from_pairs([(0, 9)], num_vertices=10))
+        assert g.num_vertices == 2
+
+    def test_keeps_zero_degree_on_request(self):
+        g = build_graph(from_pairs([(0, 9)], num_vertices=10),
+                        drop_zero_degree=False)
+        assert g.num_vertices == 10
+        assert g.degree(5) == 0
+
+    def test_dedups_parallel_edges(self):
+        g = build_graph(from_pairs([(0, 1), (0, 1), (1, 0)]))
+        assert g.num_undirected_edges == 1
+
+    def test_empty_input(self):
+        g = build_graph(EdgeList(np.empty(0, np.int64),
+                                 np.empty(0, np.int64), 0))
+        assert g.num_vertices == 0
+
+
+class TestStreamedBuilder:
+    def test_matches_batch_builder(self):
+        from repro.graph import build_graph_streamed
+        from repro.graph.generators import rmat_edges
+        e = rmat_edges(8, 600, seed=9)
+        batch = build_graph(e)
+        # Split into 7 uneven chunks.
+        cuts = np.linspace(0, e.num_edges, 8).astype(int)
+        chunks = [(e.src[a:b], e.dst[a:b])
+                  for a, b in zip(cuts, cuts[1:])]
+        streamed = build_graph_streamed(chunks, e.num_vertices)
+        assert np.array_equal(batch.indptr, streamed.indptr)
+        assert np.array_equal(batch.indices, streamed.indices)
+
+    def test_self_loops_and_duplicates_normalized(self):
+        from repro.graph import build_graph_streamed
+        chunks = [(np.array([0, 0, 1]), np.array([0, 1, 0]))]
+        g = build_graph_streamed(chunks, 2, drop_zero_degree=False)
+        assert g.num_undirected_edges == 1
+        assert not g.has_edge(0, 0)
+
+    def test_zero_degree_compaction(self):
+        from repro.graph import build_graph_streamed
+        chunks = [(np.array([0]), np.array([9]))]
+        g = build_graph_streamed(chunks, 10)
+        assert g.num_vertices == 2
+
+    def test_out_of_range_rejected(self):
+        from repro.graph import build_graph_streamed
+        with pytest.raises(ValueError, match="out of range"):
+            build_graph_streamed([(np.array([5]), np.array([0]))], 3)
+
+    def test_empty_stream(self):
+        from repro.graph import build_graph_streamed
+        g = build_graph_streamed([], 4, drop_zero_degree=False)
+        assert g.num_vertices == 4
+        assert g.num_edges == 0

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "Pkc"])
+        assert args.method == "thrifty"
+        assert args.machine == "SkylakeX"
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "Pkc", "--method", "x"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_datasets_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("GBRd", "Pkc", "ClWb9"):
+            assert name in out
+
+    def test_run_on_surrogate(self, capsys):
+        assert main(["run", "Pkc", "--method", "afforest",
+                     "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "components" in out
+        assert "simulated time" in out
+
+    def test_run_on_file(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n3 4\n")
+        assert main(["run", str(path)]) == 0
+        assert "components         : 2" in capsys.readouterr().out
+
+    def test_generate_txt(self, tmp_path, capsys):
+        out_path = tmp_path / "pkc.txt"
+        assert main(["generate", "Pkc", str(out_path),
+                     "--scale", "0.1"]) == 0
+        assert out_path.exists()
+
+    def test_generate_npz_roundtrip(self, tmp_path, capsys):
+        out_path = tmp_path / "pkc.npz"
+        assert main(["generate", "Pkc", str(out_path),
+                     "--scale", "0.1"]) == 0
+        capsys.readouterr()
+        assert main(["run", str(out_path)]) == 0
+        assert "components" in capsys.readouterr().out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "vertices_pct" in out
+
+
+class TestTrialsCommand:
+    def test_trials_on_surrogate(self, capsys):
+        from repro.cli import main
+        assert main(["trials", "Pkc", "--method", "jt",
+                     "--trials", "2", "--scale", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "2 verified trials" in out
+        assert "simulated ms" in out
+
+
+class TestTraceFlag:
+    def test_run_with_trace(self, capsys):
+        from repro.cli import main
+        assert main(["run", "Pkc", "--scale", "0.15", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "initial-push" in out
+        assert "converged %" in out

@@ -1,0 +1,89 @@
+"""Tests for the ConnectIt sampling x finish framework."""
+
+import numpy as np
+import pytest
+
+from repro.connectit import (
+    FINISH_STRATEGIES,
+    SAMPLING_STRATEGIES,
+    connectit_cc,
+    connectit_design_space,
+)
+from repro.connectit.sampling import sample_bfs, sample_kout, sample_ldd
+from repro.graph.generators import star_graph
+from repro.validate import validate_against_reference
+
+
+class TestDesignSpace:
+    def test_all_combinations_listed(self):
+        combos = connectit_design_space()
+        assert len(combos) == \
+            len(SAMPLING_STRATEGIES) * len(FINISH_STRATEGIES)
+
+    @pytest.mark.parametrize("sampling", sorted(SAMPLING_STRATEGIES))
+    @pytest.mark.parametrize("finish", sorted(FINISH_STRATEGIES))
+    def test_every_combination_correct(self, sampling, finish,
+                                       small_skewed):
+        r = connectit_cc(small_skewed, sampling=sampling, finish=finish)
+        validate_against_reference(small_skewed, r)
+
+    @pytest.mark.parametrize("sampling", ["kout", "bfs"])
+    def test_zoo_coverage(self, sampling, zoo_graph):
+        r = connectit_cc(zoo_graph, sampling=sampling,
+                         finish="skip-giant")
+        validate_against_reference(zoo_graph, r)
+
+    def test_unknown_strategy_rejected(self, triangle):
+        with pytest.raises(ValueError, match="unknown sampling"):
+            connectit_cc(triangle, sampling="magic")
+        with pytest.raises(ValueError, match="unknown finish"):
+            connectit_cc(triangle, finish="magic")
+
+    def test_empty_graph(self):
+        from repro.graph import CSRGraph
+        g = CSRGraph(np.array([0]), np.empty(0, np.int64))
+        assert connectit_cc(g).labels.size == 0
+
+    def test_trace_has_two_phases(self, small_skewed):
+        r = connectit_cc(small_skewed)
+        assert r.num_iterations == 2
+        assert r.algorithm == "connectit[kout+skip-giant]"
+
+
+class TestSamplingBehaviour:
+    def test_kout_equals_afforest_phase1_cost(self, small_skewed):
+        parent = np.arange(small_skewed.num_vertices, dtype=np.int64)
+        out = sample_kout(small_skewed, parent, k=2)
+        # k-out samples at most k edges per vertex.
+        assert out.edges_sampled <= 2 * small_skewed.num_vertices
+        # and it actually merged things.
+        assert np.count_nonzero(parent !=
+                                np.arange(parent.size)) > 0
+
+    def test_kout_k_scales_work(self, small_skewed):
+        p1 = np.arange(small_skewed.num_vertices, dtype=np.int64)
+        p3 = p1.copy()
+        e1 = sample_kout(small_skewed, p1, k=1).edges_sampled
+        e3 = sample_kout(small_skewed, p3, k=3).edges_sampled
+        assert e3 > e1
+
+    def test_bfs_sampling_merges_hub_neighbourhood(self):
+        g = star_graph(50)
+        parent = np.arange(51, dtype=np.int64)
+        sample_bfs(g, parent, rounds=1)
+        from repro.baselines import flatten_parents
+        flat = flatten_parents(parent)
+        assert np.unique(flat).size == 1   # whole star merged
+
+    def test_ldd_sampling_bounded_rounds(self, small_skewed):
+        parent = np.arange(small_skewed.num_vertices, dtype=np.int64)
+        out = sample_ldd(small_skewed, parent, rounds=2, seed=1)
+        assert out.edges_sampled >= 0
+
+    def test_sampling_reduces_finish_work(self, small_skewed):
+        sampled = connectit_cc(small_skewed, sampling="kout",
+                               finish="skip-giant")
+        unsampled = connectit_cc(small_skewed, sampling="none",
+                                 finish="skip-giant")
+        assert sampled.counters().edges_processed < \
+            unsampled.counters().edges_processed

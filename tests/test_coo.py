@@ -1,0 +1,101 @@
+"""Unit tests for the COO edge-list layer."""
+
+import numpy as np
+import pytest
+
+from repro.graph.coo import (
+    EdgeList,
+    dedup,
+    remove_self_loops,
+    symmetrize,
+)
+
+
+def make(pairs, n=None):
+    arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    nv = n if n is not None else (int(arr.max()) + 1 if arr.size else 0)
+    return EdgeList(arr[:, 0], arr[:, 1], nv)
+
+
+class TestEdgeListValidation:
+    def test_basic_construction(self):
+        e = make([(0, 1), (1, 2)])
+        assert e.num_edges == 2
+        assert e.num_vertices == 3
+
+    def test_empty(self):
+        e = make([], n=0)
+        assert e.num_edges == 0
+        assert e.is_symmetric()
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            EdgeList(np.array([0, 1]), np.array([1]), 2)
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            EdgeList(np.array([-1]), np.array([0]), 2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            make([(0, 5)], n=3)
+
+    def test_negative_num_vertices_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            EdgeList(np.empty(0, np.int64), np.empty(0, np.int64), -1)
+
+    def test_2d_arrays_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            EdgeList(np.zeros((2, 2), np.int64),
+                     np.zeros((2, 2), np.int64), 4)
+
+    def test_arrays_coerced_to_int64(self):
+        e = EdgeList(np.array([0], np.int32), np.array([1], np.int32), 2)
+        assert e.src.dtype == np.int64
+        assert e.dst.dtype == np.int64
+
+
+class TestSymmetry:
+    def test_asymmetric_detected(self):
+        assert not make([(0, 1)]).is_symmetric()
+
+    def test_symmetric_detected(self):
+        assert make([(0, 1), (1, 0)]).is_symmetric()
+
+    def test_symmetrize_produces_symmetry(self):
+        e = symmetrize(make([(0, 1), (2, 3), (1, 2)]))
+        assert e.is_symmetric()
+        assert e.num_edges == 6
+
+    def test_symmetrize_idempotent(self):
+        e1 = symmetrize(make([(0, 1), (1, 2)]))
+        e2 = symmetrize(e1)
+        assert e1.num_edges == e2.num_edges
+
+    def test_symmetrize_dedups_existing_reverse(self):
+        e = symmetrize(make([(0, 1), (1, 0)]))
+        assert e.num_edges == 2
+
+
+class TestDedup:
+    def test_removes_duplicates(self):
+        e = dedup(make([(0, 1), (0, 1), (0, 1), (1, 2)]))
+        assert e.num_edges == 2
+
+    def test_keeps_direction_distinct(self):
+        e = dedup(make([(0, 1), (1, 0)]))
+        assert e.num_edges == 2
+
+    def test_empty_noop(self):
+        e = make([], n=3)
+        assert dedup(e) is e
+
+
+class TestSelfLoops:
+    def test_removed(self):
+        e = remove_self_loops(make([(0, 0), (0, 1), (2, 2)]))
+        assert e.num_edges == 1
+
+    def test_noop_when_clean(self):
+        e = make([(0, 1)])
+        assert remove_self_loops(e) is e

@@ -1,0 +1,107 @@
+"""Tests for the simulated-time cost model."""
+
+import pytest
+
+from repro.instrument import (
+    CostModel,
+    Direction,
+    IterationRecord,
+    OpCounters,
+    RunTrace,
+    simulate_run_time,
+)
+from repro.parallel import EPYC, SKYLAKEX
+
+
+def record(edges, vertices=100):
+    c = OpCounters()
+    c.record_pull_scan(edges, vertices)
+    c.iterations = 1
+    return IterationRecord(index=0, direction=Direction.PULL, density=1.0,
+                           active_vertices=vertices, active_edges=edges,
+                           changed_vertices=0, converged_fraction=0.0,
+                           counters=c)
+
+
+class TestIterationTime:
+    def test_positive_even_for_empty_iteration(self):
+        cm = CostModel(SKYLAKEX, 1000)
+        assert cm.iteration_ms(OpCounters()) > 0.0   # barrier floor
+
+    def test_monotone_in_work(self):
+        cm = CostModel(SKYLAKEX, 10**6)
+        small = cm.iteration_ms(record(10_000).counters)
+        big = cm.iteration_ms(record(10_000_000).counters)
+        # 1000x the work; parallelism absorbs some, but well over 50x.
+        assert big > 50 * small
+
+    def test_parallel_speedup_for_big_work(self):
+        """128 Epyc cores beat 32 SkylakeX cores on huge iterations."""
+        rec = record(50_000_000, 1_000_000)
+        sk = CostModel(SKYLAKEX, 10**6).iteration_ms(rec.counters)
+        ep = CostModel(EPYC, 10**6).iteration_ms(rec.counters)
+        assert ep < sk
+
+    def test_tiny_work_gets_no_parallel_credit(self):
+        """A 100-edge push cannot use 128 cores."""
+        rec = record(100, 10)
+        sk = CostModel(SKYLAKEX, 10**6).iteration_ms(rec.counters)
+        ep = CostModel(EPYC, 10**6).iteration_ms(rec.counters)
+        # Epyc is not meaningfully faster here (same serial work,
+        # slightly slower clock, bigger barrier).
+        assert ep >= sk * 0.8
+
+    def test_dependent_accesses_cost_more(self):
+        cm = CostModel(SKYLAKEX, 10**8)
+        gather = OpCounters(random_accesses=10**6)
+        chase = OpCounters(dependent_accesses=10**6)
+        assert cm.iteration_cycles(chase) > 3 * cm.iteration_cycles(gather)
+
+
+class TestRunTime:
+    def make_trace(self):
+        t = RunTrace("x")
+        t.setup_counters.sequential_accesses = 1000
+        t.add(record(5000))
+        t.add(record(100))
+        return t
+
+    def test_total_is_setup_plus_iterations(self):
+        t = self.make_trace()
+        timed = simulate_run_time(t, SKYLAKEX, 10**5)
+        assert timed.total_ms == pytest.approx(
+            sum(timed.per_iteration_ms)
+            + CostModel(SKYLAKEX, 10**5).iteration_ms(t.setup_counters))
+
+    def test_per_iteration_count(self):
+        timed = simulate_run_time(self.make_trace(), SKYLAKEX, 10**5)
+        assert timed.num_iterations == 2
+        assert timed.machine == "SkylakeX"
+
+    def test_empty_trace(self):
+        timed = simulate_run_time(RunTrace("x"), EPYC, 10)
+        assert timed.per_iteration_ms == []
+        assert timed.total_ms >= 0.0
+
+
+class TestThreadCappedModel:
+    def test_num_threads_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(SKYLAKEX, 100, num_threads=0)
+        with pytest.raises(ValueError):
+            CostModel(SKYLAKEX, 100, num_threads=33)
+
+    def test_fewer_threads_never_faster(self):
+        rec = record(1_000_000, 10_000)
+        times = [CostModel(SKYLAKEX, 10**6,
+                           num_threads=t).iteration_ms(rec.counters)
+                 for t in (1, 4, 16, 32)]
+        for a, b in zip(times, times[1:]):
+            assert b <= a * 1.001
+
+    def test_default_uses_all_cores(self):
+        rec = record(1_000_000, 10_000)
+        default = CostModel(SKYLAKEX, 10**6).iteration_ms(rec.counters)
+        full = CostModel(SKYLAKEX, 10**6,
+                         num_threads=32).iteration_ms(rec.counters)
+        assert default == pytest.approx(full)

@@ -1,0 +1,81 @@
+"""Tests for operation counters."""
+
+import pytest
+
+from repro.instrument import OpCounters
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = OpCounters(edges_processed=3)
+        b = OpCounters(edges_processed=4, label_reads=1)
+        c = a + b
+        assert c.edges_processed == 7
+        assert c.label_reads == 1
+
+    def test_iadd(self):
+        a = OpCounters(branches=1)
+        a += OpCounters(branches=2)
+        assert a.branches == 3
+
+    def test_sub_delta(self):
+        later = OpCounters(edges_processed=10)
+        earlier = OpCounters(edges_processed=4)
+        assert (later - earlier).edges_processed == 6
+
+    def test_sub_wrong_order_raises(self):
+        with pytest.raises(ValueError, match="negative"):
+            OpCounters() - OpCounters(edges_processed=1)
+
+    def test_copy_is_independent(self):
+        a = OpCounters(edges_processed=1)
+        b = a.copy()
+        b.edges_processed = 99
+        assert a.edges_processed == 1
+
+
+class TestRecorders:
+    def test_pull_scan(self):
+        c = OpCounters()
+        c.record_pull_scan(edges=100, vertices=10)
+        assert c.edges_processed == 100
+        assert c.random_accesses == 100
+        assert c.sequential_accesses == 20
+        assert c.unpredictable_branches == 100
+
+    def test_push_scan_counts_cas(self):
+        c = OpCounters()
+        c.record_push_scan(edges=50, vertices=5)
+        assert c.cas_attempts == 50
+        assert c.edges_processed == 50
+
+    def test_cas_successes_are_writes(self):
+        c = OpCounters()
+        c.record_cas_successes(7)
+        assert c.label_writes == 7
+        assert c.random_accesses == 7
+
+    def test_label_commits_classified(self):
+        c = OpCounters()
+        c.record_label_commits(3, random=True)
+        c.record_label_commits(2, random=False)
+        assert c.random_accesses == 3
+        assert c.sequential_accesses == 2
+        assert c.label_writes == 5
+
+    def test_finds_are_dependent(self):
+        c = OpCounters()
+        c.record_finds(10, avg_path_length=2.5)
+        assert c.dependent_accesses == 25
+
+    def test_sync_pass(self):
+        c = OpCounters()
+        c.record_sync_pass(100)
+        assert c.label_reads == 100
+        assert c.label_writes == 100
+        assert c.sequential_accesses == 200
+
+    def test_memory_accesses_total(self):
+        c = OpCounters(random_accesses=1, sequential_accesses=2,
+                       dependent_accesses=3)
+        assert c.memory_accesses == 6

@@ -1,0 +1,123 @@
+"""Unit tests for the CSR graph representation."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, build_graph, from_pairs
+
+
+def cycle4() -> CSRGraph:
+    return build_graph(from_pairs([(0, 1), (1, 2), (2, 3), (3, 0)]),
+                       drop_zero_degree=False)
+
+
+class TestConstruction:
+    def test_from_edge_list_roundtrip(self):
+        g = cycle4()
+        el = g.to_edge_list()
+        g2 = CSRGraph.from_edge_list(el)
+        assert np.array_equal(g.indptr, g2.indptr)
+        assert np.array_equal(g.indices, g2.indices)
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(ValueError, match="start at 0"):
+            CSRGraph(np.array([1, 2]), np.array([0]))
+
+    def test_indptr_monotone(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSRGraph(np.array([0, 2, 1]), np.array([0, 1]))
+
+    def test_indices_length_checked(self):
+        with pytest.raises(ValueError, match="entries"):
+            CSRGraph(np.array([0, 2]), np.array([0]))
+
+    def test_neighbour_range_checked(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CSRGraph(np.array([0, 1]), np.array([5]))
+
+    def test_empty_indptr_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            CSRGraph(np.empty(0, np.int64), np.empty(0, np.int64))
+
+    def test_indices_dtype_compact(self):
+        g = cycle4()
+        assert g.indices.dtype == np.int32
+
+    def test_vertexless_graph(self):
+        g = CSRGraph(np.array([0]), np.empty(0, np.int64))
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+
+class TestShape:
+    def test_counts(self):
+        g = cycle4()
+        assert g.num_vertices == 4
+        assert g.num_edges == 8
+        assert g.num_undirected_edges == 4
+
+    def test_degrees(self):
+        g = cycle4()
+        assert np.array_equal(g.degrees, [2, 2, 2, 2])
+        assert g.degree(0) == 2
+
+    def test_degrees_cached_and_readonly(self):
+        g = cycle4()
+        d1 = g.degrees
+        assert g.degrees is d1
+        with pytest.raises(ValueError):
+            d1[0] = 99
+
+    def test_neighbors_sorted(self):
+        g = build_graph(from_pairs([(0, 3), (0, 1), (0, 2)]),
+                        drop_zero_degree=False)
+        assert np.array_equal(g.neighbors(0), [1, 2, 3])
+
+    def test_neighbors_is_view(self):
+        g = cycle4()
+        assert g.neighbors(1).base is g.indices
+
+    def test_has_edge(self):
+        g = cycle4()
+        assert g.has_edge(0, 1)
+        assert g.has_edge(3, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_edge_sources_matches_degrees(self):
+        g = cycle4()
+        src = g.edge_sources()
+        assert np.array_equal(np.bincount(src), g.degrees)
+
+
+class TestMaxDegree:
+    def test_hub_found(self):
+        g = build_graph(from_pairs([(0, 1), (0, 2), (0, 3), (1, 2)]),
+                        drop_zero_degree=False)
+        assert g.max_degree_vertex() == 0
+
+    def test_tie_breaks_to_lowest_id(self):
+        g = cycle4()   # all degree 2
+        assert g.max_degree_vertex() == 0
+
+    def test_empty_graph_raises(self):
+        g = CSRGraph(np.array([0]), np.empty(0, np.int64))
+        with pytest.raises(ValueError, match="empty"):
+            g.max_degree_vertex()
+
+
+class TestRowNormalization:
+    def test_unsorted_rows_normalized(self):
+        # Constructor must restore the sorted-adjacency invariant.
+        g = CSRGraph(np.array([0, 2, 4]), np.array([1, 0, 1, 0]))
+        assert np.array_equal(g.neighbors(0), [0, 1])
+        assert np.array_equal(g.neighbors(1), [0, 1])
+
+    def test_dust_builder_rows_sorted(self):
+        from repro.graph.generators import star_graph, \
+            with_dust_components, with_tendrils
+        g = with_tendrils(with_dust_components(star_graph(20), 6,
+                                               seed=3),
+                          4, min_depth=3, max_depth=6, seed=3)
+        for v in range(g.num_vertices):
+            nbrs = g.neighbors(v)
+            assert np.all(np.diff(nbrs) >= 0), v

@@ -1,0 +1,95 @@
+"""Tests for the Table II surrogate registry."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    ALL_DATASET_NAMES,
+    DATASETS,
+    LARGE_DATASET_NAMES,
+    POWER_LAW_DATASET_NAMES,
+    ROAD_DATASET_NAMES,
+    extract_giant_component,
+    is_skewed,
+    load_dataset,
+    max_degree_component_fraction,
+)
+from repro.graph.generators import star_graph, with_dust_components
+
+
+class TestRegistry:
+    def test_all_17_table2_datasets_present(self):
+        assert len(ALL_DATASET_NAMES) == 17
+
+    def test_15_power_law_and_2_roads(self):
+        assert len(POWER_LAW_DATASET_NAMES) == 15
+        assert set(ROAD_DATASET_NAMES) == {"GBRd", "USRd"}
+
+    def test_large_set_matches_paper(self):
+        # Table II: datasets with >= 1B edges.
+        assert "Wbbs" in LARGE_DATASET_NAMES
+        assert "ClWb9" in LARGE_DATASET_NAMES
+        assert "Pkc" not in LARGE_DATASET_NAMES
+
+    def test_paper_metadata_recorded(self):
+        spec = DATASETS["ClWb9"]
+        assert spec.paper_vertices_m == 1685
+        assert spec.paper_cc == 5642809
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("nope")
+
+
+class TestSurrogateStructure:
+    @pytest.mark.parametrize("name", ["Pkc", "WWiki", "Twtr", "SK"])
+    def test_power_law_surrogates_are_skewed(self, name):
+        assert is_skewed(load_dataset(name, 0.5))
+
+    @pytest.mark.parametrize("name", ROAD_DATASET_NAMES)
+    def test_road_surrogates_not_skewed(self, name):
+        assert not is_skewed(load_dataset(name, 0.5))
+
+    @pytest.mark.parametrize("name", ["Pkc", "LJLnks", "Twtr"])
+    def test_giant_component_premise(self, name):
+        """Table I: the hub's component holds >~94% of vertices."""
+        g = load_dataset(name, 0.5)
+        assert max_degree_component_fraction(g) > 0.90
+
+    @pytest.mark.parametrize("name", ["Pkc", "LJGrp", "TwtrMpi"])
+    def test_single_component_datasets(self, name):
+        from repro.graph import component_sizes
+        g = load_dataset(name, 0.25)
+        assert len(component_sizes(g)) == 1
+
+    def test_multi_component_dataset(self):
+        from repro.graph import component_sizes
+        g = load_dataset("WWiki", 0.5)
+        assert len(component_sizes(g)) > 5
+
+    def test_scale_shrinks(self):
+        big = load_dataset("Pkc", 0.5)
+        small = load_dataset("Pkc", 0.1)
+        assert small.num_vertices < big.num_vertices
+
+    def test_memoized(self):
+        assert load_dataset("Pkc", 0.5) is load_dataset("Pkc", 0.5)
+
+
+class TestExtractGiant:
+    def test_star_identity(self):
+        g = star_graph(5)
+        g2 = extract_giant_component(g)
+        assert g2.num_vertices == 6
+        assert g2.num_edges == g.num_edges
+
+    def test_drops_dust(self):
+        g = with_dust_components(star_graph(20), 5, seed=1)
+        g2 = extract_giant_component(g)
+        assert g2.num_vertices == 21
+
+    def test_edges_remapped_consistently(self):
+        g = with_dust_components(star_graph(10), 2, seed=2)
+        g2 = extract_giant_component(g)
+        assert g2.degree(0) == 10
+        assert np.array_equal(g2.neighbors(0), np.arange(1, 11))

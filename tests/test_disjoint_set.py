@@ -1,0 +1,111 @@
+"""Tests for the union-find substrate."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DisjointSet,
+    flatten_parents,
+    link_roots,
+    pointer_jump_roots,
+)
+
+
+class TestDisjointSet:
+    def test_initial_singletons(self):
+        ds = DisjointSet(5)
+        assert ds.num_sets == 5
+        assert all(ds.find(i) == i for i in range(5))
+
+    def test_union_merges(self):
+        ds = DisjointSet(4)
+        assert ds.union(0, 1)
+        assert ds.same_set(0, 1)
+        assert ds.num_sets == 3
+
+    def test_union_idempotent(self):
+        ds = DisjointSet(4)
+        ds.union(0, 1)
+        assert not ds.union(1, 0)
+        assert ds.num_sets == 3
+
+    def test_transitivity(self):
+        ds = DisjointSet(6)
+        ds.union(0, 1)
+        ds.union(1, 2)
+        ds.union(4, 5)
+        assert ds.same_set(0, 2)
+        assert not ds.same_set(0, 4)
+
+    def test_labels_partition(self):
+        ds = DisjointSet(5)
+        ds.union(0, 3)
+        ds.union(1, 2)
+        labels = ds.labels()
+        assert labels[0] == labels[3]
+        assert labels[1] == labels[2]
+        assert labels[0] != labels[1]
+
+    def test_path_halving_shortens(self):
+        ds = DisjointSet(8)
+        # Build a deliberate chain.
+        for i in range(7):
+            ds.parent[i + 1] = i
+        ds.find(7)
+        # Path halving: 7 no longer points at 6.
+        assert ds.parent[7] != 6 or ds.parent[7] == ds.find(7)
+
+    def test_negative_size(self):
+        with pytest.raises(ValueError):
+            DisjointSet(-1)
+
+
+class TestVectorizedPrimitives:
+    def test_pointer_jump_roots(self):
+        parent = np.array([0, 0, 1, 2, 4])
+        roots, hops = pointer_jump_roots(parent)
+        assert roots.tolist() == [0, 0, 0, 0, 4]
+        assert hops > 0
+
+    def test_pointer_jump_already_flat(self):
+        parent = np.array([0, 0, 0])
+        roots, hops = pointer_jump_roots(parent)
+        assert hops == 0
+
+    def test_flatten_parents(self):
+        parent = np.array([0, 0, 1, 2])
+        flat = flatten_parents(parent)
+        assert flat.tolist() == [0, 0, 0, 0]
+
+    def test_link_roots_min_convention(self):
+        parent = np.arange(5)
+        linked = link_roots(parent, np.array([3, 4]), np.array([1, 1]))
+        assert linked == 2
+        assert parent[3] == 1 and parent[4] == 1
+
+    def test_link_roots_conflict_keeps_min(self):
+        parent = np.arange(5)
+        link_roots(parent, np.array([4, 4]), np.array([2, 1]))
+        assert parent[4] == 1
+
+    def test_link_roots_priority(self):
+        parent = np.arange(3)
+        priority = np.array([2, 0, 1])   # vertex 1 has best priority
+        link_roots(parent, np.array([0]), np.array([1]),
+                   priority)
+        assert parent[0] == 1
+
+    def test_link_roots_acyclic_with_priority(self):
+        rng = np.random.default_rng(0)
+        parent = np.arange(50)
+        priority = rng.permutation(50)
+        a = rng.integers(0, 50, 200)
+        b = rng.integers(0, 50, 200)
+        link_roots(parent, a, b, priority)
+        # Must terminate: no cycles.
+        roots, _ = pointer_jump_roots(parent)
+        assert np.all(parent[roots] == roots)
+
+    def test_link_roots_self_pairs_ignored(self):
+        parent = np.arange(4)
+        assert link_roots(parent, np.array([2]), np.array([2])) == 0

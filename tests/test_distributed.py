@@ -1,0 +1,181 @@
+"""Tests for the distributed LP simulation."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    DistributedLPOptions,
+    Fabric,
+    distributed_cc,
+)
+from repro.graph import component_labels_reference
+from repro.graph.generators import path_graph, rmat_graph, star_graph
+from repro.validate import same_partition, validate_against_reference
+
+
+class TestFabric:
+    def test_exchange_delivers_and_counts(self):
+        f = Fabric(2)
+        f.send(0, 1, np.array([3, 4]), np.array([7, 8]))
+        inboxes = f.exchange()
+        vs, ls = inboxes[1]
+        assert vs.tolist() == [3, 4]
+        assert ls.tolist() == [7, 8]
+        assert inboxes[0][0].size == 0
+        assert f.stats.messages == 2
+        assert f.stats.bytes == 16
+        assert f.stats.supersteps == 1
+
+    def test_deterministic_sender_order(self):
+        f = Fabric(3)
+        f.send(2, 0, np.array([9]), np.array([9]))
+        f.send(1, 0, np.array([5]), np.array([5]))
+        vs, _ = f.exchange()[0]
+        assert vs.tolist() == [5, 9]   # rank 1 before rank 2
+
+    def test_self_send_rejected(self):
+        f = Fabric(2)
+        with pytest.raises(ValueError, match="local"):
+            f.send(0, 0, np.array([1]), np.array([1]))
+
+    def test_rank_bounds(self):
+        f = Fabric(2)
+        with pytest.raises(ValueError):
+            f.send(0, 5, np.array([1]), np.array([1]))
+        with pytest.raises(ValueError):
+            f.send(-1, 1, np.array([1]), np.array([1]))
+
+    def test_empty_send_free(self):
+        f = Fabric(2)
+        f.send(0, 1, np.empty(0, np.int64), np.empty(0, np.int64))
+        f.exchange()
+        assert f.stats.messages == 0
+
+    def test_pending(self):
+        f = Fabric(2)
+        f.send(0, 1, np.array([1]), np.array([1]))
+        assert f.pending_messages() == 1
+        f.exchange()
+        assert f.pending_messages() == 0
+
+    def test_at_least_one_rank(self):
+        with pytest.raises(ValueError):
+            Fabric(0)
+
+
+class TestDistributedCC:
+    @pytest.mark.parametrize("ranks", [1, 2, 4, 7])
+    def test_correct_across_rank_counts(self, ranks, small_skewed):
+        r = distributed_cc(small_skewed,
+                           DistributedLPOptions(num_ranks=ranks))
+        validate_against_reference(small_skewed, r.result)
+
+    def test_matches_shared_memory(self, small_skewed):
+        from repro import connected_components
+        shared = connected_components(small_skewed, "thrifty")
+        dist = distributed_cc(small_skewed)
+        assert same_partition(shared.labels, dist.labels)
+
+    def test_on_zoo(self, zoo_graph):
+        r = distributed_cc(zoo_graph,
+                           DistributedLPOptions(num_ranks=3))
+        validate_against_reference(zoo_graph, r.result)
+
+    def test_single_rank_no_messages(self, small_skewed):
+        r = distributed_cc(small_skewed,
+                           DistributedLPOptions(num_ranks=1))
+        assert r.comm.messages == 0
+
+    def test_empty_graph(self):
+        from repro.graph import CSRGraph
+        g = CSRGraph(np.array([0]), np.empty(0, np.int64))
+        r = distributed_cc(g)
+        assert r.labels.size == 0
+
+    def test_ablation_flags_all_correct(self, small_skewed):
+        ref = component_labels_reference(small_skewed)
+        for zp in (False, True):
+            for zc in (False, True):
+                for dd in (False, True):
+                    opts = DistributedLPOptions(
+                        num_ranks=3, zero_planting=zp,
+                        zero_convergence=zc, dedup_sends=dd)
+                    r = distributed_cc(small_skewed, opts)
+                    assert same_partition(r.labels, ref), (zp, zc, dd)
+
+    def test_path_supersteps_scale_with_distance(self):
+        # Labels cross rank boundaries one superstep at a time.
+        g = path_graph(64)
+        r = distributed_cc(g, DistributedLPOptions(num_ranks=8,
+                                                   zero_planting=False))
+        assert r.supersteps >= 8
+
+    def test_dedup_reduces_messages(self):
+        g = rmat_graph(9, 8, seed=5)
+        base = DistributedLPOptions(num_ranks=4, dedup_sends=False)
+        dedup = DistributedLPOptions(num_ranks=4, dedup_sends=True)
+        m_base = distributed_cc(g, base).comm.messages
+        m_dedup = distributed_cc(g, dedup).comm.messages
+        assert m_dedup < m_base
+
+    def test_star_fast_convergence(self):
+        g = star_graph(100)
+        r = distributed_cc(g, DistributedLPOptions(num_ranks=4))
+        assert r.supersteps <= 4
+        validate_against_reference(g, r.result)
+
+    def test_superstep_guard(self):
+        g = path_graph(50)
+        with pytest.raises(RuntimeError, match="converge"):
+            distributed_cc(g, DistributedLPOptions(num_ranks=4,
+                                                   max_supersteps=2))
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            DistributedLPOptions(num_ranks=0)
+
+
+class TestNetworkCostModel:
+    def test_transfer_time_components(self):
+        from repro.distributed import NetworkSpec
+        net = NetworkSpec("test", latency_us=10.0, bandwidth_gbps=1.0)
+        # Latency-only for zero bytes.
+        assert net.transfer_ms(0) == pytest.approx(0.01)
+        # 1 Gb at 1 Gbps = 1 s.
+        assert net.transfer_ms(125_000_000) == pytest.approx(
+            1000.01, rel=1e-3)
+
+    def test_spec_validation(self):
+        from repro.distributed import NetworkSpec
+        with pytest.raises(ValueError):
+            NetworkSpec("bad", latency_us=0, bandwidth_gbps=1)
+
+    def test_single_rank_pays_no_network(self, small_skewed):
+        from repro.distributed import (DistributedLPOptions,
+                                       distributed_cc,
+                                       simulate_distributed_time)
+        r = distributed_cc(small_skewed,
+                           DistributedLPOptions(num_ranks=1))
+        t = simulate_distributed_time(r, small_skewed.num_vertices, 1)
+        assert t > 0
+
+    def test_faster_network_never_slower(self, small_skewed):
+        from repro.distributed import (ETHERNET_25G, HDR_INFINIBAND,
+                                       DistributedLPOptions,
+                                       distributed_cc,
+                                       simulate_distributed_time)
+        r = distributed_cc(small_skewed,
+                           DistributedLPOptions(num_ranks=4))
+        slow = simulate_distributed_time(r, small_skewed.num_vertices,
+                                         4, network=ETHERNET_25G)
+        fast = simulate_distributed_time(r, small_skewed.num_vertices,
+                                         4, network=HDR_INFINIBAND)
+        assert fast <= slow
+
+    def test_rank_validation(self, small_skewed):
+        from repro.distributed import (DistributedLPOptions,
+                                       distributed_cc,
+                                       simulate_distributed_time)
+        r = distributed_cc(small_skewed)
+        with pytest.raises(ValueError):
+            simulate_distributed_time(r, 10, 0)

@@ -1,0 +1,189 @@
+"""Tests for the LP engine: DO-LP, unified, Thrifty, and ablations."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LPOptions,
+    dolp_cc,
+    label_propagation_cc,
+    thrifty_cc,
+    unified_dolp_cc,
+)
+from repro.graph import CSRGraph, component_labels_reference
+from repro.graph.generators import path_graph, star_graph
+from repro.instrument import Direction
+from repro.validate import same_partition, validate_against_reference
+
+
+class TestCorrectness:
+    def test_dolp_on_zoo(self, zoo_graph):
+        validate_against_reference(zoo_graph, dolp_cc(zoo_graph))
+
+    def test_thrifty_on_zoo(self, zoo_graph):
+        validate_against_reference(zoo_graph, thrifty_cc(zoo_graph))
+
+    def test_unified_on_zoo(self, zoo_graph):
+        validate_against_reference(zoo_graph, unified_dolp_cc(zoo_graph))
+
+    def test_all_ablation_combinations_correct(self, small_skewed):
+        """Every subset of the four optimizations yields correct CC."""
+        ref = component_labels_reference(small_skewed)
+        for flags in itertools.product([False, True], repeat=4):
+            unified, zero_conv, planting, push = flags
+            opts = LPOptions(
+                unified_labels=unified,
+                zero_convergence=zero_conv,
+                zero_planting=planting,
+                initial_push=push,
+                count_only_pulls=True,
+                threshold=0.02,
+                num_threads=4,
+                algorithm_name=f"ablation-{flags}",
+            )
+            result = label_propagation_cc(small_skewed, opts)
+            assert same_partition(result.labels, ref), flags
+
+    def test_empty_graph(self):
+        g = CSRGraph(np.array([0]), np.empty(0, np.int64))
+        result = thrifty_cc(g)
+        assert result.labels.size == 0
+        assert result.num_iterations == 0
+
+    def test_single_vertex(self):
+        g = CSRGraph(np.array([0, 0]), np.empty(0, np.int64))
+        result = thrifty_cc(g)
+        assert result.num_components == 1
+
+    def test_race_injection_still_correct(self, small_skewed):
+        result = thrifty_cc(small_skewed, race_rate=0.5)
+        validate_against_reference(small_skewed, result)
+
+    def test_thread_counts_do_not_change_components(self, small_skewed):
+        ref = None
+        for threads in (1, 2, 8, 32):
+            r = thrifty_cc(small_skewed, num_threads=threads)
+            if ref is None:
+                ref = r.labels
+            assert same_partition(r.labels, ref)
+
+
+class TestTraceShape:
+    def test_thrifty_starts_with_initial_push(self, small_skewed):
+        trace = thrifty_cc(small_skewed).trace
+        assert trace.iterations[0].direction == Direction.INITIAL_PUSH
+        assert trace.iterations[0].active_vertices == 1
+
+    def test_dolp_starts_with_pull(self, small_skewed):
+        trace = dolp_cc(small_skewed).trace
+        assert trace.iterations[0].direction == Direction.PULL
+        assert trace.iterations[0].active_vertices == \
+            small_skewed.num_vertices
+
+    def test_thrifty_pull_frontier_before_pushes(self, small_skewed):
+        dirs = thrifty_cc(small_skewed).trace.directions()
+        if Direction.PUSH in dirs:
+            first_push = dirs.index(Direction.PUSH)
+            assert Direction.PULL_FRONTIER in dirs[:first_push] or \
+                Direction.INITIAL_PUSH in dirs[:first_push]
+
+    def test_convergence_curve_monotone(self, small_skewed):
+        for fn in (dolp_cc, thrifty_cc):
+            curve = fn(small_skewed).trace.convergence_curve()
+            assert all(b >= a - 1e-12
+                       for a, b in zip(curve, curve[1:]))
+            assert curve[-1] == pytest.approx(1.0)
+
+    def test_setup_counters_populated(self, small_skewed):
+        trace = thrifty_cc(small_skewed).trace
+        assert trace.setup_counters.label_writes >= \
+            small_skewed.num_vertices
+
+    def test_densities_recorded(self, small_skewed):
+        trace = dolp_cc(small_skewed).trace
+        assert trace.iterations[0].density > 1.0   # full frontier
+        assert all(r.density >= 0 for r in trace.iterations)
+
+    def test_iteration_counters_sum_to_total(self, small_skewed):
+        result = thrifty_cc(small_skewed)
+        total = result.counters()
+        per_iter = sum(r.counters.edges_processed
+                       for r in result.trace.iterations)
+        assert total.edges_processed == per_iter
+
+
+class TestSemantics:
+    def test_zero_convergence_reduces_edges(self, small_skewed):
+        with_zc = thrifty_cc(small_skewed)
+        without = thrifty_cc(small_skewed, zero_convergence=False)
+        assert with_zc.counters().edges_processed < \
+            without.counters().edges_processed
+
+    def test_thrifty_processes_far_fewer_edges_than_dolp(
+            self, small_skewed):
+        t = thrifty_cc(small_skewed).counters().edges_processed
+        d = dolp_cc(small_skewed).counters().edges_processed
+        assert t < 0.25 * d
+
+    def test_unified_never_more_iterations_than_dolp(self):
+        """On id-ascending paths the unified sweep converges faster."""
+        g = path_graph(200)
+        u = unified_dolp_cc(g).num_iterations
+        d = dolp_cc(g).num_iterations
+        assert u < d
+
+    def test_dolp_sync_pass_counted(self, small_skewed):
+        d = dolp_cc(small_skewed).counters()
+        u = unified_dolp_cc(small_skewed).counters()
+        # DO-LP pays one labels-array copy per iteration.
+        assert d.label_writes > u.label_writes
+
+    def test_star_converges_after_initial_push(self):
+        g = star_graph(50)
+        result = thrifty_cc(g)
+        # Push from the hub reaches every leaf; one confirming pull.
+        assert result.num_iterations <= 3
+        rec0 = result.trace.iterations[0]
+        assert rec0.changed_vertices == 50
+
+    def test_threshold_affects_schedule(self, small_skewed):
+        lo = thrifty_cc(small_skewed, threshold=0.001)
+        hi = thrifty_cc(small_skewed, threshold=0.5)
+        assert same_partition(lo.labels, hi.labels)
+        # A high threshold treats more frontiers as sparse -> fewer
+        # pull iterations, more pushes.
+        lo_pulls = sum(1 for d in lo.trace.directions()
+                       if d in (Direction.PULL, Direction.PULL_FRONTIER))
+        hi_pulls = sum(1 for d in hi.trace.directions()
+                       if d in (Direction.PULL, Direction.PULL_FRONTIER))
+        assert hi_pulls <= lo_pulls
+
+
+class TestOptionsValidation:
+    def test_threshold_bounds(self):
+        with pytest.raises(ValueError):
+            LPOptions(threshold=0.0)
+        with pytest.raises(ValueError):
+            LPOptions(threshold=1.5)
+
+    def test_thread_bounds(self):
+        with pytest.raises(ValueError):
+            LPOptions(num_threads=0)
+
+    def test_block_size_bounds(self):
+        with pytest.raises(ValueError):
+            LPOptions(block_size=0)
+
+    def test_max_iterations_guard(self):
+        g = path_graph(50)
+        with pytest.raises(RuntimeError, match="max_iterations"):
+            label_propagation_cc(
+                g, LPOptions(max_iterations=2, algorithm_name="t"))
+
+    def test_with_machine_retargets(self):
+        from repro.parallel import EPYC
+        opts = LPOptions().with_machine(EPYC)
+        assert opts.machine is EPYC
+        assert opts.num_threads == 128

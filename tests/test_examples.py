@@ -1,0 +1,35 @@
+"""Smoke tests: the fast examples must run end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    sys.argv = [name]
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_figure2_walkthrough(self, capsys):
+        out = run_example("figure2_walkthrough.py", capsys)
+        assert "Zero Planting" in out
+        # The paper's story: DO-LP needs 4 iterations, Thrifty 3.
+        assert "converged after 4" in out
+        assert "converged after 3" in out
+
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "all algorithms agree." in out
+        assert "initial-push" in out
+
+    def test_all_examples_importable(self):
+        """Every example compiles (full runs are exercised manually)."""
+        import py_compile
+        for path in sorted(EXAMPLES.glob("*.py")):
+            py_compile.compile(str(path), doraise=True)

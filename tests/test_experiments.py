@@ -1,0 +1,138 @@
+"""Tests for the experiment harness (small scale)."""
+
+import pytest
+
+from repro.experiments import (
+    clear_cache,
+    fig1_speedup_summary,
+    fig3_dolp_convergence,
+    fig5_work_reduction,
+    fig6_hw_counters,
+    fig7_8_convergence_comparison,
+    fig9_10_ablation,
+    format_table,
+    table1_giant_component,
+    table4_execution_times,
+    table5_iterations,
+    table6_initial_push,
+    table7_threshold,
+    timed_run,
+)
+
+SCALE = 0.12
+SMALL = ("Pkc", "WWiki")
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestRunner:
+    def test_timed_run_fields(self):
+        run = timed_run("Pkc", "thrifty", scale=SCALE)
+        assert run.total_ms > 0
+        assert run.num_iterations >= 1
+        assert 0 < run.edges_fraction < 10
+        assert run.hardware().instructions > 0
+
+    def test_memoization(self):
+        a = timed_run("Pkc", "thrifty", scale=SCALE)
+        b = timed_run("Pkc", "thrifty", scale=SCALE)
+        assert a is b
+
+    def test_kwargs_bypass_cache(self):
+        a = timed_run("Pkc", "thrifty", scale=SCALE)
+        b = timed_run("Pkc", "thrifty", scale=SCALE, threshold=0.02)
+        assert a is not b
+
+    def test_machine_by_name_or_spec(self):
+        from repro.parallel import EPYC
+        a = timed_run("Pkc", "dolp", "Epyc", scale=SCALE)
+        b = timed_run("Pkc", "dolp", EPYC, scale=SCALE)
+        assert a is b
+
+
+class TestDrivers:
+    def test_fig1(self):
+        out = fig1_speedup_summary(datasets=SMALL, scale=SCALE)
+        assert set(out) == {"sv", "bfs", "dolp", "jt", "afforest"}
+        assert all(v > 0 for v in out.values())
+
+    def test_table1(self):
+        rows = table1_giant_component(datasets=SMALL, scale=SCALE)
+        assert len(rows) == 2
+        assert all(0 <= r["vertices_pct"] <= 100 for r in rows)
+
+    def test_table4(self):
+        rows = table4_execution_times(machines=("SkylakeX",),
+                                      datasets=SMALL,
+                                      methods=("dolp", "thrifty"),
+                                      scale=SCALE)
+        assert rows[0]["SkylakeX/thrifty"] > 0
+
+    def test_table5(self):
+        rows = table5_iterations(datasets=SMALL, scale=SCALE)
+        assert all(r["thrifty"] >= 1 for r in rows)
+
+    def test_fig3(self):
+        rows = fig3_dolp_convergence("Pkc", scale=SCALE)
+        assert rows[0]["iteration"] == 0
+        assert rows[-1]["converged_pct"] == pytest.approx(100.0)
+
+    def test_fig5(self):
+        rows = fig5_work_reduction(datasets=SMALL, scale=SCALE)
+        for r in rows:
+            assert r["work_reduction_pct"] > 50
+
+    def test_fig6(self):
+        rows = fig6_hw_counters(datasets=SMALL, scale=SCALE)
+        for r in rows:
+            assert r["instructions_reduction_pct"] > 0
+
+    def test_fig7_8(self):
+        out = fig7_8_convergence_comparison("Pkc", scale=SCALE)
+        assert out["dolp"][-1] == pytest.approx(100.0)
+        assert out["thrifty"][-1] == pytest.approx(100.0)
+
+    def test_table6(self):
+        rows = table6_initial_push(datasets=SMALL, scale=SCALE)
+        for r in rows:
+            assert r["dolp_iter0_ms"] > 0
+            assert r["speedup"] > 0
+
+    def test_table7(self):
+        out = table7_threshold("Pkc", thresholds=(0.01, 0.05),
+                               scale=SCALE)
+        assert set(out) == {0.01, 0.05}
+        for rows in out.values():
+            assert rows[0]["traversal"] == "initial-push"
+
+    def test_fig9_10(self):
+        rows = fig9_10_ablation(datasets=SMALL, scale=SCALE)
+        for r in rows:
+            assert r["thrifty_ms"] <= r["dolp_ms"] * 2   # sanity
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.50" in out
+
+    def test_format_table_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+
+class TestCacheIsolation:
+    def test_clear_cache_forces_rerun(self):
+        a = timed_run("Pkc", "thrifty", scale=SCALE)
+        clear_cache()
+        b = timed_run("Pkc", "thrifty", scale=SCALE)
+        assert a is not b
+        assert a.total_ms == b.total_ms   # deterministic anyway

@@ -1,0 +1,37 @@
+"""Tests for the FastSV baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import fastsv_cc, shiloach_vishkin_cc
+from repro.validate import validate_against_reference
+
+
+class TestFastSV:
+    def test_on_zoo(self, zoo_graph):
+        validate_against_reference(zoo_graph, fastsv_cc(zoo_graph))
+
+    def test_empty(self):
+        from repro.graph import CSRGraph
+        g = CSRGraph(np.array([0]), np.empty(0, np.int64))
+        assert fastsv_cc(g).labels.size == 0
+
+    def test_processes_all_edges_each_round(self, small_skewed):
+        r = fastsv_cc(small_skewed)
+        assert r.counters().edges_processed == \
+            r.num_iterations * small_skewed.num_edges
+
+    def test_no_more_rounds_than_sv(self, small_skewed):
+        """FastSV's aggressive hooking converges at least as fast."""
+        fast = fastsv_cc(small_skewed).num_iterations
+        sv = shiloach_vishkin_cc(small_skewed).num_iterations
+        assert fast <= sv + 1
+
+    def test_labels_are_minima(self, two_triangles):
+        r = fastsv_cc(two_triangles)
+        assert r.canonical_labels().tolist() == [0, 0, 0, 3, 3, 3]
+
+    def test_trace_converges(self, small_skewed):
+        trace = fastsv_cc(small_skewed).trace
+        assert trace.iterations[-1].changed_vertices == 0
+        assert trace.iterations[-1].converged_fraction == pytest.approx(1.0)

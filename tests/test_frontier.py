@@ -1,0 +1,159 @@
+"""Tests for frontier data structures."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import star_graph
+from repro.parallel import CountOnlyFrontier, Frontier
+
+
+class TestFrontier:
+    def test_initially_empty(self, triangle):
+        f = Frontier(triangle.num_vertices)
+        assert len(f) == 0
+        assert f.num_active_edges == 0
+        assert f.density(triangle) == 0.0
+
+    def test_set_tracks_edges(self, triangle):
+        f = Frontier(triangle.num_vertices)
+        f.set(triangle, 0)
+        assert len(f) == 1
+        assert f.num_active_edges == 2
+        assert 0 in f and 1 not in f
+
+    def test_set_idempotent(self, triangle):
+        f = Frontier(triangle.num_vertices)
+        f.set(triangle, 0)
+        f.set(triangle, 0)
+        assert len(f) == 1
+
+    def test_set_many_with_duplicates(self, triangle):
+        f = Frontier(triangle.num_vertices)
+        f.set_many(triangle, np.array([0, 1, 1, 0]))
+        assert len(f) == 2
+        assert f.num_active_edges == 4
+
+    def test_full(self, triangle):
+        f = Frontier.full(triangle)
+        assert len(f) == 3
+        assert f.num_active_edges == triangle.num_edges
+        assert f.density(triangle) > 1.0
+
+    def test_density_formula(self):
+        g = star_graph(10)   # |E| = 20 directed
+        f = Frontier.of_vertices(g, np.array([0]))
+        # (|F.V| + |F.E|)/|E| = (1 + 10)/20
+        assert f.density(g) == pytest.approx(11 / 20)
+
+    def test_vertices_sorted(self, triangle):
+        f = Frontier.of_vertices(triangle, np.array([2, 0]))
+        assert np.array_equal(f.vertices(), [0, 2])
+
+    def test_reset(self, triangle):
+        f = Frontier.full(triangle)
+        f.reset()
+        assert len(f) == 0
+        assert f.num_active_edges == 0
+
+    def test_swap(self, triangle):
+        a = Frontier.full(triangle)
+        b = Frontier(triangle.num_vertices)
+        a.swap(b)
+        assert len(a) == 0
+        assert len(b) == 3
+
+    def test_bitmap_readonly(self, triangle):
+        f = Frontier.full(triangle)
+        with pytest.raises(ValueError):
+            f.bitmap()[0] = False
+
+
+class TestCountOnlyFrontier:
+    def test_accumulates(self):
+        c = CountOnlyFrontier()
+        c.add(3, 10)
+        c.add(2, 5)
+        assert len(c) == 5
+        assert c.num_active_edges == 15
+
+    def test_density(self, triangle):
+        c = CountOnlyFrontier()
+        c.add(1, 2)
+        assert c.density(triangle) == pytest.approx(3 / 6)
+
+    def test_negative_rejected(self):
+        c = CountOnlyFrontier()
+        with pytest.raises(ValueError):
+            c.add(-1, 0)
+
+    def test_reset(self):
+        c = CountOnlyFrontier()
+        c.add(1, 1)
+        c.reset()
+        assert len(c) == 0
+
+
+class TestAdaptiveFrontier:
+    def make(self, n=1000, switch=0.02):
+        from repro.parallel import AdaptiveFrontier
+        return AdaptiveFrontier(n, switch_density=switch)
+
+    def test_starts_sparse(self):
+        f = self.make()
+        assert f.mode == "worklist"
+        assert len(f) == 0
+
+    def test_membership_both_modes(self):
+        f = self.make(100, switch=0.1)
+        f.add(np.array([3, 7]))
+        assert 3 in f and 5 not in f
+        f.add(np.arange(50))          # force bitmap
+        assert f.mode == "bitmap"
+        assert 3 in f and 99 not in f
+
+    def test_switches_to_bitmap_when_dense(self):
+        f = self.make(100, switch=0.05)
+        f.add(np.arange(10))
+        assert f.mode == "bitmap"
+        assert f.conversions == 1
+
+    def test_hysteresis_switch_back(self):
+        f = self.make(100, switch=0.1)
+        f.add(np.arange(20))
+        assert f.mode == "bitmap"
+        f.remove(np.arange(8, 20))    # 12/100 > 5%: stays bitmap
+        assert f.mode == "bitmap"
+        f.remove(np.arange(4, 8))     # 4/100 <= 5%: back to worklist
+        assert f.mode == "worklist"
+        assert f.conversions == 2
+        assert f.vertices().tolist() == [0, 1, 2, 3]
+
+    def test_vertices_sorted_in_both_modes(self):
+        f = self.make(50, switch=0.5)
+        f.add(np.array([9, 2, 5]))
+        assert f.vertices().tolist() == [2, 5, 9]
+        f.add(np.arange(30))
+        assert f.mode == "bitmap"
+        assert np.all(np.diff(f.vertices()) > 0)
+
+    def test_duplicates_ignored(self):
+        f = self.make(100, switch=0.5)
+        f.add(np.array([1, 1, 1]))
+        assert len(f) == 1
+
+    def test_out_of_range_rejected(self):
+        f = self.make(10)
+        with pytest.raises(ValueError):
+            f.add(np.array([10]))
+
+    def test_clear_resets_to_sparse(self):
+        f = self.make(100, switch=0.01)
+        f.add(np.arange(50))
+        f.clear()
+        assert f.mode == "worklist"
+        assert len(f) == 0
+
+    def test_switch_density_validation(self):
+        from repro.parallel import AdaptiveFrontier
+        with pytest.raises(ValueError):
+            AdaptiveFrontier(10, switch_density=0.0)

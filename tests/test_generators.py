@@ -1,0 +1,231 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    component_labels_reference,
+    component_sizes,
+    degree_stats,
+    estimate_diameter,
+    giant_component_fraction,
+    is_skewed,
+)
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    chung_lu_edges,
+    chung_lu_graph,
+    cycle_graph,
+    disjoint_union,
+    erdos_renyi_graph,
+    grid_edges,
+    path_graph,
+    power_law_weights,
+    rmat_edges,
+    rmat_graph,
+    road_network_graph,
+    star_graph,
+    with_dust_components,
+    with_tendrils,
+)
+from repro.validate import check_labels_consistent
+
+
+class TestRmat:
+    def test_deterministic(self):
+        a = rmat_edges(8, 500, seed=3)
+        b = rmat_edges(8, 500, seed=3)
+        assert np.array_equal(a.src, b.src)
+        assert np.array_equal(a.dst, b.dst)
+
+    def test_seed_changes_output(self):
+        a = rmat_edges(8, 500, seed=3)
+        b = rmat_edges(8, 500, seed=4)
+        assert not np.array_equal(a.src, b.src)
+
+    def test_vertex_range(self):
+        e = rmat_edges(6, 300, seed=1)
+        assert e.num_vertices == 64
+        assert e.src.max() < 64
+
+    def test_skewed_output(self):
+        assert is_skewed(rmat_graph(10, 16, seed=2))
+
+    def test_uniform_parameters_not_skewed(self):
+        g = rmat_graph(10, 8, a=0.25, b=0.25, c=0.25, seed=2)
+        assert not is_skewed(g)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            rmat_edges(4, 10, a=0.9, b=0.9, c=0.9)
+
+    def test_negative_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            rmat_edges(-1, 10)
+
+    def test_scale_zero(self):
+        e = rmat_edges(0, 5, seed=0)
+        assert e.num_vertices == 1
+        assert np.all(e.src == 0)
+
+
+class TestChungLu:
+    def test_weights_power_law(self):
+        w = power_law_weights(20000, 2.1, seed=0)
+        assert w.min() >= 1.0
+        # Heavy tail: max should dwarf the median.
+        assert w.max() > 20 * np.median(w)
+
+    def test_weights_capped(self):
+        w = power_law_weights(5000, 2.0, max_weight=10.0, seed=0)
+        assert w.max() <= 10.0
+
+    def test_bad_exponent(self):
+        with pytest.raises(ValueError, match="exponent"):
+            power_law_weights(10, 1.0)
+
+    def test_edges_respect_weights(self):
+        # A vertex with overwhelming weight should catch most endpoints.
+        w = np.ones(100)
+        w[7] = 1e6
+        e = chung_lu_edges(w, 2000, seed=1)
+        share = np.mean(np.concatenate([e.src, e.dst]) == 7)
+        assert share > 0.9
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            chung_lu_edges(np.array([1.0, -1.0]), 10)
+
+    def test_graph_is_skewed(self, small_social):
+        assert is_skewed(small_social)
+
+    def test_average_degree_approx(self):
+        g = chung_lu_graph(2000, 12.0, seed=3)
+        # Dedup and zero-degree removal shift it, but not wildly.
+        assert 6.0 < float(g.degrees.mean()) < 14.0
+
+
+class TestBarabasiAlbert:
+    def test_connected(self):
+        g = barabasi_albert_graph(400, 4, seed=1)
+        assert len(component_sizes(g)) == 1
+
+    def test_edge_count(self):
+        n, m = 200, 5
+        g = barabasi_albert_graph(n, m, seed=2)
+        expected = m * (m + 1) // 2 + (n - m - 1) * m
+        assert g.num_undirected_edges == expected
+
+    def test_skewed(self):
+        assert is_skewed(barabasi_albert_graph(2000, 8, seed=3))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="attach"):
+            barabasi_albert_graph(10, 0)
+        with pytest.raises(ValueError, match="exceed"):
+            barabasi_albert_graph(4, 8)
+
+
+class TestErdosRenyi:
+    def test_degree_concentrated(self):
+        g = erdos_renyi_graph(2000, 10.0, seed=4)
+        s = degree_stats(g)
+        assert s.max < 5 * s.mean
+
+
+class TestRoad:
+    def test_grid_edges_count(self):
+        e = grid_edges(3, 4)
+        # horizontal: 3*3, vertical: 2*4
+        assert e.num_edges == 17
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError, match="1x1"):
+            grid_edges(0, 5)
+
+    def test_degree_range(self, small_road):
+        assert small_road.degrees.max() <= 6  # lattice + few shortcuts
+
+    def test_high_diameter(self):
+        g = road_network_graph(40, 40, seed=5)
+        assert estimate_diameter(g) > 30
+
+    def test_not_skewed(self, small_road):
+        assert not is_skewed(small_road)
+
+    def test_path_and_cycle(self):
+        assert path_graph(5).num_undirected_edges == 4
+        assert cycle_graph(5).num_undirected_edges == 5
+        with pytest.raises(ValueError):
+            path_graph(0)
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+
+class TestStitched:
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 6
+        assert g.degree(3) == 1
+        with pytest.raises(ValueError):
+            star_graph(0)
+
+    def test_disjoint_union_components_add(self):
+        g = disjoint_union([star_graph(4), cycle_graph(5)])
+        assert len(component_sizes(g)) == 2
+        assert g.num_vertices == 10
+
+    def test_disjoint_union_empty_list(self):
+        with pytest.raises(ValueError):
+            disjoint_union([])
+
+    def test_dust_adds_components(self):
+        base = star_graph(5)
+        g = with_dust_components(base, 7, seed=1)
+        assert len(component_sizes(g)) == 8
+
+    def test_dust_zero_noop(self):
+        base = star_graph(5)
+        assert with_dust_components(base, 0) is base
+
+    def test_dust_preserves_base(self):
+        base = cycle_graph(6)
+        g = with_dust_components(base, 3, seed=2)
+        for v in range(6):
+            assert np.array_equal(g.neighbors(v), base.neighbors(v))
+
+
+class TestTendrils:
+    def test_stay_connected_to_base(self):
+        base = star_graph(10)
+        g = with_tendrils(base, 5, min_depth=3, max_depth=6, seed=3)
+        assert len(component_sizes(g)) == 1
+
+    def test_increase_diameter(self):
+        base = star_graph(30)
+        g = with_tendrils(base, 4, min_depth=15, max_depth=15, seed=4,
+                          permute_fraction=0.0)
+        assert estimate_diameter(g) >= 16
+
+    def test_symmetric_output(self):
+        base = cycle_graph(8)
+        g = with_tendrils(base, 3, min_depth=2, max_depth=5, seed=5)
+        assert g.to_edge_list().is_symmetric()
+        check_labels_consistent(g, component_labels_reference(g))
+
+    def test_permute_fraction_bounds(self):
+        with pytest.raises(ValueError, match="permute_fraction"):
+            with_tendrils(star_graph(3), 1, permute_fraction=1.5)
+
+    def test_zero_noop(self):
+        base = star_graph(3)
+        assert with_tendrils(base, 0) is base
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError, match="depth"):
+            with_tendrils(star_graph(3), 1, min_depth=5, max_depth=2)
+
+    def test_vertex_budget(self):
+        base = cycle_graph(10)
+        g = with_tendrils(base, 6, min_depth=4, max_depth=4, seed=6)
+        assert g.num_vertices == 10 + 24

@@ -1,0 +1,64 @@
+"""Tests for K-Level Asynchronous label propagation."""
+
+import numpy as np
+import pytest
+
+from repro.core import KLAOptions, kla_cc
+from repro.graph.generators import path_graph
+from repro.validate import validate_against_reference
+
+
+class TestKLA:
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_correct_on_zoo(self, k, zoo_graph):
+        r = kla_cc(zoo_graph, KLAOptions(k=k))
+        validate_against_reference(zoo_graph, r)
+
+    def test_k1_is_synchronous(self):
+        """k=1 supersteps equal the synchronous iteration count."""
+        g = path_graph(30)
+        r = kla_cc(g, KLAOptions(k=1, zero_planting=False))
+        # Path 0..29 with identity labels: 29 propagation rounds + the
+        # final no-change round.
+        assert r.num_iterations == 30
+
+    def test_supersteps_shrink_with_k(self, small_skewed):
+        steps = [kla_cc(small_skewed, KLAOptions(k=k)).num_iterations
+                 for k in (1, 4, 16)]
+        assert steps[0] >= steps[1] >= steps[2]
+        assert steps[0] > steps[2]
+
+    def test_k_bounds_inner_hops(self):
+        g = path_graph(64)
+        r1 = kla_cc(g, KLAOptions(k=1, zero_planting=False))
+        r8 = kla_cc(g, KLAOptions(k=8, zero_planting=False))
+        # k=8 needs ~1/8 of the barriers.
+        assert r8.num_iterations <= r1.num_iterations // 4
+
+    def test_edge_work_bounded(self, small_skewed):
+        """Asynchrony must not blow up total edge work."""
+        e1 = kla_cc(small_skewed,
+                    KLAOptions(k=1)).counters().edges_processed
+        e16 = kla_cc(small_skewed,
+                     KLAOptions(k=16)).counters().edges_processed
+        assert e16 <= 1.5 * e1
+
+    def test_zero_convergence_cuts_edges(self, small_skewed):
+        with_zc = kla_cc(small_skewed, KLAOptions(k=4))
+        without = kla_cc(small_skewed,
+                         KLAOptions(k=4, zero_convergence=False))
+        assert with_zc.counters().edges_processed < \
+            without.counters().edges_processed
+
+    def test_empty_graph(self):
+        from repro.graph import CSRGraph
+        g = CSRGraph(np.array([0]), np.empty(0, np.int64))
+        assert kla_cc(g).labels.size == 0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            KLAOptions(k=0)
+
+    def test_algorithm_name_carries_k(self, triangle):
+        assert kla_cc(triangle,
+                      KLAOptions(k=3)).algorithm == "kla-lp[k=3]"

@@ -1,0 +1,71 @@
+"""Tests for label initialization (identity and Zero Planting)."""
+
+import numpy as np
+import pytest
+
+from repro.core.labels import (
+    identity_labels,
+    thread_local_max_degree,
+    zero_planted_labels,
+)
+from repro.graph.generators import rmat_graph, star_graph
+from repro.instrument import OpCounters
+from repro.parallel import edge_balanced_partitions
+
+
+class TestIdentityLabels:
+    def test_values(self):
+        assert np.array_equal(identity_labels(4), [0, 1, 2, 3])
+
+    def test_distinct(self):
+        labels = identity_labels(100)
+        assert np.unique(labels).size == 100
+
+
+class TestZeroPlanting:
+    def test_hub_gets_zero(self):
+        g = star_graph(8)
+        labels, hub = zero_planted_labels(g)
+        assert hub == 0
+        assert labels[0] == 0
+        assert np.array_equal(labels[1:], np.arange(2, 10))
+
+    def test_labels_distinct(self):
+        g = rmat_graph(7, 8, seed=1)
+        labels, _ = zero_planted_labels(g)
+        assert np.unique(labels).size == g.num_vertices
+
+    def test_zero_is_unique_minimum(self):
+        g = rmat_graph(7, 8, seed=2)
+        labels, hub = zero_planted_labels(g)
+        assert labels.min() == 0
+        assert int(np.argmin(labels)) == hub
+
+    def test_thread_local_reduction_matches_argmax(self):
+        for seed in (3, 4, 5):
+            g = rmat_graph(8, 8, seed=seed)
+            for threads in (1, 2, 8):
+                p = edge_balanced_partitions(g, threads)
+                assert thread_local_max_degree(g, p) == \
+                    g.max_degree_vertex()
+
+    def test_partitioned_variant_same_hub(self):
+        g = rmat_graph(7, 8, seed=6)
+        p = edge_balanced_partitions(g, 4)
+        l1, h1 = zero_planted_labels(g)
+        l2, h2 = zero_planted_labels(g, p)
+        assert h1 == h2
+        assert np.array_equal(l1, l2)
+
+    def test_counters_charged(self):
+        g = star_graph(10)
+        c = OpCounters()
+        zero_planted_labels(g, counters=c)
+        assert c.label_writes == g.num_vertices
+        assert c.sequential_accesses > 0
+
+    def test_empty_graph_raises(self):
+        from repro.graph import CSRGraph
+        g = CSRGraph(np.array([0]), np.empty(0, np.int64))
+        with pytest.raises(ValueError):
+            zero_planted_labels(g)

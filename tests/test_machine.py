@@ -1,0 +1,77 @@
+"""Tests for MachineSpec."""
+
+import pytest
+
+from repro.parallel import EPYC, MACHINES, SKYLAKEX, MachineSpec
+
+
+class TestPaperMachines:
+    def test_table3_skylakex(self):
+        assert SKYLAKEX.cores == 32
+        assert SKYLAKEX.numa_nodes == 2
+        assert SKYLAKEX.frequency_ghz == pytest.approx(2.10)
+
+    def test_table3_epyc(self):
+        assert EPYC.cores == 128
+        assert EPYC.numa_nodes == 8
+        assert EPYC.memory_gb == 2048
+
+    def test_registry(self):
+        assert set(MACHINES) == {"SkylakeX", "Epyc"}
+
+    def test_total_l3(self):
+        # 2 sockets x 22 MB per 16-core group.
+        assert SKYLAKEX.total_l3_mb == pytest.approx(44.0)
+        # 128 cores / 4 cores per CCX x 16 MB.
+        assert EPYC.total_l3_mb == pytest.approx(512.0)
+
+
+class TestTopology:
+    def test_numa_node_of(self):
+        assert SKYLAKEX.numa_node_of(0) == 0
+        assert SKYLAKEX.numa_node_of(16) == 1
+        assert EPYC.numa_node_of(127) == 7
+
+    def test_numa_node_bounds(self):
+        with pytest.raises(ValueError):
+            SKYLAKEX.numa_node_of(32)
+
+    def test_cores_per_node(self):
+        assert SKYLAKEX.cores_per_numa_node == 16
+        assert EPYC.cores_per_numa_node == 16
+
+
+class TestEffectiveParallelism:
+    def test_capped_by_cores(self):
+        assert SKYLAKEX.effective_parallelism(10**9) \
+            <= SKYLAKEX.cores
+
+    def test_capped_by_work(self):
+        p = SKYLAKEX.effective_parallelism(3, grain=1)
+        assert p <= 3
+
+    def test_at_least_one(self):
+        assert SKYLAKEX.effective_parallelism(0) == 1.0
+        assert SKYLAKEX.effective_parallelism(1, grain=100) >= 1.0
+
+    def test_grain_respected(self):
+        small = SKYLAKEX.effective_parallelism(4096, grain=4096)
+        big = SKYLAKEX.effective_parallelism(4096 * 32, grain=4096)
+        assert big > small
+
+
+class TestValidation:
+    def test_cores_divide_numa(self):
+        with pytest.raises(ValueError, match="divide"):
+            MachineSpec("bad", cores=10, numa_nodes=3,
+                        frequency_ghz=2.0, l1_kb_per_core=32,
+                        l2_kb_per_core=512, l3_mb_per_group=8,
+                        cores_per_l3_group=4, memory_gb=64)
+
+    def test_efficiency_bounds(self):
+        with pytest.raises(ValueError, match="efficiency"):
+            MachineSpec("bad", cores=4, numa_nodes=1,
+                        frequency_ghz=2.0, l1_kb_per_core=32,
+                        l2_kb_per_core=512, l3_mb_per_group=8,
+                        cores_per_l3_group=4, memory_gb=64,
+                        parallel_efficiency=0.0)

@@ -1,0 +1,68 @@
+"""Tests for the hardware-counter proxy model."""
+
+import pytest
+
+from repro.instrument import OpCounters, model_hardware_counters, \
+    random_miss_rate
+from repro.parallel import EPYC, SKYLAKEX
+
+
+def work(edges=1000, vertices=100):
+    c = OpCounters()
+    c.record_pull_scan(edges, vertices)
+    return c
+
+
+class TestMissRate:
+    def test_fits_in_cache(self):
+        # 1000 vertices * 4B = 4 KB << 44 MB L3.
+        assert random_miss_rate(SKYLAKEX, 4_000) == 0.0
+
+    def test_exceeds_cache(self):
+        r = random_miss_rate(SKYLAKEX, 10 * 44 * 1024 * 1024)
+        assert 0.85 < r < 0.95
+
+    def test_monotone_in_working_set(self):
+        rates = [random_miss_rate(SKYLAKEX, ws)
+                 for ws in (10**6, 10**8, 10**10)]
+        assert rates == sorted(rates)
+
+    def test_zero_working_set(self):
+        assert random_miss_rate(SKYLAKEX, 0) == 0.0
+
+
+class TestProxyModel:
+    def test_memory_accesses_passthrough(self):
+        c = work()
+        hw = model_hardware_counters(c, SKYLAKEX, 10**6)
+        assert hw.memory_accesses == c.memory_accesses
+
+    def test_more_work_more_events(self):
+        small = model_hardware_counters(work(100, 10), SKYLAKEX, 10**7)
+        big = model_hardware_counters(work(10_000, 1000), SKYLAKEX, 10**7)
+        for k in ("llc_misses", "branch_mispredictions", "instructions"):
+            assert big.as_dict()[k] > small.as_dict()[k]
+
+    def test_small_graph_no_random_misses(self):
+        hw = model_hardware_counters(work(), SKYLAKEX, 100)
+        # Only the sequential 1/16-per-line misses remain.
+        c = work()
+        assert hw.llc_misses == int(c.sequential_accesses * 4 / 64)
+
+    def test_bigger_cache_fewer_misses(self):
+        c = work(100_000, 1000)
+        n = 50_000_000   # 200 MB labels: misses on both machines
+        sk = model_hardware_counters(c, SKYLAKEX, n)
+        ep = model_hardware_counters(c, EPYC, n)
+        assert ep.llc_misses < sk.llc_misses   # Epyc has 512 MB L3
+
+    def test_instructions_scale_with_edges(self):
+        a = model_hardware_counters(work(1000, 0), SKYLAKEX, 10**6)
+        b = model_hardware_counters(work(2000, 0), SKYLAKEX, 10**6)
+        assert b.instructions == pytest.approx(2 * a.instructions, rel=0.01)
+
+    def test_as_dict_keys(self):
+        hw = model_hardware_counters(work(), SKYLAKEX, 10**6)
+        assert set(hw.as_dict()) == {
+            "memory_accesses", "llc_misses",
+            "branch_mispredictions", "instructions"}

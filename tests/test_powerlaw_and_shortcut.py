@@ -1,0 +1,67 @@
+"""Tests for the power-law MLE and the shortcutting-LP baseline."""
+
+import numpy as np
+import pytest
+
+from repro import connected_components
+from repro.baselines import lp_shortcut_cc
+from repro.graph import load_dataset
+from repro.graph.generators import chung_lu_graph, path_graph, \
+    road_network_graph
+from repro.graph.properties import estimate_power_law_exponent
+from repro.validate import validate_against_reference
+
+
+class TestPowerLawExponent:
+    def test_recovers_generated_exponent(self):
+        # Chung-Lu with gamma=2.3 should estimate near 2.3.
+        g = chung_lu_graph(30_000, 12.0, exponent=2.3, seed=5)
+        gamma = estimate_power_law_exponent(g, k_min=6)
+        assert 1.8 < gamma < 2.9
+
+    def test_road_network_no_power_law(self):
+        g = road_network_graph(60, 60, seed=6)
+        # k_min above the degree bulk (roads: 2-4): no tail remains,
+        # so the MLE blows up.
+        gamma = estimate_power_law_exponent(g, k_min=4)
+        assert gamma > 4.0
+
+    def test_degenerate_graph(self):
+        g = path_graph(3)
+        assert estimate_power_law_exponent(g, k_min=10) == float("inf")
+
+    @pytest.mark.parametrize("name", ["Twtr", "SK"])
+    def test_surrogates_in_realistic_range(self, name):
+        g = load_dataset(name, 0.4)
+        gamma = estimate_power_law_exponent(g, k_min=4)
+        assert 1.5 < gamma < 3.5, name
+
+
+class TestLPShortcut:
+    def test_on_zoo(self, zoo_graph):
+        validate_against_reference(zoo_graph, lp_shortcut_cc(zoo_graph))
+
+    def test_shortcutting_collapses_paths(self):
+        """Pointer jumping turns O(n) LP rounds into O(log n)."""
+        g = path_graph(512)
+        plain = lp_shortcut_cc(g, shortcut_depth=0).num_iterations
+        jumped = lp_shortcut_cc(g, shortcut_depth=4).num_iterations
+        assert plain == 512
+        assert jumped <= 8
+
+    def test_depth_validation(self, triangle):
+        with pytest.raises(ValueError):
+            lp_shortcut_cc(triangle, shortcut_depth=-1)
+
+    def test_registered_in_api(self, small_skewed):
+        r = connected_components(small_skewed, "lp-shortcut")
+        validate_against_reference(small_skewed, r)
+
+    def test_labels_are_minima(self, two_triangles):
+        r = lp_shortcut_cc(two_triangles)
+        assert r.canonical_labels().tolist() == [0, 0, 0, 3, 3, 3]
+
+    def test_empty(self):
+        from repro.graph import CSRGraph
+        g = CSRGraph(np.array([0]), np.empty(0, np.int64))
+        assert lp_shortcut_cc(g).labels.size == 0

@@ -1,0 +1,85 @@
+"""Tests for structural graph property measurement."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    component_labels_reference,
+    component_sizes,
+    degree_stats,
+    estimate_diameter,
+    giant_component_fraction,
+    is_skewed,
+    max_degree_component_fraction,
+)
+from repro.graph.generators import path_graph, cycle_graph, star_graph
+
+
+class TestDegreeStats:
+    def test_star(self):
+        s = degree_stats(star_graph(50))
+        assert s.max == 50
+        assert s.min == 1
+        assert s.mean == pytest.approx(100 / 51)
+        assert s.skew_ratio > 20
+
+    def test_path_uniform(self):
+        s = degree_stats(path_graph(100))
+        assert s.max == 2
+        assert s.gini < 0.05
+
+    def test_gini_bounds(self, small_social, small_road):
+        for g in (small_social, small_road):
+            s = degree_stats(g)
+            assert 0.0 <= s.gini <= 1.0
+
+    def test_top1pct_share_sums(self, small_social):
+        s = degree_stats(small_social)
+        assert 0.0 < s.top1pct_edge_share <= 1.0
+
+
+class TestSkewHeuristic:
+    def test_star_is_skewed(self):
+        assert is_skewed(star_graph(200))
+
+    def test_road_not_skewed(self, small_road):
+        assert not is_skewed(small_road)
+
+    def test_uniform_not_skewed(self, small_uniform):
+        assert not is_skewed(small_uniform)
+
+    def test_power_law_skewed(self, small_social):
+        assert is_skewed(small_social)
+
+
+class TestComponents:
+    def test_two_triangles(self, two_triangles):
+        sizes = component_sizes(two_triangles)
+        assert np.array_equal(sizes, [3, 3])
+
+    def test_giant_fraction(self, two_triangles):
+        assert giant_component_fraction(two_triangles) == pytest.approx(0.5)
+
+    def test_max_degree_fraction_on_star(self):
+        assert max_degree_component_fraction(star_graph(9)) == 1.0
+
+    def test_labels_reference_partitions(self, two_triangles):
+        labels = component_labels_reference(two_triangles)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+
+class TestDiameter:
+    def test_path_exact(self):
+        assert estimate_diameter(path_graph(50)) == 49
+
+    def test_cycle_half(self):
+        assert estimate_diameter(cycle_graph(40)) == 20
+
+    def test_star_small(self):
+        assert estimate_diameter(star_graph(30)) == 2
+
+    def test_lower_bound_on_road(self, small_road):
+        # 24x18 grid: diameter >= rows+cols-ish even with shortcuts
+        assert estimate_diameter(small_road) >= 20

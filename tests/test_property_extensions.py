@@ -1,0 +1,76 @@
+"""Property-based tests for the extension subsystems."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import random_relabel, relabel
+from repro.connectit import connectit_cc
+from repro.core import KLAOptions, kla_cc
+from repro.distributed import DistributedLPOptions, distributed_cc
+from repro.graph import build_graph, from_pairs
+from repro.graph.properties import component_labels_reference
+from repro.validate import same_partition
+
+
+@st.composite
+def graphs(draw, max_vertices=20, max_edges=50):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    pairs = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        min_size=m, max_size=m))
+    return build_graph(from_pairs(pairs, n), drop_zero_degree=False)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(), st.integers(1, 6))
+def test_distributed_matches_oracle_any_rank_count(g, ranks):
+    r = distributed_cc(g, DistributedLPOptions(num_ranks=ranks))
+    assert same_partition(r.labels, component_labels_reference(g))
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(), st.booleans(), st.booleans(), st.booleans())
+def test_distributed_flags_never_break_correctness(g, zp, zc, dd):
+    opts = DistributedLPOptions(num_ranks=3, zero_planting=zp,
+                                zero_convergence=zc, dedup_sends=dd)
+    r = distributed_cc(g, opts)
+    assert same_partition(r.labels, component_labels_reference(g))
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(), st.sampled_from(["kout", "bfs", "ldd", "none"]),
+       st.sampled_from(["skip-giant", "all-edges", "thrifty-pull"]),
+       st.integers(0, 3))
+def test_connectit_space_correct_on_random_graphs(g, sampling, finish,
+                                                  seed):
+    r = connectit_cc(g, sampling=sampling, finish=finish, seed=seed)
+    assert same_partition(r.labels, component_labels_reference(g))
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(), st.integers(1, 10), st.booleans())
+def test_kla_any_depth_correct(g, k, planting):
+    r = kla_cc(g, KLAOptions(k=k, zero_planting=planting))
+    assert same_partition(r.labels, component_labels_reference(g))
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs(), st.integers(0, 2**31 - 1))
+def test_relabel_preserves_components(g, seed):
+    g2, perm = random_relabel(g, seed=seed)
+    ref = component_labels_reference(g)
+    ref2 = component_labels_reference(g2)
+    assert same_partition(ref2[perm], ref)
+    # Degrees are permutation-equivariant.
+    assert np.array_equal(g2.degrees[perm], g.degrees)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs())
+def test_relabel_roundtrip_inverse(g):
+    g2, perm = random_relabel(g, seed=1)
+    inverse = np.argsort(perm)
+    g3, _ = relabel(g2, inverse.astype(np.int64))
+    assert np.array_equal(g3.indptr, g.indptr)
+    assert np.array_equal(g3.indices, g.indices)

@@ -1,0 +1,61 @@
+"""Tests for the trial protocol and report generator."""
+
+import pytest
+
+from repro.experiments import TrialStats, generate_report, run_trials
+from repro.graph import load_dataset
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return load_dataset("Pkc", 0.15)
+
+
+class TestRunTrials:
+    def test_verified_trials(self, small_graph):
+        st = run_trials(small_graph, "thrifty", num_trials=3)
+        assert st.num_trials == 3
+        assert st.verified
+        assert st.mean_ms > 0
+
+    def test_deterministic_algorithms_zero_variance(self, small_graph):
+        st = run_trials(small_graph, "dolp", num_trials=3)
+        assert st.stdev_ms == 0.0
+        assert st.min_ms == st.max_ms
+
+    def test_seeded_algorithms_get_distinct_seeds(self, small_graph):
+        st = run_trials(small_graph, "jt", num_trials=4, seed_base=10)
+        assert st.num_trials == 4
+        # Distinct seeds can change find-path work, but not by much;
+        # the important property is every trial verified.
+        assert all(t > 0 for t in st.trials)
+
+    def test_bad_trial_count(self, small_graph):
+        with pytest.raises(ValueError):
+            run_trials(small_graph, "thrifty", num_trials=0)
+
+    def test_iterations_recorded(self, small_graph):
+        st = run_trials(small_graph, "thrifty", num_trials=2)
+        assert len(st.iterations) == 2
+        assert st.iterations[0] == st.iterations[1]
+
+    def test_stats_empty(self):
+        st = TrialStats(method="x", machine="SkylakeX")
+        assert st.mean_ms == 0.0
+        assert st.stdev_ms == 0.0
+
+
+class TestReport:
+    def test_generates_markdown(self):
+        text = generate_report(scale=0.08)
+        assert text.startswith("# Thrifty reproduction report")
+        for section in ("Figure 1", "Table I", "Table IV", "Table V",
+                        "Figure 5", "Table VII", "Figures 9/10"):
+            assert section in text
+
+    def test_cli_report_command(self, tmp_path):
+        from repro.cli import main
+        out = tmp_path / "r.md"
+        assert main(["report", "--out", str(out),
+                     "--scale", "0.08"]) == 0
+        assert out.read_text().startswith("# Thrifty")

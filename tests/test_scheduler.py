@@ -1,0 +1,94 @@
+"""Tests for the deterministic work-stealing scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import path_graph, rmat_graph
+from repro.parallel import (
+    EPYC,
+    SKYLAKEX,
+    WorkStealingScheduler,
+    edge_balanced_partitions,
+)
+
+
+def make_sched(num_threads=4, ppt=4, n=2000):
+    g = path_graph(n)
+    p = edge_balanced_partitions(g, num_threads,
+                                 partitions_per_thread=ppt)
+    return WorkStealingScheduler(p, SKYLAKEX), p
+
+
+class TestSchedule:
+    def test_every_partition_exactly_once(self):
+        sched, p = make_sched()
+        order = sched.partition_order()
+        assert sorted(order.tolist()) == list(range(p.num_partitions))
+
+    def test_deterministic(self):
+        s1, _ = make_sched()
+        s2, _ = make_sched()
+        assert np.array_equal(s1.partition_order(), s2.partition_order())
+
+    def test_no_steals_with_equal_work(self):
+        sched, _ = make_sched()
+        assert not any(s.stolen for s in sched.schedule())
+
+    def test_own_partitions_ascending(self):
+        sched, p = make_sched()
+        steps = sched.schedule()
+        for t in range(p.num_threads):
+            own = [s.partition_id for s in steps
+                   if s.thread_id == t and not s.stolen]
+            assert own == sorted(own)
+
+    def test_stealing_under_imbalance(self):
+        sched, p = make_sched(num_threads=2, ppt=4)
+        # Thread 0's partitions are 100x heavier.
+        work = np.ones(p.num_partitions)
+        work[:4] = 100.0
+        steps = sched.schedule(work)
+        stolen = [s for s in steps if s.stolen]
+        assert stolen, "imbalanced work must trigger steals"
+        # Steals take the victim's highest-numbered unclaimed partition.
+        assert stolen[0].partition_id == 3
+
+    def test_makespan_bounds(self):
+        sched, p = make_sched(num_threads=4, ppt=2)
+        work = np.arange(1.0, p.num_partitions + 1)
+        serial = float(work.sum())
+        span = sched.makespan(work)
+        assert span <= serial
+        assert span >= serial / p.num_threads
+
+    def test_work_validation(self):
+        sched, p = make_sched()
+        with pytest.raises(ValueError, match="one entry"):
+            sched.schedule(np.ones(3))
+        with pytest.raises(ValueError, match="non-negative"):
+            sched.schedule(np.full(p.num_partitions, -1.0))
+
+    def test_too_many_threads_rejected(self):
+        g = path_graph(100)
+        p = edge_balanced_partitions(g, 64, partitions_per_thread=1)
+        with pytest.raises(ValueError, match="exceed"):
+            WorkStealingScheduler(p, SKYLAKEX)   # 64 > 32 cores
+
+    def test_numa_local_victim_preferred(self):
+        # Epyc: 8 NUMA nodes, 16 cores each. Thread 1 (node 0) should
+        # steal from thread 0 (node 0) over thread 16 (node 1) when
+        # both have equal leftover work.
+        g = path_graph(20_000)
+        p = edge_balanced_partitions(g, 32, partitions_per_thread=2)
+        sched = WorkStealingScheduler(p, EPYC)
+        work = np.ones(p.num_partitions)
+        # Make thread 1 finish instantly, thread 0 and 16 slow.
+        work[2:4] = 0.001          # thread 1's own partitions
+        work[0:2] = 50.0           # thread 0
+        work[32:34] = 50.0         # thread 16
+        steps = sched.schedule(work)
+        first_steal = next(s for s in steps
+                           if s.stolen and s.thread_id == 1)
+        victim_partition = first_steal.partition_id
+        assert p.owner_of(victim_partition) // (32 // 8) == 0, \
+            "thread 1 should steal within its NUMA node"

@@ -1,0 +1,49 @@
+"""Tests for run traces."""
+
+from repro.instrument import Direction, IterationRecord, OpCounters, RunTrace
+
+
+def rec(i, direction=Direction.PULL, edges=10, converged=0.5):
+    c = OpCounters(edges_processed=edges, iterations=1)
+    return IterationRecord(index=i, direction=direction, density=0.5,
+                           active_vertices=5, active_edges=20,
+                           changed_vertices=3,
+                           converged_fraction=converged, counters=c)
+
+
+class TestRunTrace:
+    def test_totals_include_setup(self):
+        t = RunTrace("x")
+        t.setup_counters.label_writes = 7
+        t.add(rec(0))
+        t.add(rec(1))
+        total = t.total_counters()
+        assert total.label_writes == 7
+        assert total.edges_processed == 20
+        assert total.iterations == 2
+
+    def test_total_edges(self):
+        t = RunTrace("x")
+        t.add(rec(0, edges=3))
+        t.add(rec(1, edges=4))
+        assert t.total_edges_processed() == 7
+
+    def test_convergence_curve(self):
+        t = RunTrace("x")
+        t.add(rec(0, converged=0.2))
+        t.add(rec(1, converged=0.9))
+        assert t.convergence_curve() == [0.2, 0.9]
+
+    def test_directions_and_pull_records(self):
+        t = RunTrace("x")
+        t.add(rec(0, Direction.INITIAL_PUSH))
+        t.add(rec(1, Direction.PULL))
+        t.add(rec(2, Direction.PULL_FRONTIER))
+        t.add(rec(3, Direction.PUSH))
+        assert t.directions() == [Direction.INITIAL_PUSH, Direction.PULL,
+                                  Direction.PULL_FRONTIER, Direction.PUSH]
+        assert len(t.pull_records()) == 2
+
+    def test_iteration_record_edge_property(self):
+        r = rec(0, edges=42)
+        assert r.edges_processed == 42

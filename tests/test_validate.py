@@ -1,0 +1,75 @@
+"""Tests for the validation utilities."""
+
+import numpy as np
+import pytest
+
+from repro import connected_components
+from repro.validate import (
+    canonicalize,
+    check_labels_consistent,
+    same_partition,
+    validate_against_reference,
+)
+
+
+class TestCanonicalize:
+    def test_min_member_convention(self):
+        labels = np.array([9, 9, 4, 4, 9])
+        assert canonicalize(labels).tolist() == [0, 0, 2, 2, 0]
+
+    def test_idempotent(self):
+        labels = np.array([3, 1, 3, 1])
+        once = canonicalize(labels)
+        assert np.array_equal(canonicalize(once), once)
+
+    def test_empty(self):
+        assert canonicalize(np.empty(0)).size == 0
+
+
+class TestSamePartition:
+    def test_equal_up_to_renaming(self):
+        a = np.array([5, 5, 2, 2])
+        b = np.array([0, 0, 9, 9])
+        assert same_partition(a, b)
+
+    def test_different_partitions(self):
+        assert not same_partition(np.array([0, 0, 1]),
+                                  np.array([0, 1, 1]))
+
+    def test_shape_mismatch(self):
+        assert not same_partition(np.array([0]), np.array([0, 0]))
+
+    def test_accepts_ccresults(self, triangle):
+        a = connected_components(triangle, "thrifty")
+        b = connected_components(triangle, "sv")
+        assert same_partition(a, b)
+
+
+class TestValidateAgainstReference:
+    def test_passes_for_correct(self, two_triangles):
+        r = connected_components(two_triangles, "jt")
+        validate_against_reference(two_triangles, r)
+
+    def test_fails_for_wrong(self, two_triangles):
+        r = connected_components(two_triangles, "jt")
+        r.labels[:] = 0   # merge everything incorrectly
+        with pytest.raises(AssertionError, match="wrong components"):
+            validate_against_reference(two_triangles, r)
+
+
+class TestConsistencyCheck:
+    def test_correct_labels_pass(self, two_triangles):
+        check_labels_consistent(two_triangles,
+                                np.array([1, 1, 1, 2, 2, 2]))
+
+    def test_crossing_edge_detected(self, triangle):
+        with pytest.raises(AssertionError, match="crosses"):
+            check_labels_consistent(triangle, np.array([0, 0, 1]))
+
+    def test_over_merged_detected(self, two_triangles):
+        with pytest.raises(AssertionError, match="true components"):
+            check_labels_consistent(two_triangles, np.zeros(6))
+
+    def test_wrong_shape_detected(self, triangle):
+        with pytest.raises(AssertionError, match="shape"):
+            check_labels_consistent(triangle, np.zeros(7))

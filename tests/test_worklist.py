@@ -1,0 +1,61 @@
+"""Tests for the per-thread local worklists + shared byte array."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import LocalWorklists
+
+
+class TestLocalWorklists:
+    def test_dedup_across_threads(self):
+        wl = LocalWorklists(10, 2)
+        assert wl.push_batch(0, np.array([1, 2, 3])) == 3
+        assert wl.push_batch(1, np.array([2, 3, 4])) == 1
+        assert wl.total_enqueued() == 4
+
+    def test_dedup_within_batch(self):
+        wl = LocalWorklists(10, 1)
+        assert wl.push_batch(0, np.array([5, 5, 5])) == 1
+
+    def test_drain_covers_everything(self):
+        wl = LocalWorklists(20, 4)
+        wl.push_batch(0, np.array([0, 1]))
+        wl.push_batch(2, np.array([7]))
+        wl.push_batch(3, np.array([9, 10]))
+        assert set(wl.drain_order().tolist()) == {0, 1, 7, 9, 10}
+
+    def test_thread_vertices(self):
+        wl = LocalWorklists(10, 2)
+        wl.push_batch(0, np.array([1]))
+        wl.push_batch(0, np.array([2]))
+        assert set(wl.thread_vertices(0).tolist()) == {1, 2}
+        assert wl.thread_vertices(1).size == 0
+
+    def test_empty_batch(self):
+        wl = LocalWorklists(5, 1)
+        assert wl.push_batch(0, np.empty(0, np.int64)) == 0
+        assert wl.drain_order().size == 0
+
+    def test_clear(self):
+        wl = LocalWorklists(5, 1)
+        wl.push_batch(0, np.array([1]))
+        wl.clear()
+        assert wl.total_enqueued() == 0
+        # After clear, the byte array is reset: re-enqueue allowed.
+        assert wl.push_batch(0, np.array([1])) == 1
+
+    def test_race_injection_duplicates(self):
+        # With race_rate=0.99 nearly every duplicate gets re-enqueued,
+        # modelling the unsynchronized byte-array race.
+        wl = LocalWorklists(100, 2, race_rate=0.99, seed=1)
+        wl.push_batch(0, np.arange(50))
+        extra = wl.push_batch(1, np.arange(50))
+        assert extra > 25   # most duplicates slip through
+
+    def test_race_rate_validation(self):
+        with pytest.raises(ValueError):
+            LocalWorklists(5, 1, race_rate=1.0)
+
+    def test_thread_count_validation(self):
+        with pytest.raises(ValueError):
+            LocalWorklists(5, 0)
