@@ -17,11 +17,26 @@ labels the pull commits updates in-place per sub-block of
 iteration exactly as the paper's in-place C loops do (at block rather
 than single-vertex granularity).  Without unified labels the pull is
 double-buffered and block order is irrelevant.
+
+The unified pull has two bit-identical execution strategies:
+
+* ``fuse_pull_blocks=True`` (default) — converged-block-aware: blocks
+  whose labels are all zero are skipped in O(1) (Zero Convergence
+  lifted to block granularity; a zero block can never change again)
+  and runs of consecutive still-active blocks are evaluated with
+  speculatively fused kernel calls (:meth:`_Engine._pull_run`).
+* ``fuse_pull_blocks=False`` — the reference strategy: one Python
+  iteration per block in schedule order.
+
+Labels, operation counters and iteration traces are identical between
+the two; only wall-clock time and the derived per-iteration makespan
+computation path differ (the makespan values also agree, because the
+per-partition work sums are equal).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -39,6 +54,7 @@ from ..parallel.scheduler import WorkStealingScheduler
 from ..parallel.worklist import LocalWorklists
 from .kernels import (
     block_async_min,
+    blockwise_sums,
     concat_adjacency,
     intra_block_groups,
     pull_block,
@@ -55,7 +71,10 @@ class LPOptions:
     """Configuration of the label-propagation engine.
 
     The four booleans are the paper's four optimizations; defaults
-    correspond to full Thrifty.
+    correspond to full Thrifty.  ``fuse_pull_blocks`` selects the
+    converged-block-aware pull strategy (results are bit-identical
+    either way; False replays the reference one-Python-iteration-per-
+    block visit, kept for model validation and benchmarking).
     """
 
     unified_labels: bool = True
@@ -75,6 +94,7 @@ class LPOptions:
     track_convergence: bool = True
     race_rate: float = 0.0
     max_iterations: int = 1_000_000
+    fuse_pull_blocks: bool = True
     algorithm_name: str = "thrifty"
 
     def __post_init__(self) -> None:
@@ -106,9 +126,19 @@ class _Engine:
         self.snapshots: list[np.ndarray] = []
         self.partitioning = edge_balanced_partitions(
             graph, opts.num_threads, opts.partitions_per_thread)
-        scheduler = WorkStealingScheduler(self.partitioning, opts.machine)
-        self.partition_order = scheduler.partition_order(
+        self.scheduler = WorkStealingScheduler(self.partitioning,
+                                               opts.machine)
+        self.partition_order = self.scheduler.partition_order(
             self.partitioning.edge_counts(graph).astype(np.float64))
+        # Per-iteration work vector (vertices scanned + edges processed
+        # per partition) filled by the traversal methods; record() turns
+        # it into the iteration's simulated makespan.
+        self._last_work: np.ndarray | None = None
+        # Push introspection: the worklists and drain order of the most
+        # recent push iteration (simulation observables for tests and
+        # analyses; the engine itself only consumes the drained set).
+        self.last_worklists: LocalWorklists | None = None
+        self.last_drain_order: np.ndarray | None = None
         # Labels.
         if self.n == 0:
             self.labels = identity_labels(0)
@@ -124,7 +154,9 @@ class _Engine:
         self.old_labels = None if opts.unified_labels else self.labels.copy()
         # Unified labels: precompute each block's internal components
         # for block-asynchronous in-iteration propagation (DESIGN.md
-        # Section 5 / kernels.intra_block_groups).
+        # Section 5 / kernels.intra_block_groups), plus the block and
+        # partition->block metadata every pull reuses.  Cached once:
+        # the bounds, groups and schedule are iteration-invariant.
         if opts.unified_labels:
             bounds = [0]
             for p in range(self.partitioning.num_partitions):
@@ -136,6 +168,19 @@ class _Engine:
             self.block_bounds = np.array(sorted(set(bounds)),
                                          dtype=np.int64)
             self.groups = intra_block_groups(graph, self.block_bounds[1:])
+            self.block_starts = self.block_bounds[:-1]
+            self.block_ends = self.block_bounds[1:]
+            self.block_edge_counts = (
+                graph.indptr[self.block_ends]
+                - graph.indptr[self.block_starts]).astype(np.int64)
+            pb = self.partitioning.bounds
+            # Blocks never span partitions, so partition p owns the
+            # contiguous block index range [part_block_lo[p],
+            # part_block_hi[p]) — empty for empty partitions.
+            self.part_block_lo = np.searchsorted(self.block_starts,
+                                                 pb[:-1], side="left")
+            self.part_block_hi = np.searchsorted(self.block_starts,
+                                                 pb[1:], side="left")
         else:
             self.block_bounds = None
             self.groups = None
@@ -166,6 +211,11 @@ class _Engine:
         frontier = Frontier(self.n)
         frontier.set_many(g, changed)
         self.counters.record_frontier_updates(int(changed.size))
+        work = np.zeros(self.partitioning.num_partitions,
+                        dtype=np.float64)
+        work[self.partitioning.partition_of(self.hub)] = \
+            1 + int(targets.size)
+        self._last_work = work
         self._end_iteration_sync()
         return frontier
 
@@ -177,66 +227,223 @@ class _Engine:
         labels the commit is in-place per block; otherwise double-
         buffered (block order then has no effect on the result).
         """
-        g = self.graph
         opts = self.opts
         read = self._read_array()
         counts = CountOnlyFrontier()
         detailed = Frontier(self.n) if collect_frontier else None
         zero = opts.zero_convergence
+        work = np.zeros(self.partitioning.num_partitions,
+                        dtype=np.float64)
         # Without unified labels the pull is double-buffered, so block
         # order cannot affect the result: one whole-graph block is both
         # faster and bit-identical.
-        if opts.unified_labels:
-            blocks = ((lo, min(lo + opts.block_size, hi_p))
-                      for p in self.partition_order
-                      for lo_p, hi_p in (self.partitioning.vertex_range(int(p)),)
-                      for lo in range(lo_p, hi_p, opts.block_size))
+        if not opts.unified_labels:
+            self._pull_whole_graph(read, counts, detailed, zero, work)
+        elif opts.fuse_pull_blocks:
+            self._pull_blocks_fused(read, counts, detailed, zero, work)
         else:
-            blocks = iter([(0, self.n)])
-        for lo, hi in blocks:
+            self._pull_blocks_sequential(read, counts, detailed, zero,
+                                         work)
+        self._last_work = work
+        self._end_iteration_sync()
+        return detailed, counts
+
+    def _commit_rows(self, lo: int, new: np.ndarray, changed: np.ndarray,
+                     counts: CountOnlyFrontier,
+                     detailed: Frontier | None) -> None:
+        """Commit one block's improved labels at offset ``lo``."""
+        n_changed = int(changed.sum())
+        if not n_changed:
+            return
+        g = self.graph
+        rows = lo + np.flatnonzero(changed)
+        self.labels[rows] = new[changed]
+        self.counters.record_label_commits(n_changed, random=False)
+        counts.add(n_changed, int(g.degrees[rows].sum()))
+        if detailed is not None:
+            detailed.set_many(g, rows)
+            self.counters.record_frontier_updates(n_changed)
+
+    def _pull_whole_graph(self, read: np.ndarray,
+                          counts: CountOnlyFrontier,
+                          detailed: Frontier | None,
+                          zero: bool, work: np.ndarray) -> None:
+        """Double-buffered pull: one whole-graph vectorized block."""
+        g = self.graph
+        n = self.n
+        pb = self.partitioning.bounds
+        if zero:
+            skip = read == 0
+            scanned = zero_cut_scan_lengths(g, read, 0, n, skip)
+            edges = int(scanned.sum())
+            work += blockwise_sums(scanned, pb[:-1], pb[1:])
+        else:
+            edges = int(g.indptr[n] - g.indptr[0])
+            work += np.diff(g.indptr[pb])
+        work += np.diff(pb)   # one own-label check per vertex
+        new, changed = pull_block(g, read, 0, n)
+        self.counters.record_pull_scan(edges, n)
+        self._commit_rows(0, new, changed, counts, detailed)
+
+    def _pull_blocks_sequential(self, read: np.ndarray,
+                                counts: CountOnlyFrontier,
+                                detailed: Frontier | None,
+                                zero: bool, work: np.ndarray) -> None:
+        """Reference unified pull: one Python iteration per block in
+        schedule order (the model the fused strategy must match)."""
+        g = self.graph
+        opts = self.opts
+        for p in self.partition_order:
+            p = int(p)
+            lo_p, hi_p = self.partitioning.vertex_range(p)
+            for lo in range(lo_p, hi_p, opts.block_size):
+                hi = min(lo + opts.block_size, hi_p)
                 if zero:
                     skip = read[lo:hi] == 0
                     scanned = zero_cut_scan_lengths(g, read, lo, hi, skip)
                     edges = int(scanned.sum())
                 else:
                     edges = int(g.indptr[hi] - g.indptr[lo])
-                new, changed = pull_block(g, read, lo, hi)
-                if opts.unified_labels and hi > lo:
-                    # Block-async: a thread's sequential sweep floods
-                    # each internal component within the iteration.
-                    new = block_async_min(new, self.groups[lo:hi] - lo)
-                    changed = new < read[lo:hi]
+                new, _ = pull_block(g, read, lo, hi)
+                # Block-async: a thread's sequential sweep floods
+                # each internal component within the iteration.
+                new = block_async_min(new, self.groups[lo:hi] - lo)
+                changed = new < read[lo:hi]
                 self.counters.record_pull_scan(edges, hi - lo)
-                n_changed = int(changed.sum())
-                if n_changed:
-                    rows = lo + np.flatnonzero(changed)
-                    self.labels[rows] = new[changed]
-                    self.counters.record_label_commits(n_changed,
-                                                       random=False)
-                    counts.add(n_changed, int(g.degrees[rows].sum()))
-                    if detailed is not None:
-                        detailed.set_many(g, rows)
-                        self.counters.record_frontier_updates(n_changed)
-        self._end_iteration_sync()
-        return detailed, counts
+                work[p] += edges + (hi - lo)
+                self._commit_rows(lo, new, changed, counts, detailed)
+
+    def _pull_blocks_fused(self, read: np.ndarray,
+                           counts: CountOnlyFrontier,
+                           detailed: Frontier | None,
+                           zero: bool, work: np.ndarray) -> None:
+        """Converged-block-aware unified pull (DESIGN.md Section 5).
+
+        An all-zero block can never change again — labels only
+        decrease and zero is the global minimum — and a visit would
+        record a fixed per-vertex counter delta, so such blocks are
+        skipped without entering Python and accounted in one bulk
+        call.  Partitions with no live block cost zero Python
+        iterations.  Runs of consecutive live blocks go through
+        :meth:`_pull_run`; everything observable (labels, counters,
+        traces) is bit-identical to the sequential strategy.
+        """
+        part = self.partitioning
+        bs_, be_ = self.block_starts, self.block_ends
+        nonzero = read != 0
+        blk_live = blockwise_sums(nonzero, bs_, be_) > 0
+        # Bulk-account every converged block: per-vertex own-label
+        # checks, plus the full edge scan when Zero Convergence is off
+        # (with it on, a zero row's scan length is exactly 0).
+        nv_skip = int((be_ - bs_)[~blk_live].sum())
+        if zero:
+            if nv_skip:
+                self.counters.record_pull_skip(nv_skip)
+        else:
+            skip_edges = np.where(blk_live, 0, self.block_edge_counts)
+            e_skip = int(skip_edges.sum())
+            if nv_skip or e_skip:
+                self.counters.record_pull_skip(nv_skip, e_skip)
+            work += blockwise_sums(skip_edges, self.part_block_lo,
+                                   self.part_block_hi)
+        work += np.diff(part.bounds)   # one own-label check per vertex
+        live_parts = blockwise_sums(nonzero, part.bounds[:-1],
+                                    part.bounds[1:]) > 0
+        for p in self.partition_order[live_parts[self.partition_order]]:
+            p = int(p)
+            b0, b1 = int(self.part_block_lo[p]), int(self.part_block_hi[p])
+            live = np.flatnonzero(blk_live[b0:b1]) + b0
+            breaks = np.flatnonzero(np.diff(live) > 1) + 1
+            run_edges = 0
+            start = 0
+            for stop in [*breaks.tolist(), live.size]:
+                run_edges += self._pull_run(int(live[start]),
+                                            int(live[stop - 1]) + 1,
+                                            read, counts, detailed, zero)
+                start = stop
+            work[p] += run_edges
+
+    def _pull_run(self, bi0: int, bi1: int, read: np.ndarray,
+                  counts: CountOnlyFrontier, detailed: Frontier | None,
+                  zero: bool) -> int:
+        """Fused pull over the consecutive live blocks with indices
+        ``[bi0, bi1)``; returns the edges scanned.
+
+        Speculation keeps the in-place sequential semantics exact: a
+        fused Jacobi + block-async evaluation of a window of blocks
+        from the current labels is valid up to and including the
+        *first* block that improves (every earlier block commits
+        nothing, so a sequential visit would have read the same
+        snapshot).  That block is committed and the evaluation resumes
+        after it.  The window doubles after every clean evaluation and
+        resets to one block after a commit, so densely-changing runs
+        cost per-block work while a fully-converged run — the common
+        case once zero labels have flooded the graph — costs one pass
+        over its edges in O(log blocks) fused evaluations.
+        """
+        g = self.graph
+        bs_, be_ = self.block_starts, self.block_ends
+        edges_total = 0
+        bi = bi0
+        window = 1
+        while bi < bi1:
+            wend = min(bi + window, bi1)
+            lo, whi = int(bs_[bi]), int(be_[wend - 1])
+            new, _ = pull_block(g, read, lo, whi)
+            new = block_async_min(new, self.groups[lo:whi] - lo)
+            changed = new < read[lo:whi]
+            if not changed.any():
+                fb = -1
+                cut = whi
+            elif window == 1:
+                fb, flo, cut = bi, lo, whi
+            else:
+                first = lo + int(np.argmax(changed))
+                fb = int(np.searchsorted(bs_, first, side="right")) - 1
+                flo, cut = int(bs_[fb]), int(be_[fb])
+            if zero:
+                scanned = zero_cut_scan_lengths(g, read, lo, cut,
+                                                read[lo:cut] == 0)
+                edges = int(scanned.sum())
+            else:
+                edges = int(g.indptr[cut] - g.indptr[lo])
+            self.counters.record_pull_scan(edges, cut - lo)
+            edges_total += edges
+            if fb >= 0:
+                self._commit_rows(flo, new[flo - lo:cut - lo],
+                                  changed[flo - lo:cut - lo],
+                                  counts, detailed)
+                bi = fb + 1
+                window = 1
+            else:
+                bi = wend
+                window *= 2
+        return edges_total
 
     def push(self, frontier: Frontier) -> Frontier:
         """One push iteration from a detailed frontier.
 
         Frontier vertices are drained through the per-thread local
         worklists in chunks of ``block_size``; with unified labels each
-        chunk reads the labels as updated by earlier chunks.
+        chunk reads the labels as updated by earlier chunks.  A chunk
+        runs on the thread that owns its partition under the
+        scheduler's edge-balanced initial assignment
+        (:meth:`Partitioning.owner_of`).
         """
         g = self.graph
         opts = self.opts
+        part = self.partitioning
         active = frontier.vertices()
         self.counters.sequential_accesses += int(active.size)
         worklists = LocalWorklists(self.n, opts.num_threads,
                                    race_rate=opts.race_rate)
+        work = np.zeros(part.num_partitions, dtype=np.float64)
+        read = self._read_array()
         for lo in range(0, active.size, opts.block_size):
             chunk = active[lo:lo + opts.block_size]
-            read = self._read_array()
+            p = part.partition_of(int(chunk[0]))
             targets, deg = concat_adjacency(g, chunk)
+            work[p] += int(chunk.size) + int(targets.size)
             if targets.size == 0:
                 self.counters.record_push_scan(0, int(chunk.size))
                 continue
@@ -247,12 +454,15 @@ class _Engine:
                                            int(chunk.size))
             self.counters.record_cas_successes(int(changed.size))
             if changed.size:
-                owner = chunk[0] % opts.num_threads  # chunk's sim thread
+                owner = part.owner_of(p)   # chunk's simulated thread
                 enq = worklists.push_batch(int(owner), changed)
                 self.counters.record_frontier_updates(enq)
+        self._last_work = work
         self._end_iteration_sync()
+        self.last_worklists = worklists
+        self.last_drain_order = worklists.drain_order()
         new_frontier = Frontier(self.n)
-        new_frontier.set_many(g, worklists.drain_order())
+        new_frontier.set_many(g, self.last_drain_order)
         return new_frontier
 
     # -- bookkeeping -------------------------------------------------------
@@ -262,6 +472,10 @@ class _Engine:
                before: OpCounters) -> None:
         delta = self.counters - before
         delta.iterations = 1
+        makespan = 0.0
+        if self._last_work is not None:
+            makespan = self.scheduler.makespan(self._last_work)
+            self._last_work = None
         self.trace.add(IterationRecord(
             index=self.trace.num_iterations,
             direction=direction,
@@ -271,6 +485,7 @@ class _Engine:
             changed_vertices=changed,
             converged_fraction=0.0,   # filled post-hoc
             counters=delta,
+            makespan=makespan,
         ))
         if self.opts.track_convergence:
             self.snapshots.append(self.labels.astype(np.int64, copy=True))

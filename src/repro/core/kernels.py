@@ -24,6 +24,8 @@ import numpy as np
 
 from ..graph.csr import CSRGraph
 
+_INT64_MAX = np.iinfo(np.int64).max
+
 __all__ = [
     "pull_block",
     "zero_cut_scan_lengths",
@@ -31,7 +33,21 @@ __all__ = [
     "segment_min",
     "intra_block_groups",
     "block_async_min",
+    "blockwise_sums",
 ]
+
+
+def blockwise_sums(values: np.ndarray, starts: np.ndarray,
+                   ends: np.ndarray) -> np.ndarray:
+    """Per-block sums ``values[starts[i]:ends[i]]`` via one prefix sum.
+
+    Unlike ``np.add.reduceat`` this is well-defined for empty blocks
+    (``starts[i] == ends[i]`` sums to 0), which the engine's block
+    metadata produces for empty partitions.  Blocks may overlap or be
+    listed in any order; only ``starts <= ends`` is required.
+    """
+    cum = np.concatenate(([0], np.cumsum(values, dtype=np.int64)))
+    return cum[ends] - cum[starts]
 
 
 def segment_min(values: np.ndarray, starts: np.ndarray,
@@ -173,7 +189,7 @@ def block_async_min(jacobi: np.ndarray, groups_local: np.ndarray
     minimum of the Jacobi values — every label entering an internal
     component floods it.
     """
-    tmp = np.full(jacobi.size, np.iinfo(np.int64).max, dtype=np.int64)
+    tmp = np.full(jacobi.size, _INT64_MAX, dtype=np.int64)
     np.minimum.at(tmp, groups_local, jacobi)
     return np.minimum(jacobi, tmp[groups_local])
 

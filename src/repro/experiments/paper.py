@@ -11,8 +11,6 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-import numpy as np
-
 from ..graph.datasets import (
     ALL_DATASET_NAMES,
     DATASETS,
@@ -21,7 +19,6 @@ from ..graph.datasets import (
 )
 from ..graph.properties import max_degree_component_fraction
 from ..instrument.costmodel import CostModel
-from ..instrument.trace import Direction
 from ..parallel.machine import MACHINES
 from .runner import timed_run
 

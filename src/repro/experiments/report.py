@@ -12,7 +12,6 @@ import io
 import time
 
 from . import paper
-from .tables import format_table
 
 __all__ = ["generate_report"]
 

@@ -9,7 +9,7 @@ lets both push and pull traversals follow edges in either direction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..coo import EdgeList
 from ..csr import CSRGraph
 from .rng import as_generator
 
@@ -62,7 +61,6 @@ def with_dust_components(base: CSRGraph,
         src_parts.append(v)
     src = np.concatenate(src_parts)
     dst = src + 1
-    n = base.num_vertices + total
     # Dust CSR: each path vertex has degree 1 or 2.
     both_src = np.concatenate([src, dst])
     both_dst = np.concatenate([dst, src])

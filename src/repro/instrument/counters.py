@@ -90,6 +90,17 @@ class OpCounters:
         self.branches += edges + vertices
         self.unpredictable_branches += edges
 
+    def record_pull_skip(self, vertices: int, edges: int = 0) -> None:
+        """Bulk accounting for converged blocks a pull skips in O(1).
+
+        A fully-zero block contributes exactly what a per-block visit
+        would have recorded — the per-vertex own-label checks, plus
+        (with Zero Convergence off) its full edge scan.  Counters are
+        additive, so one bulk call for all skipped blocks is
+        bit-identical to the per-block calls it replaces.
+        """
+        self.record_pull_scan(edges, vertices)
+
     def record_push_scan(self, edges: int, vertices: int) -> None:
         """A push over ``vertices`` frontier rows, ``edges`` atomic-min
         attempts (random scatter reads + compare each)."""

@@ -39,6 +39,12 @@ class IterationRecord:
     changed_vertices: int           # labels modified this round
     converged_fraction: float       # vertices at final label after round
     counters: OpCounters = field(default_factory=OpCounters)
+    # Simulated parallel finish time of the round's parallel-for:
+    # the work-stealing scheduler's makespan over the per-partition
+    # work (vertices scanned + edges processed) the round performed.
+    # Unitless work units, not milliseconds; 0.0 for algorithms that
+    # do not run on the partitioned schedule.
+    makespan: float = 0.0
 
     @property
     def edges_processed(self) -> int:
@@ -79,6 +85,14 @@ class RunTrace:
     def convergence_curve(self) -> list[float]:
         """converged_fraction after each round (Figures 3/7/8 series)."""
         return [r.converged_fraction for r in self.iterations]
+
+    def makespans(self) -> list[float]:
+        """Per-iteration simulated parallel time (work units)."""
+        return [r.makespan for r in self.iterations]
+
+    def total_makespan(self) -> float:
+        """Simulated parallel time of the whole run (work units)."""
+        return float(sum(r.makespan for r in self.iterations))
 
     def directions(self) -> list[Direction]:
         return [r.direction for r in self.iterations]

@@ -15,7 +15,7 @@ from .partition import (
     edge_balanced_partitions,
     vertex_balanced_partitions,
 )
-from .scheduler import ScheduleStep, WorkStealingScheduler
+from .scheduler import ScheduleStep, WorkStealingScheduler, pick_steal_victim
 from .worklist import LocalWorklists
 
 __all__ = [
@@ -29,6 +29,7 @@ __all__ = [
     "PARTITIONS_PER_THREAD",
     "WorkStealingScheduler",
     "ScheduleStep",
+    "pick_steal_victim",
     "Frontier",
     "CountOnlyFrontier",
     "AdaptiveFrontier",

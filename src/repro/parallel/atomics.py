@@ -73,4 +73,14 @@ def batch_atomic_min_count(array: np.ndarray,
     for instruction accounting.
     """
     changed = batch_atomic_min(array, indices, values)
-    return changed, int(changed.size)
+    if changed.size == 0:
+        return changed, 0
+    indices = np.asarray(indices)
+    values = np.asarray(values)
+    # An attempt "carried the winning value" when its value equals the
+    # cell's final (minimum) value; restrict to cells that changed so
+    # no-op attempts on already-minimal cells are not credited.
+    pos = np.searchsorted(changed, indices)
+    on_changed = changed[np.minimum(pos, changed.size - 1)] == indices
+    winning = values == array[indices]
+    return changed, int(np.count_nonzero(on_changed & winning))

@@ -65,6 +65,17 @@ class Partitioning:
         """Thread that initially owns partition ``p``."""
         return p // self.partitions_per_thread()
 
+    def partition_of(self, v: int) -> int:
+        """Partition whose vertex range contains ``v``.
+
+        With empty partitions several ranges share a boundary; the
+        (unique) non-empty one containing ``v`` is returned.
+        """
+        if not (0 <= v < self.num_vertices):
+            raise ValueError(f"vertex {v} out of range")
+        p = int(np.searchsorted(self.bounds, v, side="right")) - 1
+        return min(p, self.num_partitions - 1)
+
     def edge_counts(self, graph: CSRGraph) -> np.ndarray:
         """Directed edges per partition."""
         return np.diff(graph.indptr[self.bounds])

@@ -30,7 +30,32 @@ import numpy as np
 from .machine import MachineSpec
 from .partition import Partitioning
 
-__all__ = ["ScheduleStep", "WorkStealingScheduler"]
+__all__ = ["ScheduleStep", "WorkStealingScheduler", "pick_steal_victim"]
+
+
+def pick_steal_victim(thief: int, has_work: list[bool],
+                      load: list[float],
+                      node_of=None) -> int | None:
+    """The runtime's victim-selection policy, shared by every stealer.
+
+    Picks the most-loaded peer that still has unclaimed work,
+    preferring peers on the thief's NUMA node; ties resolve to the
+    lowest id.  ``node_of`` maps a thread id to its NUMA node; when
+    omitted (structures without topology, e.g. the push worklists) the
+    policy degrades to plain most-loaded-victim.
+    """
+    thief_node = node_of(thief) if node_of is not None else 0
+    best: int | None = None
+    best_key: tuple[int, float] = (-1, -1.0)
+    for v in range(len(load)):
+        if v == thief or not has_work[v]:
+            continue
+        node = node_of(v) if node_of is not None else 0
+        key = (int(node == thief_node), load[v])
+        if key > best_key:
+            best_key = key
+            best = v
+    return best
 
 
 @dataclass(frozen=True)
@@ -114,18 +139,9 @@ class WorkStealingScheduler:
     def _pick_victim(self, thief: int, heads: list[int], tails: list[int],
                      load: list[float], t: int) -> int | None:
         """Most-loaded victim with unclaimed work, same NUMA node first."""
-        thief_node = self.machine.numa_node_of(thief)
-        best: int | None = None
-        best_key: tuple[int, float] = (-1, -1.0)
-        for v in range(t):
-            if v == thief or heads[v] >= tails[v]:
-                continue
-            same_node = int(self.machine.numa_node_of(v) == thief_node)
-            key = (same_node, load[v])
-            if key > best_key:
-                best_key = key
-                best = v
-        return best
+        has_work = [heads[v] < tails[v] for v in range(t)]
+        return pick_steal_victim(thief, has_work, load,
+                                 self.machine.numa_node_of)
 
     def partition_order(self, work: np.ndarray | None = None) -> np.ndarray:
         """Partition ids in simulated execution order."""

@@ -8,14 +8,18 @@ the deterministic simulation there are no real races, so the dedup is
 exact; a configurable ``race_rate`` can inject the duplicate-enqueue
 behaviour for testing the algorithms' tolerance of it.
 
-Threads drain their own worklist first, then steal whole worklists
-from others (ascending own, descending victims — same policy as the
-partition scheduler).
+Threads drain their own worklist first (batches front-to-back), then
+steal whole batches from others (ascending own, descending victims —
+same most-loaded-victim policy as the partition scheduler).
 """
 
 from __future__ import annotations
 
+import heapq
+
 import numpy as np
+
+from .scheduler import pick_steal_victim
 
 __all__ = ["LocalWorklists"]
 
@@ -74,16 +78,45 @@ class LocalWorklists:
     def drain_order(self) -> np.ndarray:
         """Vertices in the order the work-stealing drain visits them.
 
-        Thread t drains its own list front-to-back; the simulated
-        drain then interleaves remaining lists in steal order.  May
+        Deterministic replay of the Section IV-E drain: each thread
+        consumes its own batches front-to-back; a thread that runs dry
+        steals the most-loaded victim's *last* batch (the same victim
+        policy as :func:`~repro.parallel.scheduler.pick_steal_victim`,
+        minus the NUMA tier — worklists carry no topology), preserving
+        the victim's own front-to-back locality.  Batch claims are
+        serialized on an event clock (lowest-clock thread claims next,
+        ties by thread id), exactly like the partition scheduler.  May
         contain duplicates if race injection is enabled — consumers
         must tolerate reprocessing, as the paper's algorithm does.
         """
-        parts = [self.thread_vertices(t) for t in range(self.num_threads)]
-        parts = [p for p in parts if p.size]
-        if not parts:
+        t = self.num_threads
+        heads = [0] * t
+        tails = [len(lst) for lst in self._lists]
+        load = [float(sum(int(a.size) for a in lst))
+                for lst in self._lists]
+        total = sum(tails)
+        if total == 0:
             return np.empty(0, dtype=np.int64)
-        return np.concatenate(parts)
+        clocks: list[tuple[float, int]] = [(0.0, i) for i in range(t)]
+        heapq.heapify(clocks)
+        out: list[np.ndarray] = []
+        while len(out) < total:
+            now, thread = heapq.heappop(clocks)
+            if heads[thread] < tails[thread]:
+                batch = self._lists[thread][heads[thread]]
+                heads[thread] += 1
+                load[thread] -= float(batch.size)
+            else:
+                has_work = [heads[v] < tails[v] for v in range(t)]
+                victim = pick_steal_victim(thread, has_work, load)
+                if victim is None:
+                    continue   # nothing left to steal; thread idles out
+                tails[victim] -= 1
+                batch = self._lists[victim][tails[victim]]
+                load[victim] -= float(batch.size)
+            out.append(batch)
+            heapq.heappush(clocks, (now + float(batch.size), thread))
+        return np.concatenate(out)
 
     def clear(self) -> None:
         """Reset for the next iteration (byte array cleared lazily in

@@ -11,7 +11,6 @@ from repro.baselines import (
     jayanti_tarjan_cc,
     shiloach_vishkin_cc,
 )
-from repro.graph import component_labels_reference
 from repro.graph.generators import path_graph, star_graph
 from repro.validate import same_partition, validate_against_reference
 

@@ -7,7 +7,7 @@ import numpy as np
 import repro
 from repro import connected_components
 from repro.distributed import DistributedLPOptions, distributed_cc
-from repro.graph import load_dataset, rmat_graph
+from repro.graph import rmat_graph
 
 
 class TestBitReproducibility:

@@ -187,3 +187,160 @@ class TestOptionsValidation:
         opts = LPOptions().with_machine(EPYC)
         assert opts.machine is EPYC
         assert opts.num_threads == 128
+
+
+class TestPushOwnership:
+    """Push chunks run on the thread owning their partition
+    (``Partitioning.owner_of``), not ``chunk[0] % num_threads``."""
+
+    @staticmethod
+    def _engine(graph, **overrides):
+        from repro.core.engine import _Engine
+        base = dict(num_threads=2, partitions_per_thread=1,
+                    block_size=4, zero_planting=False,
+                    track_convergence=False)
+        base.update(overrides)
+        return _Engine(graph, LPOptions(**base), "")
+
+    @staticmethod
+    def _skewed():
+        # Hub 0 swallows most edges, so the second partition starts at
+        # a low vertex id: partition ownership and id-modulo disagree.
+        from tests.conftest import graph_from_pairs
+        pairs = [(0, i) for i in range(1, 7)] + [(7, 8), (8, 9)]
+        return graph_from_pairs(pairs, 10)
+
+    def test_chunk_lands_on_partition_owner(self):
+        import numpy as np
+        from repro.parallel import Frontier
+        g = self._skewed()
+        eng = self._engine(g)
+        part = eng.partitioning
+        p = part.partition_of(8)
+        owner = part.owner_of(p)
+        # The scenario must discriminate the policies, or the test is
+        # vacuous: the buggy owner (8 % 2 == 0) differs.
+        assert owner == 1 and 8 % 2 == 0
+        frontier = Frontier(g.num_vertices)
+        frontier.set_many(g, np.array([8]))
+        eng.push(frontier)
+        # Vertex 8's push lowers 9; the batch must sit on thread 1.
+        assert eng.last_worklists.thread_vertices(owner).tolist() == [9]
+        assert eng.last_worklists.thread_vertices(0).size == 0
+        assert eng.last_drain_order.tolist() == [9]
+
+    def test_drain_order_matches_ownership_replay(self):
+        """Pin the full drain order of a push on a skewed graph
+        against an independent replay using partition ownership, and
+        check the seed's id-modulo policy would give a different
+        drain."""
+        import numpy as np
+        from tests.conftest import graph_from_pairs
+        from repro.core.kernels import concat_adjacency
+        from repro.parallel import (Frontier, LocalWorklists,
+                                    batch_atomic_min)
+        # Hub 0 fills the first partition by itself; every chain
+        # vertex lives in partition 1 whatever its id parity, so the
+        # two ownership policies scatter the chain pushes onto
+        # different threads and the steals interleave differently.
+        pairs = [(0, i) for i in range(1, 13)] + \
+            [(13, 14), (14, 15), (15, 16), (16, 17), (18, 19), (19, 20)]
+        g = graph_from_pairs(pairs, 21)
+        eng = self._engine(g, block_size=1)
+        part = eng.partitioning
+        active = np.array([13, 14, 18])
+        frontier = Frontier(g.num_vertices)
+        frontier.set_many(g, active)
+
+        def replay(owner_fn):
+            labels = np.arange(g.num_vertices, dtype=np.int64)
+            wl = LocalWorklists(g.num_vertices, 2)
+            for lo in range(active.size):
+                chunk = active[lo:lo + 1]
+                targets, deg = concat_adjacency(g, chunk)
+                if targets.size == 0:
+                    continue
+                values = np.repeat(labels[chunk], deg)
+                changed = batch_atomic_min(
+                    labels, targets.astype(np.int64), values)
+                if changed.size:
+                    wl.push_batch(owner_fn(int(chunk[0])), changed)
+            return wl.drain_order()
+
+        expected = replay(lambda v: part.owner_of(part.partition_of(v)))
+        buggy = replay(lambda v: v % 2)
+        assert not np.array_equal(expected, buggy)   # test has teeth
+        eng.push(frontier)
+        assert np.array_equal(eng.last_drain_order, expected)
+
+
+class TestMakespan:
+    def test_every_iteration_has_positive_makespan(self, small_skewed):
+        result = thrifty_cc(small_skewed)
+        spans = result.trace.makespans()
+        assert len(spans) == result.num_iterations
+        assert all(s > 0 for s in spans)
+        assert result.trace.total_makespan() == sum(spans)
+
+    def test_makespan_bounded_by_total_work(self, small_skewed):
+        # The makespan of a parallel-for can never exceed its serial
+        # work (vertices scanned + edges processed) and never beat a
+        # perfect T-way split of it.
+        result = thrifty_cc(small_skewed, num_threads=4)
+        for rec in result.trace.iterations:
+            c = rec.counters
+            serial = c.vertex_reads + c.edges_processed
+            if serial == 0:
+                continue
+            assert rec.makespan <= serial
+            assert rec.makespan >= serial / 4 - 1e-9
+
+    def test_makespan_default_zero_for_other_algorithms(self, path10):
+        from repro import connected_components
+        result = connected_components(path10, "connectit")
+        assert all(r.makespan == 0.0 for r in result.trace.iterations)
+
+
+class TestPullFusionIdentity:
+    """fuse_pull_blocks only changes wall-clock: labels, counters and
+    traces stay bit-identical to the per-block reference strategy."""
+
+    OPTION_GRID = [
+        {},
+        {"zero_convergence": False},
+        {"initial_push": False},
+        {"zero_planting": False},
+        {"count_only_pulls": False},
+        {"threshold": 1.0},
+        {"block_size": 1},
+        {"block_size": 7},
+        {"num_threads": 4, "partitions_per_thread": 2},
+    ]
+
+    def test_bit_identical_runs(self, small_skewed):
+        for overrides in self.OPTION_GRID:
+            results = [
+                label_propagation_cc(
+                    small_skewed,
+                    LPOptions(fuse_pull_blocks=fuse,
+                              track_convergence=False, **overrides))
+                for fuse in (True, False)]
+            fused, ref = results
+            assert np.array_equal(fused.labels, ref.labels), overrides
+            assert fused.num_iterations == ref.num_iterations, overrides
+            for a, b in zip(fused.trace.iterations, ref.trace.iterations):
+                assert a.direction == b.direction, overrides
+                assert a.counters.as_dict() == b.counters.as_dict(), \
+                    (overrides, a.index)
+                assert a.makespan == b.makespan, (overrides, a.index)
+
+    def test_bit_identical_on_zoo(self, zoo_graph):
+        results = [
+            label_propagation_cc(
+                zoo_graph, LPOptions(fuse_pull_blocks=fuse,
+                                     track_convergence=False))
+            for fuse in (True, False)]
+        fused, ref = results
+        assert np.array_equal(fused.labels, ref.labels)
+        for a, b in zip(fused.trace.iterations, ref.trace.iterations):
+            assert a.counters.as_dict() == b.counters.as_dict()

@@ -8,7 +8,6 @@ from repro.graph import (
     component_sizes,
     degree_stats,
     estimate_diameter,
-    giant_component_fraction,
     is_skewed,
 )
 from repro.graph.generators import (

@@ -5,7 +5,7 @@ import io
 import numpy as np
 import pytest
 
-from repro.graph import build_graph, from_pairs, load_graph
+from repro.graph import from_pairs, load_graph
 from repro.graph.io import (
     load_konect,
     load_matrix_market,

@@ -100,3 +100,38 @@ class TestVertexBalanced:
             vertex_balanced_partitions(g, 0)
         with pytest.raises(ValueError):
             vertex_balanced_partitions(g, 2, partitions_per_thread=0)
+
+
+class TestPartitionOf:
+    def test_inverse_of_vertex_range(self):
+        g = rmat_graph(9, 8, seed=3)
+        part = edge_balanced_partitions(g, 4, 4)
+        for v in range(g.num_vertices):
+            p = part.partition_of(v)
+            lo, hi = part.vertex_range(p)
+            assert lo <= v < hi
+
+    def test_skewed_hub_partition(self):
+        g = star_graph(100)
+        part = edge_balanced_partitions(g, 4, 1)
+        assert part.partition_of(0) == 0
+        # The hub absorbs most edges, so late vertices map to late
+        # partitions even though their ids are small multiples of the
+        # thread count.
+        lo, hi = part.vertex_range(part.num_partitions - 1)
+        assert part.partition_of(hi - 1) == part.num_partitions - 1
+
+    def test_out_of_range_rejected(self):
+        g = path_graph(10)
+        part = edge_balanced_partitions(g, 2, 1)
+        with pytest.raises(ValueError):
+            part.partition_of(-1)
+        with pytest.raises(ValueError):
+            part.partition_of(10)
+
+    def test_consistent_with_owner_layout(self):
+        g = rmat_graph(8, 8, seed=4)
+        part = edge_balanced_partitions(g, 4, 2)
+        for v in range(0, g.num_vertices, 7):
+            p = part.partition_of(v)
+            assert 0 <= part.owner_of(p) < 4

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph.generators import path_graph, rmat_graph
+from repro.graph.generators import path_graph
 from repro.parallel import (
     EPYC,
     SKYLAKEX,

@@ -59,3 +59,62 @@ class TestLocalWorklists:
     def test_thread_count_validation(self):
         with pytest.raises(ValueError):
             LocalWorklists(5, 0)
+
+
+class TestDrainOrderStealing:
+    """The documented Section IV-E drain: own batches front-to-back,
+    then steal the most-loaded victim's last batch."""
+
+    def test_single_thread_fifo(self):
+        wl = LocalWorklists(20, 1)
+        wl.push_batch(0, np.array([4, 5]))
+        wl.push_batch(0, np.array([1]))
+        wl.push_batch(0, np.array([9, 10]))
+        assert wl.drain_order().tolist() == [4, 5, 1, 9, 10]
+
+    def test_steal_takes_victims_last_batch(self):
+        # t0 drains its single batch, then steals t1's batches from the
+        # BACK while t1 keeps consuming from the front: the drain is
+        # [5], [1,2] (t1 own), [4] (stolen), [3] (stolen) — not the
+        # thread-order concatenation [5, 1, 2, 3, 4].
+        wl = LocalWorklists(20, 2)
+        wl.push_batch(0, np.array([5]))
+        wl.push_batch(1, np.array([1, 2]))
+        wl.push_batch(1, np.array([3]))
+        wl.push_batch(1, np.array([4]))
+        assert wl.drain_order().tolist() == [5, 1, 2, 4, 3]
+
+    def test_steal_prefers_most_loaded_victim(self):
+        # t1 has nothing; both t0 and t2 still hold work when t1
+        # steals.  t2 carries more remaining load, so t1 must take
+        # t2's last batch even though t0 has a lower id.
+        wl = LocalWorklists(20, 3)
+        wl.push_batch(0, np.array([0]))
+        wl.push_batch(0, np.array([1]))
+        wl.push_batch(2, np.array([2, 3]))
+        wl.push_batch(2, np.array([4, 5]))
+        assert wl.drain_order().tolist() == [0, 4, 5, 2, 3, 1]
+
+    def test_drain_covers_everything_under_stealing(self):
+        rng = np.random.default_rng(3)
+        wl = LocalWorklists(500, 4)
+        pushed = set()
+        for t in range(4):
+            for _ in range(rng.integers(0, 5)):
+                batch = rng.choice(500, size=rng.integers(1, 20),
+                                   replace=False)
+                wl.push_batch(t, batch)
+                pushed.update(batch.tolist())
+        order = wl.drain_order()
+        assert set(order.tolist()) == {
+            int(v) for t in range(4)
+            for v in wl.thread_vertices(t).tolist()}
+        assert order.size == wl.total_enqueued()
+
+    def test_drain_is_repeatable(self):
+        wl = LocalWorklists(50, 3)
+        wl.push_batch(0, np.array([1, 2, 3]))
+        wl.push_batch(2, np.array([10, 11]))
+        wl.push_batch(2, np.array([12]))
+        first = wl.drain_order()
+        assert np.array_equal(first, wl.drain_order())
