@@ -28,10 +28,31 @@ The unified pull has two bit-identical execution strategies:
 * ``fuse_pull_blocks=False`` — the reference strategy: one Python
   iteration per block in schedule order.
 
-Labels, operation counters and iteration traces are identical between
-the two; only wall-clock time and the derived per-iteration makespan
-computation path differ (the makespan values also agree, because the
-per-partition work sums are equal).
+The push mirrors that structure.  The active worklist is split at
+partition boundaries first and only then into ``block_size`` chunks,
+so a chunk always lies in exactly one partition and runs on that
+partition's owning thread.  Two bit-identical strategies again:
+
+* ``fuse_push=True`` (default) — each thread's chunk sequence is
+  evaluated in windows: one fused ``concat_adjacency`` evaluation
+  reconstructs the exact sequential per-chunk atomic-min semantics
+  of the whole window (per-(target, chunk) group minima + a
+  segmented running minimum), and windows whose pushes all fail are
+  accounted in bulk without per-chunk Python iterations
+  (:meth:`_Engine._push_run`).
+* ``fuse_push=False`` — the reference strategy: one Python iteration
+  per chunk in worklist order.
+
+Labels, operation counters, iteration traces, worklist drain orders
+and per-iteration makespans are identical between the strategies;
+only wall-clock time differs.
+
+Detailed frontiers are :class:`AdaptiveFrontier` instances: sparse
+frontiers keep an explicit worklist, so a sparse push iterates its
+active set directly instead of scanning an n-bit bitmap; dense ones
+switch to a bitmap.  The representation and switch count of the
+frontier each iteration produces are recorded on its
+:class:`IterationRecord` (``frontier_mode``/``frontier_conversions``).
 """
 
 from __future__ import annotations
@@ -44,7 +65,7 @@ from ..graph.csr import CSRGraph
 from ..instrument.counters import OpCounters
 from ..instrument.trace import Direction, IterationRecord, RunTrace
 from ..parallel.atomics import batch_atomic_min
-from ..parallel.frontier import CountOnlyFrontier, Frontier
+from ..parallel.frontier import AdaptiveFrontier, CountOnlyFrontier
 from ..parallel.machine import SKYLAKEX, MachineSpec
 from ..parallel.partition import (
     PARTITIONS_PER_THREAD,
@@ -55,9 +76,12 @@ from ..parallel.worklist import LocalWorklists
 from .kernels import (
     block_async_min,
     blockwise_sums,
+    chunked_cuts,
     concat_adjacency,
+    fused_push_window,
     intra_block_groups,
     pull_block,
+    push_scan_lengths,
     zero_cut_scan_lengths,
 )
 from .labels import identity_labels, zero_planted_labels
@@ -72,9 +96,12 @@ class LPOptions:
 
     The four booleans are the paper's four optimizations; defaults
     correspond to full Thrifty.  ``fuse_pull_blocks`` selects the
-    converged-block-aware pull strategy (results are bit-identical
-    either way; False replays the reference one-Python-iteration-per-
-    block visit, kept for model validation and benchmarking).
+    converged-block-aware pull strategy and ``fuse_push`` the
+    windowed fused push strategy (results are bit-identical either
+    way; False replays the reference one-Python-iteration-per-
+    block/chunk visit, kept for model validation and benchmarking).
+    ``frontier_switch_density`` is the worklist→bitmap threshold of
+    the engine's adaptive frontiers.
     """
 
     unified_labels: bool = True
@@ -95,6 +122,8 @@ class LPOptions:
     race_rate: float = 0.0
     max_iterations: int = 1_000_000
     fuse_pull_blocks: bool = True
+    fuse_push: bool = True
+    frontier_switch_density: float = 0.02
     algorithm_name: str = "thrifty"
 
     def __post_init__(self) -> None:
@@ -104,6 +133,14 @@ class LPOptions:
             raise ValueError("num_threads must be >= 1")
         if self.block_size < 1:
             raise ValueError("block_size must be >= 1")
+        if not (0.0 <= self.race_rate < 1.0):
+            raise ValueError("race_rate must be in [0, 1)")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.partitions_per_thread < 1:
+            raise ValueError("partitions_per_thread must be >= 1")
+        if not (0.0 < self.frontier_switch_density <= 1.0):
+            raise ValueError("frontier_switch_density must be in (0, 1]")
 
     def with_machine(self, machine: MachineSpec,
                      num_threads: int | None = None) -> "LPOptions":
@@ -139,6 +176,10 @@ class _Engine:
         # analyses; the engine itself only consumes the drained set).
         self.last_worklists: LocalWorklists | None = None
         self.last_drain_order: np.ndarray | None = None
+        # Representation of the frontier the current iteration
+        # produced, recorded on its IterationRecord by record().
+        self._last_frontier_mode = ""
+        self._last_frontier_conversions = 0
         # Labels.
         if self.n == 0:
             self.labels = identity_labels(0)
@@ -197,9 +238,24 @@ class _Engine:
             self.old_labels[:] = self.labels
             self.counters.record_sync_pass(self.n)
 
+    # -- frontier plumbing -------------------------------------------------
+
+    def _new_frontier(self) -> AdaptiveFrontier:
+        return AdaptiveFrontier(
+            self.n, switch_density=self.opts.frontier_switch_density)
+
+    def _note_frontier(self, frontier: AdaptiveFrontier | None) -> None:
+        """Remember the produced frontier's representation for record()."""
+        if frontier is None:
+            self._last_frontier_mode = "count-only"
+            self._last_frontier_conversions = 0
+        else:
+            self._last_frontier_mode = frontier.mode
+            self._last_frontier_conversions = frontier.conversions
+
     # -- traversals --------------------------------------------------------
 
-    def initial_push(self) -> Frontier:
+    def initial_push(self) -> AdaptiveFrontier:
         """Thrifty iteration 0: push the hub's label one hop."""
         g = self.graph
         targets = g.neighbors(self.hub).astype(np.int64)
@@ -208,7 +264,7 @@ class _Engine:
         changed = batch_atomic_min(self.labels, targets, values)
         self.counters.record_push_scan(int(targets.size), 1)
         self.counters.record_cas_successes(int(changed.size))
-        frontier = Frontier(self.n)
+        frontier = self._new_frontier()
         frontier.set_many(g, changed)
         self.counters.record_frontier_updates(int(changed.size))
         work = np.zeros(self.partitioning.num_partitions,
@@ -217,10 +273,11 @@ class _Engine:
             1 + int(targets.size)
         self._last_work = work
         self._end_iteration_sync()
+        self._note_frontier(frontier)
         return frontier
 
     def pull(self, collect_frontier: bool
-             ) -> tuple[Frontier | None, CountOnlyFrontier]:
+             ) -> tuple[AdaptiveFrontier | None, CountOnlyFrontier]:
         """One pull iteration over all vertices in schedule order.
 
         Returns ``(detailed_frontier_or_None, counts)``.  With unified
@@ -230,7 +287,7 @@ class _Engine:
         opts = self.opts
         read = self._read_array()
         counts = CountOnlyFrontier()
-        detailed = Frontier(self.n) if collect_frontier else None
+        detailed = self._new_frontier() if collect_frontier else None
         zero = opts.zero_convergence
         work = np.zeros(self.partitioning.num_partitions,
                         dtype=np.float64)
@@ -246,11 +303,12 @@ class _Engine:
                                          work)
         self._last_work = work
         self._end_iteration_sync()
+        self._note_frontier(detailed)
         return detailed, counts
 
     def _commit_rows(self, lo: int, new: np.ndarray, changed: np.ndarray,
                      counts: CountOnlyFrontier,
-                     detailed: Frontier | None) -> None:
+                     detailed: AdaptiveFrontier | None) -> None:
         """Commit one block's improved labels at offset ``lo``."""
         n_changed = int(changed.sum())
         if not n_changed:
@@ -266,7 +324,7 @@ class _Engine:
 
     def _pull_whole_graph(self, read: np.ndarray,
                           counts: CountOnlyFrontier,
-                          detailed: Frontier | None,
+                          detailed: AdaptiveFrontier | None,
                           zero: bool, work: np.ndarray) -> None:
         """Double-buffered pull: one whole-graph vectorized block."""
         g = self.graph
@@ -287,7 +345,7 @@ class _Engine:
 
     def _pull_blocks_sequential(self, read: np.ndarray,
                                 counts: CountOnlyFrontier,
-                                detailed: Frontier | None,
+                                detailed: AdaptiveFrontier | None,
                                 zero: bool, work: np.ndarray) -> None:
         """Reference unified pull: one Python iteration per block in
         schedule order (the model the fused strategy must match)."""
@@ -315,7 +373,7 @@ class _Engine:
 
     def _pull_blocks_fused(self, read: np.ndarray,
                            counts: CountOnlyFrontier,
-                           detailed: Frontier | None,
+                           detailed: AdaptiveFrontier | None,
                            zero: bool, work: np.ndarray) -> None:
         """Converged-block-aware unified pull (DESIGN.md Section 5).
 
@@ -364,7 +422,7 @@ class _Engine:
             work[p] += run_edges
 
     def _pull_run(self, bi0: int, bi1: int, read: np.ndarray,
-                  counts: CountOnlyFrontier, detailed: Frontier | None,
+                  counts: CountOnlyFrontier, detailed: AdaptiveFrontier | None,
                   zero: bool) -> int:
         """Fused pull over the consecutive live blocks with indices
         ``[bi0, bi1)``; returns the edges scanned.
@@ -420,15 +478,22 @@ class _Engine:
                 window *= 2
         return edges_total
 
-    def push(self, frontier: Frontier) -> Frontier:
+    def push(self, frontier) -> AdaptiveFrontier:
         """One push iteration from a detailed frontier.
 
         Frontier vertices are drained through the per-thread local
-        worklists in chunks of ``block_size``; with unified labels each
-        chunk reads the labels as updated by earlier chunks.  A chunk
-        runs on the thread that owns its partition under the
+        worklists in chunks: the active worklist is split at
+        *partition boundaries* first, then into ``block_size`` pieces
+        within each partition, so every chunk lies in exactly one
+        partition and runs on the thread that owns it under the
         scheduler's edge-balanced initial assignment
-        (:meth:`Partitioning.owner_of`).
+        (:meth:`Partitioning.owner_of`).  With unified labels each
+        chunk reads the labels as updated by earlier chunks.
+
+        ``fuse_push`` selects between the per-chunk reference loop
+        and the windowed speculative fused strategy; labels,
+        counters, worklists, drain order and the per-partition work
+        vector are bit-identical either way.
         """
         g = self.graph
         opts = self.opts
@@ -439,17 +504,48 @@ class _Engine:
                                    race_rate=opts.race_rate)
         work = np.zeros(part.num_partitions, dtype=np.float64)
         read = self._read_array()
-        for lo in range(0, active.size, opts.block_size):
-            chunk = active[lo:lo + opts.block_size]
-            p = part.partition_of(int(chunk[0]))
+        if active.size:
+            # Offsets into `active` where a new partition begins;
+            # chunks never straddle them (partitions are contiguous
+            # vertex ranges and `active` is sorted).
+            seg = np.unique(np.searchsorted(active, part.bounds))
+            cuts = chunked_cuts(seg, opts.block_size)
+            chunk_part = part.partition_of(active[cuts[:-1]])
+            if opts.fuse_push:
+                self._push_chunks_fused(active, cuts, chunk_part, read,
+                                        worklists, work)
+            else:
+                self._push_chunks_sequential(active, cuts, chunk_part,
+                                             read, worklists, work)
+        self._last_work = work
+        self._end_iteration_sync()
+        self.last_worklists = worklists
+        self.last_drain_order = worklists.drain_order()
+        new_frontier = self._new_frontier()
+        new_frontier.set_many(g, self.last_drain_order)
+        self._note_frontier(new_frontier)
+        return new_frontier
+
+    def _push_chunks_sequential(self, active: np.ndarray,
+                                cuts: np.ndarray, chunk_part: np.ndarray,
+                                read: np.ndarray,
+                                worklists: LocalWorklists,
+                                work: np.ndarray) -> None:
+        """Reference push: one Python iteration per chunk in worklist
+        order (the model the fused strategy must match)."""
+        g = self.graph
+        part = self.partitioning
+        for i in range(chunk_part.size):
+            chunk = active[cuts[i]:cuts[i + 1]]
+            p = int(chunk_part[i])
             targets, deg = concat_adjacency(g, chunk)
             work[p] += int(chunk.size) + int(targets.size)
             if targets.size == 0:
                 self.counters.record_push_scan(0, int(chunk.size))
                 continue
             values = np.repeat(read[chunk], deg)
-            changed = batch_atomic_min(self.labels, targets.astype(np.int64),
-                                       values)
+            changed = batch_atomic_min(self.labels,
+                                       targets.astype(np.int64), values)
             self.counters.record_push_scan(int(targets.size),
                                            int(chunk.size))
             self.counters.record_cas_successes(int(changed.size))
@@ -457,13 +553,173 @@ class _Engine:
                 owner = part.owner_of(p)   # chunk's simulated thread
                 enq = worklists.push_batch(int(owner), changed)
                 self.counters.record_frontier_updates(enq)
-        self._last_work = work
-        self._end_iteration_sync()
-        self.last_worklists = worklists
-        self.last_drain_order = worklists.drain_order()
-        new_frontier = Frontier(self.n)
-        new_frontier.set_many(g, self.last_drain_order)
-        return new_frontier
+
+    def _push_chunks_fused(self, active: np.ndarray, cuts: np.ndarray,
+                           chunk_part: np.ndarray, read: np.ndarray,
+                           worklists: LocalWorklists,
+                           work: np.ndarray) -> None:
+        """Fused push (DESIGN.md Section 5): chunks grouped per owning
+        thread, each thread's sequence evaluated by :meth:`_push_run`
+        with windowed speculative fused kernel calls."""
+        part = self.partitioning
+        owners = chunk_part // part.partitions_per_thread()
+        vert_counts = np.diff(cuts)
+        edge_counts = push_scan_lengths(self.graph, active,
+                                        cuts[:-1], cuts[1:])
+        chunk_work = (vert_counts + edge_counts).astype(np.float64)
+        run_ends = np.flatnonzero(np.diff(owners)) + 1
+        bounds = [0, *run_ends.tolist(), int(owners.size)]
+        for r0, r1 in zip(bounds[:-1], bounds[1:]):
+            self._push_run(r0, r1, active, cuts, chunk_part, chunk_work,
+                           vert_counts, edge_counts, read, worklists,
+                           work)
+
+    def _push_run(self, ci0: int, ci1: int, active: np.ndarray,
+                  cuts: np.ndarray, chunk_part: np.ndarray,
+                  chunk_work: np.ndarray, vert_counts: np.ndarray,
+                  edge_counts: np.ndarray, read: np.ndarray,
+                  worklists: LocalWorklists, work: np.ndarray) -> None:
+        """Windowed speculative fused push over one thread's chunk
+        sequence ``[ci0, ci1)``.
+
+        One fused evaluation reconstructs the *exact* sequential
+        semantics of a whole window of chunks.  For every (target,
+        chunk) pair the group minimum of the pushed values is taken
+        (``batch_atomic_min`` compares each chunk's values against
+        the label *before* the chunk, so only group minima matter); a
+        segmented running minimum over each target's groups in chunk
+        order then marks precisely the chunks whose group minimum
+        strictly improves on the target's running label — the same
+        changed-target sets, in the same chunk order, that per-chunk
+        ``batch_atomic_min`` calls would return.  Labels commit in
+        one scatter-min, and each changed set is enqueued as its own
+        worklist batch in chunk order, keeping batch structure, rng
+        draws and counters bit-identical to the reference.
+
+        The one remaining hazard is the read side: when the read
+        array is the live labels array (unified labels), a chunk
+        whose *row* an earlier window chunk lowered would push
+        different values than the evaluation assumed.  The window
+        commits only up to the first such chunk and re-evaluates
+        after it.  Labels only decrease, so no other hazard exists —
+        a snapshot-non-improving edge can never turn improving
+        through a target write.  The window doubles when consumed
+        whole and resets after a stall, so converged sequences and
+        densely-updating frontiers (wavefronts) alike cost O(log
+        chunks) fused evaluations instead of per-chunk Python.
+        """
+        g = self.graph
+        part = self.partitioning
+        live_rows = read is self.labels
+        owner = int(part.owner_of(int(chunk_part[ci0])))
+        # Labels live in [0, n): n is a safe "+infinity" and n + 1 a
+        # safe per-segment offset for the running-minimum trick below.
+        inf_label = np.int64(self.n)
+        big = np.int64(self.n + 1)
+        ci = ci0
+        window = 1
+        while ci < ci1:
+            wend = min(ci + window, ci1)
+            rows = active[cuts[ci]:cuts[wend]]
+            targets, values, _, improving = fused_push_window(
+                g, read, self.labels, rows)
+            if not improving.any():
+                # Clean window: nothing commits; bulk-account it.
+                self._account_clean_chunks(ci, wend, chunk_part,
+                                           chunk_work, vert_counts,
+                                           edge_counts, work)
+                ci = wend
+                window *= 2
+                continue
+            nw = wend - ci
+            edge_chunk = np.repeat(np.arange(nw), edge_counts[ci:wend])
+            # Group improving edges by (target, chunk) and reduce each
+            # group to its minimum pushed value.  Non-improving edges
+            # can never change a cell (labels only decrease), so they
+            # are dropped up front.
+            it = targets[improving].astype(np.int64)
+            ic = edge_chunk[improving]
+            iv = values[improving]
+            order = np.lexsort((ic, it))
+            st, sc, sv = it[order], ic[order], iv[order]
+            grp = np.empty(st.size, dtype=bool)
+            grp[0] = True
+            grp[1:] = (st[1:] != st[:-1]) | (sc[1:] != sc[:-1])
+            gs = np.flatnonzero(grp)
+            m = np.minimum.reduceat(sv, gs)
+            gt, gc = st[gs], sc[gs]
+            # Segmented exclusive running minimum per target: shift
+            # each target's groups into a disjoint value band so one
+            # global accumulate cannot leak across targets.
+            tnew = np.empty(gs.size, dtype=bool)
+            tnew[0] = True
+            tnew[1:] = gt[1:] != gt[:-1]
+            seg = np.cumsum(tnew) - 1
+            run = np.minimum.accumulate(m - seg * big) + seg * big
+            excl = np.empty_like(run)
+            excl[1:] = run[:-1]
+            excl[tnew] = inf_label
+            # A group changes its target iff its minimum beats the
+            # label the target had entering the chunk: the snapshot
+            # label before the target's first group, the running
+            # window minimum after it.
+            changed_grp = m < np.minimum(self.labels[gt], excl)
+            # Read-side hazard: first chunk one of whose rows an
+            # earlier chunk changed.  Chunk 0 has no earlier chunks,
+            # so s >= 1: progress is guaranteed.
+            s = nw
+            if live_rows:
+                cgt, cgc = gt[changed_grp], gc[changed_grp]
+                pool = np.unique(np.concatenate([cgt, rows]))
+                first_changed = np.full(pool.size, nw, dtype=np.int64)
+                np.minimum.at(first_changed,
+                              np.searchsorted(pool, cgt), cgc)
+                row_chunk = np.repeat(np.arange(nw),
+                                      vert_counts[ci:wend])
+                stale_r = first_changed[
+                    np.searchsorted(pool, rows)] < row_chunk
+                if stale_r.any():
+                    s = int(row_chunk[stale_r].min())
+            commit_edge = improving & (edge_chunk < s)
+            np.minimum.at(self.labels,
+                          targets[commit_edge].astype(np.int64),
+                          values[commit_edge])
+            sel = changed_grp & (gc < s)
+            total_changed = int(np.count_nonzero(sel))
+            if total_changed:
+                bt, bc = gt[sel], gc[sel]
+                order2 = np.lexsort((bt, bc))
+                bt, bc = bt[order2], bc[order2]
+                jlist = np.unique(bc)
+                lo = np.searchsorted(bc, jlist)
+                hi = np.searchsorted(bc, jlist, side="right")
+                for b0, b1 in zip(lo.tolist(), hi.tolist()):
+                    # bt[b0:b1] is this chunk's changed-target set,
+                    # already sorted and unique — exactly what
+                    # batch_atomic_min would have returned.
+                    enq = worklists.push_batch(owner, bt[b0:b1])
+                    self.counters.record_frontier_updates(enq)
+            self.counters.record_push_scan(
+                int(edge_counts[ci:ci + s].sum()),
+                int(vert_counts[ci:ci + s].sum()))
+            self.counters.record_cas_successes(total_changed)
+            np.add.at(work, chunk_part[ci:ci + s], chunk_work[ci:ci + s])
+            ci += s
+            window = window * 2 if s == nw else 1
+
+    def _account_clean_chunks(self, ci: int, cj: int,
+                              chunk_part: np.ndarray,
+                              chunk_work: np.ndarray,
+                              vert_counts: np.ndarray,
+                              edge_counts: np.ndarray,
+                              work: np.ndarray) -> None:
+        """Bulk accounting for chunks ``[ci, cj)`` whose pushes all
+        fail: counters are additive, so one ``record_push_skip`` and
+        one scatter-add onto the work vector are bit-identical to the
+        per-chunk visits they replace."""
+        self.counters.record_push_skip(int(edge_counts[ci:cj].sum()),
+                                       int(vert_counts[ci:cj].sum()))
+        np.add.at(work, chunk_part[ci:cj], chunk_work[ci:cj])
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -486,7 +742,11 @@ class _Engine:
             converged_fraction=0.0,   # filled post-hoc
             counters=delta,
             makespan=makespan,
+            frontier_mode=self._last_frontier_mode,
+            frontier_conversions=self._last_frontier_conversions,
         ))
+        self._last_frontier_mode = ""
+        self._last_frontier_conversions = 0
         if self.opts.track_convergence:
             self.snapshots.append(self.labels.astype(np.int64, copy=True))
 
@@ -516,7 +776,7 @@ def label_propagation_cc(graph: CSRGraph,
     g = graph
 
     # --- iteration 0 -----------------------------------------------------
-    detailed: Frontier | None
+    detailed: AdaptiveFrontier | None
     counts: CountOnlyFrontier | None
     if opts.initial_push:
         before = eng.counters.copy()
@@ -542,7 +802,8 @@ def label_propagation_cc(graph: CSRGraph,
             detailed, counts = None, new_counts
     else:
         # DO-LP bootstrap: everything active.
-        detailed = Frontier.full(g)
+        detailed = AdaptiveFrontier.full(
+            g, switch_density=opts.frontier_switch_density)
         counts = None
 
     # --- main loop ---------------------------------------------------------

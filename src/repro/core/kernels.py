@@ -11,6 +11,13 @@ These are the batch equivalents of the paper's C inner loops:
   neighbour, found with one ``flatnonzero`` + ``searchsorted``.
 * :func:`concat_adjacency` — gather the adjacency lists of an
   arbitrary vertex set (push traversals, BFS frontiers).
+* :func:`fused_push_window` — speculative fused evaluation of a
+  window of push chunks: the concatenated adjacency, per-edge source
+  values, and the mask of edges whose atomic-min would succeed on the
+  current snapshot.
+* :func:`chunked_cuts` / :func:`push_scan_lengths` — chunk a
+  boundary-segmented worklist into ``block_size`` pieces and count
+  the atomic-min attempts each chunk performs.
 
 The kernels *compute* with whole-block batches but *account* work in
 the counters exactly as the modelled sequential/parallel C loops
@@ -30,6 +37,9 @@ __all__ = [
     "pull_block",
     "zero_cut_scan_lengths",
     "concat_adjacency",
+    "fused_push_window",
+    "chunked_cuts",
+    "push_scan_lengths",
     "segment_min",
     "intra_block_groups",
     "block_async_min",
@@ -192,6 +202,66 @@ def block_async_min(jacobi: np.ndarray, groups_local: np.ndarray
     tmp = np.full(jacobi.size, _INT64_MAX, dtype=np.int64)
     np.minimum.at(tmp, groups_local, jacobi)
     return np.minimum(jacobi, tmp[groups_local])
+
+
+def chunked_cuts(boundaries: np.ndarray, block_size: int) -> np.ndarray:
+    """Subdivide boundary-delimited segments into ``block_size`` chunks.
+
+    ``boundaries`` is a strictly-increasing array of offsets; each
+    segment ``[boundaries[i], boundaries[i+1])`` is cut into pieces of
+    at most ``block_size`` starting at the segment's own start, so no
+    chunk ever crosses a boundary.  Returns the ascending cut offsets,
+    from ``boundaries[0]`` to ``boundaries[-1]`` inclusive: chunk ``i``
+    is ``[cuts[i], cuts[i+1])``.
+    """
+    boundaries = np.asarray(boundaries, dtype=np.int64)
+    if block_size < 1:
+        raise ValueError("block_size must be >= 1")
+    seg = np.diff(boundaries)
+    if np.any(seg <= 0):
+        raise ValueError("boundaries must be strictly increasing")
+    nchunks = (seg + block_size - 1) // block_size
+    total = int(nchunks.sum())
+    base = np.repeat(boundaries[:-1], nchunks)
+    first = np.repeat(np.cumsum(nchunks) - nchunks, nchunks)
+    offs = (np.arange(total, dtype=np.int64) - first) * block_size
+    return np.concatenate([base + offs, boundaries[-1:]])
+
+
+def push_scan_lengths(graph: CSRGraph, active: np.ndarray,
+                      starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Atomic-min attempts a push over each chunk
+    ``active[starts[i]:ends[i]]`` performs — the sum of the chunk
+    rows' degrees (a push scans every incident edge; there is no
+    zero-cut on the push side, the early exit lives in the CAS)."""
+    return blockwise_sums(graph.degrees[active], starts, ends)
+
+
+def fused_push_window(graph: CSRGraph, read: np.ndarray,
+                      write: np.ndarray, rows: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                 np.ndarray]:
+    """Speculative fused evaluation of a window of push chunks.
+
+    Concatenates the adjacency of ``rows`` (the window's chunks in
+    worklist order), gathers each edge's source value from ``read``,
+    and marks the edges whose atomic-min against ``write`` would
+    succeed on the current snapshot.  Returns ``(targets, values,
+    counts, improving)`` with ``counts[i] = degree(rows[i])``.
+
+    The evaluation is exact up to and including the *first* chunk
+    containing an improving edge: every earlier chunk commits nothing,
+    so a sequential per-chunk replay would have read the same
+    snapshot.  Callers commit that chunk's slice and re-evaluate from
+    the chunk after it (see ``_Engine._push_run``).
+    """
+    targets, counts = concat_adjacency(graph, rows)
+    if targets.size == 0:
+        return (targets, np.empty(0, dtype=read.dtype), counts,
+                np.empty(0, dtype=bool))
+    values = np.repeat(read[rows], counts)
+    improving = values < write[targets]
+    return targets, values, counts, improving
 
 
 def concat_adjacency(graph: CSRGraph, rows: np.ndarray

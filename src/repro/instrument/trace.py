@@ -45,6 +45,12 @@ class IterationRecord:
     # Unitless work units, not milliseconds; 0.0 for algorithms that
     # do not run on the partitioned schedule.
     makespan: float = 0.0
+    # Representation of the frontier this round produced:
+    # "worklist"/"bitmap" (AdaptiveFrontier) or "count-only"
+    # (CountOnlyFrontier); "" when the round kept no frontier record.
+    frontier_mode: str = ""
+    # AdaptiveFrontier representation switches while building it.
+    frontier_conversions: int = 0
 
     @property
     def edges_processed(self) -> int:

@@ -131,6 +131,13 @@ class AdaptiveFrontier:
     concerns).  The representation is visible via :attr:`mode` so the
     cost accounting can charge the right structure, and conversions
     happen at most once per batch of insertions.
+
+    The graph-aware mutators (:meth:`set_many`, :meth:`full`) also
+    maintain the induced active edge count, giving the frontier the
+    same ``num_active`` / ``num_active_edges`` / ``density`` surface
+    as :class:`Frontier` — this is what the LP engine uses.  The
+    representation-level :meth:`add` / :meth:`remove` don't know the
+    graph and leave the edge count untouched.
     """
 
     def __init__(self, num_vertices: int,
@@ -143,6 +150,18 @@ class AdaptiveFrontier:
         self._list: np.ndarray = np.empty(0, dtype=np.int64)
         self._bitmap: np.ndarray | None = None
         self._conversions = 0
+        self._active_edges = 0
+
+    @classmethod
+    def full(cls, graph: CSRGraph, *,
+             switch_density: float = 0.02) -> "AdaptiveFrontier":
+        """All vertices active — starts directly in bitmap mode
+        (construction, not a switch: ``conversions`` stays 0)."""
+        f = cls(graph.num_vertices, switch_density=switch_density)
+        f._bitmap = np.ones(graph.num_vertices, dtype=bool)
+        f._mode = "bitmap"
+        f._active_edges = graph.num_edges
+        return f
 
     @property
     def mode(self) -> str:
@@ -165,6 +184,45 @@ class AdaptiveFrontier:
             return i < self._list.size and int(self._list[i]) == v
         return bool(self._bitmap[v])
 
+    @property
+    def num_active(self) -> int:
+        return len(self)
+
+    @property
+    def num_active_edges(self) -> int:
+        """Edges incident to active vertices, as maintained by the
+        graph-aware mutators (``set_many`` / ``full``)."""
+        return self._active_edges
+
+    def density(self, graph: CSRGraph) -> float:
+        """(|F.V| + |F.E|)/|E| — Algorithm 1, line 7."""
+        if graph.num_edges == 0:
+            return 0.0
+        return (len(self) + self._active_edges) / graph.num_edges
+
+    def set_many(self, graph: CSRGraph, vertices: np.ndarray) -> None:
+        """Activate a batch, tracking the induced active edges.
+
+        Duplicates and already-active entries are ignored (their edges
+        are not double counted); the representation switches if the
+        density crosses the threshold.  Same surface as
+        :meth:`Frontier.set_many`.
+        """
+        vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+        if vertices.size == 0:
+            return
+        if vertices[0] < 0 or vertices[-1] >= self._n:
+            raise ValueError("vertex id out of range")
+        if self._mode == "worklist":
+            keep = ~np.isin(vertices, self._list, assume_unique=True)
+            fresh = vertices[keep]
+            self._list = np.union1d(self._list, fresh)
+        else:
+            fresh = vertices[~self._bitmap[vertices]]
+            self._bitmap[fresh] = True
+        self._active_edges += int(graph.degrees[fresh].sum())
+        self._maybe_switch()
+
     def add(self, vertices: np.ndarray) -> None:
         """Insert a batch; switches representation if density crosses
         the threshold in either direction."""
@@ -179,7 +237,13 @@ class AdaptiveFrontier:
         self._maybe_switch()
 
     def remove(self, vertices: np.ndarray) -> None:
+        """Deactivate a batch; ids are range-checked exactly like
+        :meth:`add` (a negative id would otherwise index the bitmap
+        from the end and corrupt the worklist after a switch)."""
         vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size and (int(vertices.min()) < 0
+                              or int(vertices.max()) >= self._n):
+            raise ValueError("vertex id out of range")
         if self._mode == "worklist":
             self._list = np.setdiff1d(self._list, vertices,
                                       assume_unique=False)
@@ -198,6 +262,7 @@ class AdaptiveFrontier:
         if self._bitmap is not None:
             self._bitmap[:] = False
         self._mode = "worklist"
+        self._active_edges = 0
 
     def _maybe_switch(self) -> None:
         density = len(self) / max(self._n, 1)

@@ -65,16 +65,21 @@ class Partitioning:
         """Thread that initially owns partition ``p``."""
         return p // self.partitions_per_thread()
 
-    def partition_of(self, v: int) -> int:
+    def partition_of(self, v: int | np.ndarray) -> int | np.ndarray:
         """Partition whose vertex range contains ``v``.
 
-        With empty partitions several ranges share a boundary; the
-        (unique) non-empty one containing ``v`` is returned.
+        Accepts a single vertex id or an array of ids (the push path
+        maps whole chunk sequences in one call).  With empty
+        partitions several ranges share a boundary; the (unique)
+        non-empty one containing each vertex is returned.
         """
-        if not (0 <= v < self.num_vertices):
+        ids = np.asarray(v, dtype=np.int64)
+        if ids.size and (int(ids.min()) < 0
+                         or int(ids.max()) >= self.num_vertices):
             raise ValueError(f"vertex {v} out of range")
-        p = int(np.searchsorted(self.bounds, v, side="right")) - 1
-        return min(p, self.num_partitions - 1)
+        p = np.searchsorted(self.bounds, ids, side="right") - 1
+        p = np.minimum(p, self.num_partitions - 1)
+        return p if ids.ndim else int(p)
 
     def edge_counts(self, graph: CSRGraph) -> np.ndarray:
         """Directed edges per partition."""

@@ -75,6 +75,15 @@ class LocalWorklists:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(lst)
 
+    def thread_batches(self, thread_id: int) -> list[np.ndarray]:
+        """One thread's batches in enqueue order (copies).
+
+        Each push chunk that enqueued anything contributed exactly one
+        batch, so the batch structure is a simulation observable: tests
+        use it to check chunk-to-thread attribution.
+        """
+        return [arr.copy() for arr in self._lists[thread_id]]
+
     def drain_order(self) -> np.ndarray:
         """Vertices in the order the work-stealing drain visits them.
 

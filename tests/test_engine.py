@@ -182,6 +182,33 @@ class TestOptionsValidation:
             label_propagation_cc(
                 g, LPOptions(max_iterations=2, algorithm_name="t"))
 
+    def test_race_rate_bounds(self):
+        with pytest.raises(ValueError, match="race_rate"):
+            LPOptions(race_rate=-0.1)
+        with pytest.raises(ValueError, match="race_rate"):
+            LPOptions(race_rate=1.0)
+        LPOptions(race_rate=0.0)          # boundaries that are legal
+        LPOptions(race_rate=0.999)
+
+    def test_max_iterations_bounds(self):
+        with pytest.raises(ValueError, match="max_iterations"):
+            LPOptions(max_iterations=0)
+        with pytest.raises(ValueError, match="max_iterations"):
+            LPOptions(max_iterations=-3)
+        LPOptions(max_iterations=1)
+
+    def test_partitions_per_thread_bounds(self):
+        with pytest.raises(ValueError, match="partitions_per_thread"):
+            LPOptions(partitions_per_thread=0)
+        LPOptions(partitions_per_thread=1)
+
+    def test_frontier_switch_density_bounds(self):
+        with pytest.raises(ValueError, match="frontier_switch_density"):
+            LPOptions(frontier_switch_density=0.0)
+        with pytest.raises(ValueError, match="frontier_switch_density"):
+            LPOptions(frontier_switch_density=1.5)
+        LPOptions(frontier_switch_density=1.0)
+
     def test_with_machine_retargets(self):
         from repro.parallel import EPYC
         opts = LPOptions().with_machine(EPYC)
@@ -272,6 +299,62 @@ class TestPushOwnership:
         assert not np.array_equal(expected, buggy)   # test has teeth
         eng.push(frontier)
         assert np.array_equal(eng.last_drain_order, expected)
+
+
+class TestPushChunkStraddle:
+    """A push chunk must never straddle a partition boundary.
+
+    The seed split the active list at ``block_size`` strides only, so
+    a chunk spanning two partitions was attributed wholly — work,
+    thread ownership, and the resulting worklist batch — to the
+    partition containing its *first* vertex.  The engine now cuts the
+    list at partition bounds first, so each side lands on its own
+    owner (and, since straddling chunks also committed their edges in
+    one atomic-min batch, the intra-iteration label snapshot each
+    chunk reads changes too).
+    """
+
+    @pytest.fixture(params=[True, False], ids=["fused", "sequential"])
+    def engine(self, request):
+        # path_graph(10) edge-balances into [0, 5) and [5, 10): the
+        # frontier {4, 5} straddles the boundary inside one block.
+        g = path_graph(10)
+        opts = LPOptions(num_threads=2, partitions_per_thread=1,
+                         block_size=4, zero_planting=False,
+                         track_convergence=False,
+                         fuse_push=request.param)
+        from repro.core.engine import _Engine
+        eng = _Engine(g, opts, "")
+        assert eng.partitioning.bounds.tolist() == [0, 5, 10]
+        return g, eng
+
+    def test_straddling_frontier_charges_both_partitions(self, engine):
+        from repro.parallel import Frontier
+        g, eng = engine
+        frontier = Frontier(g.num_vertices)
+        frontier.set_many(g, np.array([4, 5]))
+        eng.push(frontier)
+        # One chunk per side: vertex 4 (1 vertex + 2 edges) on
+        # partition 0, vertex 5 likewise on partition 1.  The seed
+        # billed a single chunk [4, 5] entirely to partition 0
+        # (work [6, 0]).
+        assert eng._last_work.tolist() == [3.0, 3.0]
+
+    def test_straddling_frontier_batches_on_both_owners(self, engine):
+        from repro.parallel import Frontier
+        g, eng = engine
+        frontier = Frontier(g.num_vertices)
+        frontier.set_many(g, np.array([4, 5]))
+        eng.push(frontier)
+        wl = eng.last_worklists
+        # Chunk [4] lowers 5 and enqueues it on thread 0; chunk [5]
+        # then reads 5's *updated* label (4) and lowers 6 onto thread
+        # 1.  The seed produced one thread-0 batch [5, 6] and left
+        # labels[6] at 5.
+        assert [b.tolist() for b in wl.thread_batches(0)] == [[5]]
+        assert [b.tolist() for b in wl.thread_batches(1)] == [[6]]
+        assert eng.labels[5] == 4 and eng.labels[6] == 4
+        assert eng.last_drain_order.tolist() == [5, 6]
 
 
 class TestMakespan:

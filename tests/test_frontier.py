@@ -146,6 +146,97 @@ class TestAdaptiveFrontier:
         with pytest.raises(ValueError):
             f.add(np.array([10]))
 
+    def test_remove_rejects_out_of_range_worklist_mode(self):
+        # A negative id would silently index the bitmap from the end
+        # (and poison the sorted worklist after a switch); remove must
+        # range-check exactly like add.
+        f = self.make(10, switch=0.5)
+        f.add(np.array([2, 5]))
+        assert f.mode == "worklist"
+        with pytest.raises(ValueError):
+            f.remove(np.array([-1]))
+        with pytest.raises(ValueError):
+            f.remove(np.array([10]))
+        assert f.vertices().tolist() == [2, 5]   # untouched on error
+
+    def test_remove_rejects_out_of_range_bitmap_mode(self):
+        f = self.make(100, switch=0.05)
+        f.add(np.arange(20))
+        assert f.mode == "bitmap"
+        with pytest.raises(ValueError):
+            f.remove(np.array([-1]))
+        with pytest.raises(ValueError):
+            f.remove(np.array([100]))
+        assert len(f) == 20                      # untouched on error
+
+    def test_remove_accepts_empty(self):
+        f = self.make(10)
+        f.remove(np.empty(0, dtype=np.int64))
+        assert len(f) == 0
+
+
+class TestAdaptiveFrontierGraphAware:
+    """The graph-aware surface the LP engine uses: edge tracking,
+    density, and the full() constructor."""
+
+    def make(self, n, switch=0.02):
+        from repro.parallel import AdaptiveFrontier
+        return AdaptiveFrontier(n, switch_density=switch)
+
+    def test_set_many_tracks_edges(self, triangle):
+        f = self.make(triangle.num_vertices, switch=1.0)
+        f.set_many(triangle, np.array([0, 1, 1, 0]))
+        assert len(f) == 2
+        assert f.num_active_edges == 4
+        assert f.density(triangle) == pytest.approx(6 / 6)
+
+    def test_set_many_no_double_count(self, triangle):
+        f = self.make(triangle.num_vertices, switch=1.0)
+        f.set_many(triangle, np.array([0]))
+        f.set_many(triangle, np.array([0, 2]))
+        assert len(f) == 2
+        assert f.num_active_edges == 4
+
+    def test_set_many_tracks_edges_across_switch(self):
+        g = star_graph(10)
+        f = self.make(g.num_vertices, switch=0.15)
+        f.set_many(g, np.array([0]))             # hub: degree 10
+        assert f.mode == "worklist"
+        f.set_many(g, np.array([1, 2, 3]))       # leaves: degree 1
+        assert f.mode == "bitmap"
+        assert f.num_active_edges == 13
+        f.set_many(g, np.array([3, 4]))          # 3 already active
+        assert f.num_active_edges == 14
+
+    def test_set_many_rejects_out_of_range(self, triangle):
+        f = self.make(triangle.num_vertices)
+        with pytest.raises(ValueError):
+            f.set_many(triangle, np.array([3]))
+        with pytest.raises(ValueError):
+            f.set_many(triangle, np.array([-1]))
+
+    def test_full_is_bitmap_with_no_conversion(self, triangle):
+        from repro.parallel import AdaptiveFrontier
+        f = AdaptiveFrontier.full(triangle)
+        assert f.mode == "bitmap"
+        assert f.conversions == 0                # construction, not a switch
+        assert len(f) == triangle.num_vertices
+        assert f.num_active_edges == triangle.num_edges
+        assert f.density(triangle) > 1.0
+
+    def test_density_formula(self):
+        g = star_graph(10)                       # |E| = 20 directed
+        f = self.make(g.num_vertices, switch=1.0)
+        f.set_many(g, np.array([0]))
+        assert f.density(g) == pytest.approx(11 / 20)
+
+    def test_clear_resets_edges(self, triangle):
+        from repro.parallel import AdaptiveFrontier
+        f = AdaptiveFrontier.full(triangle)
+        f.clear()
+        assert f.num_active_edges == 0
+        assert f.density(triangle) == 0.0
+
     def test_clear_resets_to_sparse(self):
         f = self.make(100, switch=0.01)
         f.add(np.arange(50))
