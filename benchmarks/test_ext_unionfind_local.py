@@ -1,0 +1,259 @@
+"""Extension experiment — worklist-local union-find substrate speedup.
+
+Every tree-hooking baseline (SV, JT, Afforest, the ConnectIt design
+space) funnels through the union-find substrate in
+``repro.baselines.disjoint_set``.  The historical implementation
+(``local=False``, kept as the bit-comparable reference) resolves
+endpoint roots with ``pointer_jump_roots`` over **all n vertices** in
+every union round, even when the batch touches a handful of
+endpoints.  The worklist-local substrate (``local=True``) resolves
+only the touched set, with per-batch memoized compression.
+
+The engine processes all of its work at partition-bounded chunk grain
+(DESIGN.md Section 5; ``test_ext_push_fusion`` times that path), so
+this experiment drives the substrate the same way: the union batches
+Afforest and SV feed it, cut into engine-grain edge chunks.  That is
+precisely the regime the all-vertex reference cannot afford — O(n)
+pointer jumping per chunk-round — and the regime its accounting bug
+mischarges.  Full uncut baseline runs are edge-gather-bound in both
+modes (the substrate is a minor fraction of their wall-clock); the
+sweep therefore times the substrate calls themselves, exactly as the
+push-fusion experiment isolates the push path.
+
+Two legs, both on a skewed scale-18 RMAT graph at full scale:
+
+* **Afforest leg** — the phase-1 k-out neighbour rounds followed by
+  the phase-3 finish of everything outside the sampled giant, each
+  stream cut into chunks and unioned to quiescence per chunk.
+* **SV leg** — the SV-family hook/shortcut pattern: one min-hooking
+  pass over every undirected edge in chunk-grain union batches, with
+  the SV shortcut (``shortcut_parents``) interleaved every window of
+  chunks and a final full shortcut.
+
+Asserted shape: both legs produce identical link counts and identical
+flattened labels in local and reference mode (and the labels match a
+BFS ground truth), and the combined sweep is at least 3x faster at
+full scale.  The sweep's before/after numbers, plus untimed full-run
+context figures, are written to ``BENCH_baselines.json`` at the repo
+root so CI keeps a perf-trajectory artifact.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import SCALE, STRICT, run_once
+
+from repro.baselines import (
+    afforest_cc,
+    bfs_cc,
+    shiloach_vishkin_cc,
+)
+from repro.baselines.disjoint_set import (
+    flatten_parents,
+    shortcut_parents,
+    union_edge_batch,
+)
+from repro.experiments import format_table
+from repro.graph.generators import rmat_graph
+from repro.validate import same_partition
+
+# The reference's O(n)-per-round cost is the measured effect, so the
+# smoke scale stays moderately large to keep it visible.
+RMAT_SCALE = 18 if SCALE >= 0.75 else 16
+EDGE_FACTOR = 8
+#: Edge-grain of one substrate batch: the engine's 64-vertex blocks
+#: hold ~64 x mean-degree edges on these graphs, i.e. a few thousand.
+CHUNK_EDGES = 4096
+#: SV interleaves a shortcut pass after each window of hook chunks.
+SHORTCUT_WINDOW = 64
+NEIGHBOR_ROUNDS = 2
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_baselines.json"
+
+
+def _afforest_leg(graph, local):
+    """Afforest's union workload at chunk grain.
+
+    Returns ``(substrate_seconds, links, flat_labels)``; only the
+    substrate calls are timed — stream construction is identical in
+    both modes.
+    """
+    n = graph.num_vertices
+    indptr = graph.indptr
+    indices = graph.indices.astype(np.int64)
+    degrees = graph.degrees
+    parent = np.arange(n, dtype=np.int64)
+    links = 0
+    elapsed = 0.0
+
+    # Phase 1: k-out neighbour rounds.
+    for r in range(NEIGHBOR_ROUNDS):
+        has = np.flatnonzero(degrees > r)
+        if has.size == 0:
+            break
+        nbr = indices[indptr[has] + r]
+        for lo in range(0, has.size, CHUNK_EDGES):
+            eu = has[lo:lo + CHUNK_EDGES]
+            ev = nbr[lo:lo + CHUNK_EDGES]
+            t0 = time.perf_counter()
+            linked, _ = union_edge_batch(parent, eu, ev, local=local)
+            elapsed += time.perf_counter() - t0
+            links += linked
+
+    # Phase 2/3: find the giant, stream the remaining adjacency of
+    # everything outside it (shared work, untimed: both modes see the
+    # same parent partition, so the same stream).
+    roots = flatten_parents(parent.copy())
+    giant = np.bincount(roots).argmax()
+    outside = np.flatnonzero(roots != giant)
+    rows = outside[degrees[outside] > NEIGHBOR_ROUNDS]
+    if rows.size:
+        counts = (degrees[rows] - NEIGHBOR_ROUNDS).astype(np.int64)
+        offsets = np.zeros(rows.size, dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        total = int(counts.sum())
+        idx = np.arange(total, dtype=np.int64)
+        seg = np.searchsorted(offsets, idx, side="right") - 1
+        pos = indptr[rows][seg] + NEIGHBOR_ROUNDS + (idx - offsets[seg])
+        dust_src = np.repeat(rows, counts)
+        dust_dst = indices[pos]
+        for lo in range(0, dust_src.size, CHUNK_EDGES):
+            eu = dust_src[lo:lo + CHUNK_EDGES]
+            ev = dust_dst[lo:lo + CHUNK_EDGES]
+            t0 = time.perf_counter()
+            linked, _ = union_edge_batch(parent, eu, ev, local=local)
+            elapsed += time.perf_counter() - t0
+            links += linked
+
+    return elapsed, links, flatten_parents(parent)
+
+
+def _sv_leg(graph, local):
+    """The SV hook/shortcut pattern at chunk grain.
+
+    Min-hooking over every undirected edge in chunk batches (the
+    link-to-smaller-id convention SV's hook races resolve to), with
+    the SV shortcut interleaved per window.  Returns
+    ``(substrate_seconds, links, flat_labels)``.
+    """
+    n = graph.num_vertices
+    src = graph.edge_sources()
+    dst = graph.indices.astype(np.int64)
+    once = src < dst
+    eu_all, ev_all = src[once], dst[once]
+    comp = np.arange(n, dtype=np.int64)
+    links = 0
+    elapsed = 0.0
+
+    for i, lo in enumerate(range(0, eu_all.size, CHUNK_EDGES)):
+        eu = eu_all[lo:lo + CHUNK_EDGES]
+        ev = ev_all[lo:lo + CHUNK_EDGES]
+        t0 = time.perf_counter()
+        linked, _ = union_edge_batch(comp, eu, ev, local=local)
+        if (i + 1) % SHORTCUT_WINDOW == 0:
+            shortcut_parents(comp, local=local)
+        elapsed += time.perf_counter() - t0
+        links += linked
+
+    t0 = time.perf_counter()
+    shortcut_parents(comp, local=local)
+    elapsed += time.perf_counter() - t0
+    return elapsed, links, comp
+
+
+def _best_of(leg, graph, local, repeats=2):
+    out = leg(graph, local)
+    for _ in range(repeats - 1):
+        again = leg(graph, local)
+        if again[0] < out[0]:
+            out = again
+    return out
+
+
+def _time_full_run(fn, graph, local, repeats=2):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(graph, local=local)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _generate():
+    graph = rmat_graph(RMAT_SCALE, EDGE_FACTOR, seed=7)
+    truth = bfs_cc(graph).labels
+
+    sweep = {}
+    for name, leg in (("afforest", _afforest_leg), ("sv", _sv_leg)):
+        t_local, links_local, labels_local = _best_of(leg, graph, True)
+        t_ref, links_ref, labels_ref = _best_of(leg, graph, False)
+        # The local substrate is a pure wall-clock/accounting change:
+        # links and final labels must be bit-identical, and correct.
+        assert links_local == links_ref
+        assert np.array_equal(labels_local, labels_ref)
+        assert same_partition(labels_local, truth)
+        sweep[name] = {
+            "local_seconds": t_local,
+            "reference_seconds": t_ref,
+            "speedup": t_ref / t_local,
+        }
+
+    combined = (
+        (sweep["afforest"]["reference_seconds"]
+         + sweep["sv"]["reference_seconds"])
+        / (sweep["afforest"]["local_seconds"]
+           + sweep["sv"]["local_seconds"]))
+
+    # Context: full uncut baseline runs (edge-gather-bound either way;
+    # the trajectory artifact records that the local default does not
+    # regress them).
+    full_runs = {}
+    for name, fn in (("afforest", afforest_cc), ("sv", shiloach_vishkin_cc)):
+        t_local = _time_full_run(fn, graph, True)
+        t_ref = _time_full_run(fn, graph, False)
+        full_runs[name] = {
+            "local_seconds": t_local,
+            "reference_seconds": t_ref,
+            "speedup": t_ref / t_local,
+        }
+
+    report = {
+        "artifact": "unionfind_local_sweep",
+        "rmat_scale": RMAT_SCALE,
+        "edge_factor": EDGE_FACTOR,
+        "chunk_edges": CHUNK_EDGES,
+        "bench_scale": SCALE,
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "sweep": sweep,
+        "combined_speedup": combined,
+        "full_runs": full_runs,
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_unionfind_local_speedup(benchmark):
+    report = run_once(benchmark, _generate)
+    rows = [[leg,
+             f"{report['sweep'][leg]['reference_seconds'] * 1e3:.1f}",
+             f"{report['sweep'][leg]['local_seconds'] * 1e3:.1f}",
+             f"{report['sweep'][leg]['speedup']:.2f}x"]
+            for leg in ("afforest", "sv")]
+    print()
+    print(format_table(
+        ["leg", "reference_ms", "local_ms", "speedup"], rows,
+        title="Worklist-local union-find (chunk-grain substrate sweep)"))
+    print(f"combined speedup: {report['combined_speedup']:.2f}x "
+          f"(written to {BENCH_PATH.name})")
+    assert BENCH_PATH.exists()
+    if STRICT:
+        assert report["vertices"] >= 100_000
+        assert report["combined_speedup"] >= 3.0
+        assert report["sweep"]["afforest"]["speedup"] >= 1.5
+        assert report["sweep"]["sv"]["speedup"] >= 1.5
+    else:
+        assert report["combined_speedup"] >= 1.2

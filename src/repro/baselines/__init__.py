@@ -5,9 +5,13 @@ from .bfs_cc import bfs_cc
 from .fastsv import fastsv_cc
 from .disjoint_set import (
     DisjointSet,
+    charge_finds,
+    charge_union,
     flatten_parents,
     link_roots,
     pointer_jump_roots,
+    resolve_roots_local,
+    shortcut_parents,
     union_edge_batch,
 )
 from .jayanti_tarjan import jayanti_tarjan_cc
@@ -19,7 +23,11 @@ __all__ = [
     "pointer_jump_roots",
     "link_roots",
     "flatten_parents",
+    "shortcut_parents",
+    "resolve_roots_local",
     "union_edge_batch",
+    "charge_union",
+    "charge_finds",
     "shiloach_vishkin_cc",
     "fastsv_cc",
     "lp_shortcut_cc",

@@ -11,10 +11,17 @@ component of skewed graphs), on the disjoint-set side:
 3. *Final phase*: only vertices **outside** c process their remaining
    edges; members of the giant component skip theirs entirely.
 
-Cost accounting mirrors the real algorithm: ~``neighbor_rounds * |V|``
-edges in phase 1, the sampled finds, and in phase 3 the remaining
-degrees of non-giant vertices — which on the paper's graphs is a tiny
-fraction of |E| (that is why Afforest is the strongest baseline).
+Cost accounting mirrors the real algorithm via the shared
+:func:`charge_union` recipe: the actually-offered phase-1 edges (not
+``neighbor_rounds * |V|`` — rounds can break early and degrees can be
+short), the find cost of the *sampled* vertices in phase 2, and in
+phase 3 the remaining degrees of non-giant vertices — which on the
+paper's graphs is a tiny fraction of |E| (that is why Afforest is the
+strongest baseline).  ``local=True`` (default) resolves roots only
+for touched endpoints (see repro.baselines.disjoint_set);
+``local=False`` keeps the historical all-vertex reference with its
+flat ``2 x sample_size`` phase-2 charge.  Labels and link counts are
+identical either way.
 """
 
 from __future__ import annotations
@@ -26,8 +33,11 @@ from ..graph.csr import CSRGraph
 from ..instrument.counters import OpCounters
 from ..instrument.trace import Direction, IterationRecord, RunTrace
 from .disjoint_set import (
+    charge_finds,
+    charge_union,
     flatten_parents,
     pointer_jump_roots,
+    resolve_roots_local,
     union_edge_batch,
 )
 
@@ -36,7 +46,7 @@ __all__ = ["afforest_cc"]
 
 def afforest_cc(graph: CSRGraph, *, neighbor_rounds: int = 2,
                 sample_size: int = 1024, seed: int = 0,
-                dataset: str = "") -> CCResult:
+                dataset: str = "", local: bool = True) -> CCResult:
     """Run Afforest; labels are fully-compressed parent ids."""
     n = graph.num_vertices
     trace = RunTrace(algorithm="afforest", dataset=dataset)
@@ -49,35 +59,40 @@ def afforest_cc(graph: CSRGraph, *, neighbor_rounds: int = 2,
 
     # --- phase 1: neighbour rounds ------------------------------------
     phase1 = OpCounters()
+    phase1_edges = 0
     for r in range(neighbor_rounds):
         has = np.flatnonzero(degrees > r)
         if has.size == 0:
             break
         nbr_r = graph.indices[graph.indptr[has] + r].astype(np.int64)
-        links, hops = union_edge_batch(parent, has, nbr_r)
-        phase1.edges_processed += int(has.size)
-        phase1.random_accesses += int(has.size)
-        phase1.label_reads += int(has.size)
-        phase1.cas_attempts += int(has.size)
-        phase1.branches += int(has.size)
-        phase1.unpredictable_branches += int(has.size)
-        phase1.record_cas_successes(links)
-        phase1.dependent_accesses += hops
-        phase1.label_reads += hops
+        links, hops = union_edge_batch(parent, has, nbr_r, local=local)
+        charge_union(phase1, int(has.size), links, hops)
+        phase1_edges += int(has.size)
     phase1.iterations = 1
     trace.add(IterationRecord(
         index=0, direction=Direction.PUSH, density=1.0,
-        active_vertices=n, active_edges=neighbor_rounds * n,
+        active_vertices=n, active_edges=phase1_edges,
         changed_vertices=n, converged_fraction=0.0, counters=phase1))
 
     # --- phase 2: sample the giant component --------------------------
     phase2 = OpCounters()
     rng = np.random.default_rng(seed)
     sample = rng.integers(0, n, size=min(sample_size, n))
-    roots, hops = pointer_jump_roots(parent)
-    giant = np.bincount(roots[sample]).argmax()
-    phase2.dependent_accesses += int(sample.size) * 2  # sampled finds
-    phase2.label_reads += int(sample.size) * 2
+    if local:
+        # Charge the modelled find cost of exactly the sampled
+        # vertices — what the real algorithm's sampled finds pay.
+        sample_roots, sample_hops = resolve_roots_local(parent, sample)
+        charge_finds(phase2, sample_hops)
+    else:
+        all_roots, _ = pointer_jump_roots(parent)
+        sample_roots = all_roots[sample]
+        phase2.dependent_accesses += int(sample.size) * 2  # flat charge
+        phase2.label_reads += int(sample.size) * 2
+    giant = int(np.bincount(sample_roots).argmax())
+    # Full membership view for the skip test below; a simulation
+    # device shared by both paths (the real algorithm folds this find
+    # into each vertex's phase-3 visit), so it is not charged.
+    roots, _ = pointer_jump_roots(parent)
     phase2.iterations = 1
     trace.add(IterationRecord(
         index=1, direction=Direction.PUSH, density=0.0,
@@ -107,16 +122,9 @@ def afforest_cc(graph: CSRGraph, *, neighbor_rounds: int = 2,
                    + (idx - offsets[seg]))
             targets = graph.indices[pos].astype(np.int64)
             sources = np.repeat(rows, counts)
-            links, hops = union_edge_batch(parent, sources, targets)
-            phase3.edges_processed += total
-            phase3.random_accesses += total
-            phase3.label_reads += total
-            phase3.cas_attempts += total
-            phase3.branches += total
-            phase3.unpredictable_branches += total
-            phase3.record_cas_successes(links)
-            phase3.dependent_accesses += hops
-            phase3.label_reads += hops
+            links, hops = union_edge_batch(parent, sources, targets,
+                                           local=local)
+            charge_union(phase3, total, links, hops)
     phase3.sequential_accesses += n        # final compression pass
     phase3.label_writes += n
     phase3.iterations = 1

@@ -16,6 +16,9 @@ Terminates when f stops changing; labels are the fully-shortcut roots.
 Cost per round: two passes over all edges plus a vertex pass — cheaper
 rounds than SV (no full pointer-jump per round) and usually fewer of
 them, but still processing all edges every round, which Thrifty avoids.
+The final root extraction rides the touched-set ``flatten_parents``
+(repro.baselines.disjoint_set): only non-flat entries are revisited
+after the discovery sweep, with a bit-identical result.
 """
 
 from __future__ import annotations

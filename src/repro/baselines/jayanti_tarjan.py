@@ -6,15 +6,20 @@ random priority under the other) and path splitting on finds.
 
 Simulation model: the edge set (each undirected edge once, as in the
 paper's coordinate-format input) is processed in batches.  Each batch
-round computes roots by pointer jumping and applies a linearized batch
-of priority links; unresolved edges (both endpoints ended in different
-sets due to intra-batch races) retry in the next round — exactly the
-retry a real CAS-based link performs.
+round computes roots of the surviving endpoints and applies a
+linearized batch of priority links; unresolved edges (both endpoints
+ended in different sets due to intra-batch races) retry in the next
+round — exactly the retry a real CAS-based link performs.  This is
+``union_edge_batch`` with a priority array.
 
-Cost accounting models the *sequential-equivalent* JT pass the paper
-measures: each undirected edge is charged once (edges_processed), with
-two finds whose dependent-access cost is the measured pointer-jump
-work amortized per edge, plus one CAS per link attempt.
+Cost accounting routes through the shared :func:`charge_union`
+recipe: each undirected edge is charged once (``edges_processed``)
+with both endpoint gathers, and the find cost is the worklist-local
+``hops`` — the dependent parent reads per-endpoint sequential finds
+with path compression would make (see repro.baselines.disjoint_set).
+``local=False`` keeps the historical all-vertex pointer-jumping
+simulation, whose hops it amortizes over 2 finds/edge floored at one
+hop per find; labels and link counts are identical either way.
 """
 
 from __future__ import annotations
@@ -25,7 +30,13 @@ from ..core.result import CCResult
 from ..graph.csr import CSRGraph
 from ..instrument.counters import OpCounters
 from ..instrument.trace import Direction, IterationRecord, RunTrace
-from .disjoint_set import flatten_parents, link_roots, pointer_jump_roots
+from .disjoint_set import (
+    charge_union,
+    flatten_parents,
+    link_roots,
+    pointer_jump_roots,
+    union_edge_batch,
+)
 
 __all__ = ["jayanti_tarjan_cc"]
 
@@ -33,7 +44,7 @@ _MAX_ROUNDS = 10_000
 
 
 def jayanti_tarjan_cc(graph: CSRGraph, *, seed: int = 0,
-                      dataset: str = "") -> CCResult:
+                      dataset: str = "", local: bool = True) -> CCResult:
     """Run JT; labels are fully-compressed parent ids."""
     n = graph.num_vertices
     trace = RunTrace(algorithm="jt", dataset=dataset)
@@ -54,37 +65,41 @@ def jayanti_tarjan_cc(graph: CSRGraph, *, seed: int = 0,
     priority = rng.permutation(n).astype(np.int64)
 
     counters = OpCounters()
-    counters.edges_processed += m          # each edge processed once
-    counters.random_accesses += 2 * m      # endpoint reads
-    counters.label_reads += 2 * m
-    counters.cas_attempts += m
-    counters.branches += 2 * m
-    counters.unpredictable_branches += m
-
-    total_hops = 0
-    rounds = 0
-    while eu.size and rounds < _MAX_ROUNDS:
-        rounds += 1
-        roots, hops = pointer_jump_roots(parent)
-        total_hops += hops
-        ru = roots[eu]
-        rv = roots[ev]
-        cross = ru != rv
-        eu, ev = eu[cross], ev[cross]
-        ru, rv = ru[cross], rv[cross]
-        if eu.size == 0:
-            break
-        linked = link_roots(parent, ru, rv, priority)
-        counters.record_cas_successes(linked)
-    if eu.size:
-        raise RuntimeError("Jayanti-Tarjan failed to converge")
-
-    # Find cost: amortized pointer-chasing hops. The linearized batch
-    # simulation revisits parents; charge the modelled per-edge finds
-    # (2 per edge) at the average observed path length, floored at one
-    # hop per find.
-    avg_path = max(1.0, total_hops / max(2 * m, 1) )
-    counters.record_finds(2 * m, avg_path)
+    if local:
+        links, hops = union_edge_batch(parent, eu, ev,
+                                       priority=priority,
+                                       max_rounds=_MAX_ROUNDS)
+        charge_union(counters, m, links, hops, endpoint_reads=2)
+    else:
+        counters.edges_processed += m      # each edge processed once
+        counters.random_accesses += 2 * m  # endpoint reads
+        counters.label_reads += 2 * m
+        counters.cas_attempts += m
+        counters.branches += 2 * m
+        counters.unpredictable_branches += m
+        total_hops = 0
+        rounds = 0
+        while eu.size and rounds < _MAX_ROUNDS:
+            rounds += 1
+            roots, hops = pointer_jump_roots(parent)
+            total_hops += hops
+            ru = roots[eu]
+            rv = roots[ev]
+            cross = ru != rv
+            eu, ev = eu[cross], ev[cross]
+            ru, rv = ru[cross], rv[cross]
+            if eu.size == 0:
+                break
+            linked = link_roots(parent, ru, rv, priority)
+            counters.record_cas_successes(linked)
+        if eu.size:
+            raise RuntimeError("Jayanti-Tarjan failed to converge")
+        # Find cost: amortized pointer-chasing hops.  The all-vertex
+        # simulation revisits parents; charge the modelled per-edge
+        # finds (2 per edge) at the average observed path length,
+        # floored at one hop per find.
+        avg_path = max(1.0, total_hops / max(2 * m, 1))
+        counters.record_finds(2 * m, avg_path)
     counters.iterations = 1
     trace.add(IterationRecord(
         index=0,

@@ -1,17 +1,26 @@
 """Shiloach-Vishkin connected components [19] — the oldest baseline.
 
-Each round makes a full pass over all edges (hook) followed by full
-pointer-jumping (shortcut); O(log n) rounds.  This is why SV is the
-slowest algorithm in Table IV: every round re-processes every edge.
+Each round makes a full pass over all edges (hook) followed by
+pointer-jumping to flat trees (shortcut); O(log n) rounds.  This is
+why SV is the slowest algorithm in Table IV: every round re-processes
+every edge.
 
 The implementation follows the GAPBS variant: hook an edge (u, v) when
 ``comp[u] < comp[v]`` and ``comp[v]`` is a root, then shortcut all
 trees to depth 1.  Hooking races resolve towards the minimum, which is
-what the vectorized scatter-min produces.
+what the vectorized scatter-min produces.  ``changed_vertices`` counts
+the distinct roots whose label dropped in the round — duplicate hooks
+into the same root are one linearized commit, not several.
 
 Cost accounting per round: 2|E| random component reads for the edge
-pass, the hook writes, and the shortcut's dependent pointer chases —
-all recorded in the trace so the cost model can price each round.
+pass, the hook writes, and the shortcut's pointer chases.  With
+``local=True`` (default) the shortcut gets the touched-set treatment:
+one flatness sweep over the vertices plus, per jump round, reads and
+writes only for the entries that actually moved (see
+repro.baselines.disjoint_set).  ``local=False`` charges the
+historical all-vertex quantity — every vertex reads its parent every
+jump round — as the reference accounting; labels and link counts are
+identical either way.
 """
 
 from __future__ import annotations
@@ -22,13 +31,15 @@ from ..core.result import CCResult
 from ..graph.csr import CSRGraph
 from ..instrument.counters import OpCounters
 from ..instrument.trace import Direction, IterationRecord, RunTrace
+from .disjoint_set import shortcut_parents
 
 __all__ = ["shiloach_vishkin_cc"]
 
 _MAX_ROUNDS = 10_000
 
 
-def shiloach_vishkin_cc(graph: CSRGraph, *, dataset: str = "") -> CCResult:
+def shiloach_vishkin_cc(graph: CSRGraph, *, dataset: str = "",
+                        local: bool = True) -> CCResult:
     """Run SV to convergence; returns labels = component root ids."""
     n = graph.num_vertices
     trace = RunTrace(algorithm="sv", dataset=dataset)
@@ -59,23 +70,36 @@ def shiloach_vishkin_cc(graph: CSRGraph, *, dataset: str = "") -> CCResult:
         values = cu[hook]
         changed = 0
         if targets.size:
-            before = comp[targets].copy()
+            # Count per distinct root, not per hooking edge: several
+            # edges lowering the same root are one linearized commit.
+            before = comp[targets]
             np.minimum.at(comp, targets, values)
-            changed = int(np.count_nonzero(comp[targets] < before))
+            dropped = np.zeros(n, dtype=bool)
+            dropped[targets[comp[targets] < before]] = True
+            changed = int(np.count_nonzero(dropped))
             counters.record_cas_successes(changed)
         # --- shortcut: pointer jumping until trees are flat ---
-        hops = 0
-        while True:
-            nxt = comp[comp]
-            moved = int(np.count_nonzero(nxt != comp))
-            hops += n                        # every vertex reads its parent
-            if moved == 0:
-                break
-            comp = nxt
-        counters.dependent_accesses += hops
-        counters.label_reads += hops
-        counters.sequential_accesses += n    # shortcut writes
-        counters.label_writes += n
+        jump_rounds, touched = shortcut_parents(comp, local=local)
+        if local:
+            # Touched-set accounting: one flatness sweep (own parent +
+            # grandparent per vertex), then per jump round only the
+            # entries that actually moved chase and rewrite pointers.
+            counters.sequential_accesses += n
+            counters.random_accesses += n
+            counters.label_reads += 2 * n
+            counters.branches += n
+            counters.dependent_accesses += 2 * touched
+            counters.label_reads += 2 * touched
+            counters.record_label_commits(touched, random=True)
+        else:
+            # Historical all-vertex accounting: every vertex reads its
+            # parent in every jump round, including the final
+            # confirming one, and the whole array is rewritten once.
+            hops = n * (jump_rounds + 1)
+            counters.dependent_accesses += hops
+            counters.label_reads += hops
+            counters.sequential_accesses += n    # shortcut writes
+            counters.label_writes += n
         counters.iterations = 1
         trace.add(IterationRecord(
             index=trace.num_iterations,

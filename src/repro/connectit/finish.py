@@ -12,6 +12,14 @@ completes the components:
   are flattened into labels, the largest component's label is mapped
   to zero, and the LP engine finishes propagation.  This is the
   hybrid the paper's framing invites (sampling + LP finish).
+
+Union work is charged through the shared
+:func:`repro.baselines.disjoint_set.charge_union` recipe and sampled
+finds through :func:`charge_finds` — the same convention as every
+other union call site, so counter streams stay comparable across the
+design space.  ``local`` (default True) selects worklist-local root
+resolution; ``local=False`` is the all-vertex reference with
+identical links and labels.
 """
 
 from __future__ import annotations
@@ -21,8 +29,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..baselines.disjoint_set import (
+    charge_finds,
+    charge_union,
     flatten_parents,
     pointer_jump_roots,
+    resolve_roots_local,
     union_edge_batch,
 )
 from ..graph.csr import CSRGraph
@@ -41,27 +52,42 @@ class FinishOutcome:
     edges_processed: int
 
 
-def _sampled_giant(parent: np.ndarray, sample_size: int,
-                   seed: int) -> tuple[np.ndarray, int]:
-    """(roots, most frequent root) from the sampled structure."""
+def _sampled_giant(parent: np.ndarray, sample_size: int, seed: int,
+                   local: bool) -> tuple[np.ndarray, int, int]:
+    """(all roots, most frequent sampled root, sampled-find hops).
+
+    The hops are the modelled find cost of exactly the sampled
+    vertices (worklist-local resolution); the all-vertex reference
+    keeps the historical flat two-hops-per-sample charge.  The full
+    roots view is a simulation device for the membership tests below
+    and is not charged (the real algorithm folds that find into each
+    vertex's finish-phase visit).
+    """
     n = parent.size
     rng = np.random.default_rng(seed)
-    roots, _ = pointer_jump_roots(parent)
     sample = rng.integers(0, n, size=min(sample_size, n))
-    giant = int(np.bincount(roots[sample]).argmax())
-    return roots, giant
+    if local:
+        sample_roots, hops = resolve_roots_local(parent, sample)
+    else:
+        all_roots, _ = pointer_jump_roots(parent)
+        sample_roots = all_roots[sample]
+        hops = 2 * int(sample.size)
+    giant = int(np.bincount(sample_roots).argmax())
+    roots, _ = pointer_jump_roots(parent)
+    return roots, giant, hops
 
 
 def finish_skip_giant(graph: CSRGraph, parent: np.ndarray,
                       *, sample_size: int = 1024,
-                      seed: int = 0) -> FinishOutcome:
+                      seed: int = 0, local: bool = True) -> FinishOutcome:
     """Afforest-style finish: only non-giant vertices touch their edges."""
     counters = OpCounters()
     n = graph.num_vertices
     if n == 0:
         return FinishOutcome(parent, counters, 0)
-    roots, giant = _sampled_giant(parent, sample_size, seed)
-    counters.dependent_accesses += 2 * min(sample_size, n)
+    roots, giant, find_hops = _sampled_giant(parent, sample_size, seed,
+                                             local)
+    charge_finds(counters, find_hops)
     outside = np.flatnonzero(roots != giant)
     total = 0
     if outside.size:
@@ -70,22 +96,17 @@ def finish_skip_giant(graph: CSRGraph, parent: np.ndarray,
         sources = np.repeat(outside, counts)
         if targets.size:
             links, hops = union_edge_batch(parent, sources,
-                                           targets.astype(np.int64))
+                                           targets.astype(np.int64),
+                                           local=local)
             total = int(targets.size)
-            counters.edges_processed += total
-            counters.random_accesses += total
-            counters.cas_attempts += total
-            counters.branches += total
-            counters.unpredictable_branches += total
-            counters.record_cas_successes(links)
-            counters.dependent_accesses += hops
+            charge_union(counters, total, links, hops)
     counters.sequential_accesses += n
     counters.label_writes += n
     return FinishOutcome(flatten_parents(parent), counters, total)
 
 
 def finish_all_edges(graph: CSRGraph, parent: np.ndarray,
-                     *, seed: int = 0) -> FinishOutcome:
+                     *, seed: int = 0, local: bool = True) -> FinishOutcome:
     """Union every edge — correct regardless of sampling quality."""
     counters = OpCounters()
     src = graph.edge_sources()
@@ -94,14 +115,8 @@ def finish_all_edges(graph: CSRGraph, parent: np.ndarray,
     eu, ev = src[once], dst[once]
     total = int(eu.size)
     if total:
-        links, hops = union_edge_batch(parent, eu, ev)
-        counters.edges_processed += total
-        counters.random_accesses += 2 * total
-        counters.cas_attempts += total
-        counters.branches += total
-        counters.unpredictable_branches += total
-        counters.record_cas_successes(links)
-        counters.dependent_accesses += hops
+        links, hops = union_edge_batch(parent, eu, ev, local=local)
+        charge_union(counters, total, links, hops, endpoint_reads=2)
     n = graph.num_vertices
     counters.sequential_accesses += n
     counters.label_writes += n
@@ -110,7 +125,7 @@ def finish_all_edges(graph: CSRGraph, parent: np.ndarray,
 
 def finish_thrifty_pull(graph: CSRGraph, parent: np.ndarray,
                         *, sample_size: int = 1024,
-                        seed: int = 0) -> FinishOutcome:
+                        seed: int = 0, local: bool = True) -> FinishOutcome:
     """Finish with zero-convergent label propagation.
 
     The sampled components become the initial labels (root id + 1);
@@ -122,8 +137,9 @@ def finish_thrifty_pull(graph: CSRGraph, parent: np.ndarray,
     n = graph.num_vertices
     if n == 0:
         return FinishOutcome(parent, counters, 0)
-    roots, giant = _sampled_giant(parent, sample_size, seed)
-    counters.dependent_accesses += 2 * min(sample_size, n)
+    roots, giant, find_hops = _sampled_giant(parent, sample_size, seed,
+                                             local)
+    charge_finds(counters, find_hops)
     labels = roots.astype(np.int64) + 1
     labels[roots == giant] = 0
     counters.sequential_accesses += n

@@ -25,11 +25,15 @@ def connectit_cc(graph: CSRGraph,
                  finish: str = "skip-giant",
                  seed: int = 0,
                  dataset: str = "",
+                 local: bool = True,
                  **strategy_kwargs) -> CCResult:
     """Run one (sampling, finish) combination.
 
     ``strategy_kwargs`` go to the sampling strategy (e.g. ``k=3`` for
-    k-out, ``rounds=2`` for BFS/LDD sampling).
+    k-out, ``rounds=2`` for BFS/LDD sampling).  ``local`` selects
+    worklist-local union-find root resolution in both phases (the
+    default); ``local=False`` runs the all-vertex reference, with
+    identical labels and link counts.
     """
     try:
         sample_fn = SAMPLING_STRATEGIES[sampling]
@@ -51,7 +55,8 @@ def connectit_cc(graph: CSRGraph,
     if n == 0:
         return CCResult(labels=parent, trace=trace)
 
-    sampled = sample_fn(graph, parent, seed=seed, **strategy_kwargs)
+    sampled = sample_fn(graph, parent, seed=seed, local=local,
+                        **strategy_kwargs)
     sampled.counters.iterations = 1
     trace.add(IterationRecord(
         index=0, direction=Direction.PUSH, density=1.0,
@@ -59,7 +64,7 @@ def connectit_cc(graph: CSRGraph,
         changed_vertices=n, converged_fraction=0.0,
         counters=sampled.counters))
 
-    outcome = finish_fn(graph, parent, seed=seed)
+    outcome = finish_fn(graph, parent, seed=seed, local=local)
     outcome.counters.iterations = 1
     trace.add(IterationRecord(
         index=1, direction=Direction.PUSH, density=0.0,

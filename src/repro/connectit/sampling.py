@@ -9,7 +9,9 @@ compile; this subpackage implements the framework's design space so
 the comparison the paper wanted can be run.
 
 All strategies operate on a union-find parent array and return an
-OpCounters-style record of the work they performed:
+OpCounters-style record of the work they performed, charged through
+the shared :func:`repro.baselines.disjoint_set.charge_union` recipe
+(one accounting convention across every union call site in the repo):
 
 * ``kout`` — union every vertex with its first k neighbours
   (Afforest's "neighbour rounds" is exactly k-out with k=2);
@@ -18,6 +20,10 @@ OpCounters-style record of the work they performed:
 * ``ldd`` — low-diameter decomposition: multi-source BFS from random
   seeds growing disjoint clusters, unioning intra-cluster tree edges;
 * ``none`` — no sampling (pure finish baseline).
+
+Every strategy takes ``local`` (default True): worklist-local root
+resolution inside ``union_edge_batch``; ``local=False`` is the
+all-vertex reference with identical links and labels.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..baselines.disjoint_set import union_edge_batch
+from ..baselines.disjoint_set import charge_union, union_edge_batch
 from ..graph.csr import CSRGraph
 from ..instrument.counters import OpCounters
 
@@ -46,21 +52,9 @@ class SampleOutcome:
         return SampleOutcome(OpCounters(), 0)
 
 
-def _charge_union(counters: OpCounters, edges: int, links: int,
-                  hops: int) -> None:
-    counters.edges_processed += edges
-    counters.random_accesses += edges
-    counters.label_reads += edges
-    counters.cas_attempts += edges
-    counters.branches += edges
-    counters.unpredictable_branches += edges
-    counters.record_cas_successes(links)
-    counters.dependent_accesses += hops
-    counters.label_reads += hops
-
-
 def sample_kout(graph: CSRGraph, parent: np.ndarray,
-                *, k: int = 2, seed: int = 0) -> SampleOutcome:
+                *, k: int = 2, seed: int = 0,
+                local: bool = True) -> SampleOutcome:
     """Union each vertex with its first ``k`` neighbours."""
     counters = OpCounters()
     total = 0
@@ -70,14 +64,15 @@ def sample_kout(graph: CSRGraph, parent: np.ndarray,
         if has.size == 0:
             break
         nbr = graph.indices[graph.indptr[has] + r].astype(np.int64)
-        links, hops = union_edge_batch(parent, has, nbr)
-        _charge_union(counters, int(has.size), links, hops)
+        links, hops = union_edge_batch(parent, has, nbr, local=local)
+        charge_union(counters, int(has.size), links, hops)
         total += int(has.size)
     return SampleOutcome(counters, total)
 
 
 def sample_bfs(graph: CSRGraph, parent: np.ndarray,
-               *, rounds: int = 3, seed: int = 0) -> SampleOutcome:
+               *, rounds: int = 3, seed: int = 0,
+               local: bool = True) -> SampleOutcome:
     """BFS from the hub for ``rounds`` levels, unioning tree edges."""
     counters = OpCounters()
     n = graph.num_vertices
@@ -106,8 +101,8 @@ def sample_bfs(graph: CSRGraph, parent: np.ndarray,
             src = np.repeat(frontier, counts)
         else:
             dst = graph.indices[pos].astype(np.int64)
-        links, hops = union_edge_batch(parent, src, dst)
-        _charge_union(counters, int(dst.size), links, hops)
+        links, hops = union_edge_batch(parent, src, dst, local=local)
+        charge_union(counters, int(dst.size), links, hops)
         total += int(dst.size)
         fresh = np.unique(dst[~seen[dst]])
         seen[fresh] = True
@@ -117,7 +112,7 @@ def sample_bfs(graph: CSRGraph, parent: np.ndarray,
 
 def sample_ldd(graph: CSRGraph, parent: np.ndarray,
                *, num_seeds: int | None = None, rounds: int = 4,
-               seed: int = 0) -> SampleOutcome:
+               seed: int = 0, local: bool = True) -> SampleOutcome:
     """Low-diameter decomposition sampling.
 
     Grows disjoint BFS clusters from random seeds for ``rounds``
@@ -134,6 +129,10 @@ def sample_ldd(graph: CSRGraph, parent: np.ndarray,
     seeds = rng.choice(n, size=min(k, n), replace=False)
     owner = np.full(n, -1, dtype=np.int64)
     owner[seeds] = seeds
+    # Tie-break rank: the position of each seed in the draw order, so
+    # simultaneous claims resolve toward the lower seed index.
+    seed_rank = np.full(n, n, dtype=np.int64)
+    seed_rank[seeds] = np.arange(seeds.size)
     frontier = np.unique(seeds).astype(np.int64)
     total = 0
     for _ in range(rounds):
@@ -145,12 +144,14 @@ def sample_ldd(graph: CSRGraph, parent: np.ndarray,
         if dst.size == 0:
             break
         dst = dst.astype(np.int64)
-        # Claim unowned targets (first writer in id order wins).
+        # Claim unowned targets; among same-round claims to one target
+        # the cluster with the lowest seed index wins.
         unowned = owner[dst] < 0
         claim_src = src[unowned]
         claim_dst = dst[unowned]
         if claim_dst.size:
-            order = np.argsort(claim_dst, kind="stable")
+            rank = seed_rank[owner[claim_src]]
+            order = np.lexsort((rank, claim_dst))
             cd = claim_dst[order]
             cs = claim_src[order]
             first = np.ones(cd.size, dtype=bool)
@@ -159,8 +160,8 @@ def sample_ldd(graph: CSRGraph, parent: np.ndarray,
             winners_src = cs[first]
             owner[winners_dst] = owner[winners_src]
             links, hops = union_edge_batch(parent, winners_src,
-                                           winners_dst)
-            _charge_union(counters, int(dst.size), links, hops)
+                                           winners_dst, local=local)
+            charge_union(counters, int(dst.size), links, hops)
             total += int(dst.size)
             frontier = winners_dst
         else:
@@ -172,7 +173,7 @@ def sample_ldd(graph: CSRGraph, parent: np.ndarray,
 
 
 def sample_none(graph: CSRGraph, parent: np.ndarray,
-                *, seed: int = 0) -> SampleOutcome:
+                *, seed: int = 0, local: bool = True) -> SampleOutcome:
     """No sampling: the finish phase does all the work."""
     return SampleOutcome.empty()
 

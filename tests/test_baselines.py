@@ -99,3 +99,37 @@ class TestCostShapes:
             trace = algo(small_skewed).trace
             assert trace.iterations[-1].converged_fraction == \
                 pytest.approx(1.0)
+
+    def test_afforest_phase1_trace_counts_actual_edges(self):
+        # Star graph: round 0 offers every vertex's first neighbour
+        # (n+1 edges... n leaves + hub), round 1 only the hub has a
+        # second neighbour.  The old trace recorded neighbor_rounds*n.
+        g = star_graph(50)
+        n = g.num_vertices                       # 51
+        r = afforest_cc(g, neighbor_rounds=2)
+        phase1 = r.trace.iterations[0]
+        assert phase1.active_edges == n + 1      # not 2 * n
+        assert phase1.active_edges == phase1.counters.edges_processed
+
+    def test_afforest_phase1_trace_matches_counters(self, small_skewed):
+        r = afforest_cc(small_skewed)
+        phase1 = r.trace.iterations[0]
+        assert phase1.active_edges == phase1.counters.edges_processed
+
+    def test_afforest_phase2_charges_sampled_find_cost(self, small_skewed):
+        c = afforest_cc(small_skewed).trace.iterations[1].counters
+        # The sampled finds cost at least one read per sampled vertex
+        # and are mirrored into label_reads (shared find recipe).
+        sample = min(1024, small_skewed.num_vertices)
+        assert c.dependent_accesses >= sample
+        assert c.label_reads == c.dependent_accesses
+
+    def test_sv_counts_duplicate_hooks_once(self):
+        # Two edges hook the same root in one round: one linearized
+        # commit, so changed_vertices must be 1, not 2.
+        from repro.graph import build_graph, from_pairs
+        g = build_graph(from_pairs([(0, 2), (1, 2)]),
+                        drop_zero_degree=False)
+        r = shiloach_vishkin_cc(g)
+        assert r.trace.iterations[0].changed_vertices == 1
+        assert r.trace.iterations[0].counters.cas_successes == 1

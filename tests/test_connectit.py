@@ -87,3 +87,58 @@ class TestSamplingBehaviour:
                                  finish="skip-giant")
         assert sampled.counters().edges_processed < \
             unsampled.counters().edges_processed
+
+    def test_ldd_tie_breaks_toward_lower_seed_index(self):
+        # Path 0-1-2 with seeds drawn as [2, 0] (seed index 0 is
+        # vertex 2).  Both clusters reach vertex 1 in round one; the
+        # docstring promises the lower *seed index* wins, so vertex 1
+        # must join vertex 2's cluster — not vertex 0's, which is what
+        # frontier-order tie-breaking used to produce.
+        from repro.baselines import flatten_parents
+        from repro.graph import build_graph, from_pairs
+        g = build_graph(from_pairs([(0, 1), (1, 2)]),
+                        drop_zero_degree=False)
+        assert np.random.default_rng(21).choice(
+            3, size=2, replace=False).tolist() == [2, 0]
+        parent = np.arange(3, dtype=np.int64)
+        sample_ldd(g, parent, num_seeds=2, rounds=1, seed=21)
+        flat = flatten_parents(parent)
+        assert flat[1] == flat[2]
+        assert flat[0] != flat[1]
+
+
+class TestCounterParity:
+    """Every union call site charges through the one shared recipe.
+
+    charge_union/charge_finds imply the cross-counter identity
+    ``label_reads == (random_accesses - cas_successes) +
+    dependent_accesses``: endpoint gathers are mirrored into
+    label_reads, find hops into dependent_accesses and label_reads,
+    and link commits into random_accesses only.  finish_skip_giant
+    used to omit every label_reads charge and fail this.
+    """
+
+    @staticmethod
+    def _assert_recipe(c):
+        assert c.label_reads == \
+            (c.random_accesses - c.cas_successes) + c.dependent_accesses
+
+    @pytest.mark.parametrize("sampling", ["kout", "bfs"])
+    def test_sampling_strategies(self, sampling, small_skewed):
+        parent = np.arange(small_skewed.num_vertices, dtype=np.int64)
+        out = SAMPLING_STRATEGIES[sampling](small_skewed, parent)
+        self._assert_recipe(out.counters)
+
+    @pytest.mark.parametrize("finish", ["skip-giant", "all-edges"])
+    def test_finish_strategies(self, finish, small_skewed):
+        parent = np.arange(small_skewed.num_vertices, dtype=np.int64)
+        sample_kout(small_skewed, parent, k=2)
+        out = FINISH_STRATEGIES[finish](small_skewed, parent.copy())
+        self._assert_recipe(out.counters)
+
+    def test_skip_giant_charges_label_reads(self, small_skewed):
+        parent = np.arange(small_skewed.num_vertices, dtype=np.int64)
+        sample_kout(small_skewed, parent, k=1)
+        out = FINISH_STRATEGIES["skip-giant"](small_skewed, parent)
+        assert out.counters.label_reads >= out.counters.edges_processed
+        assert out.counters.dependent_accesses > 0

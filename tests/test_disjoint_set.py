@@ -5,10 +5,16 @@ import pytest
 
 from repro.baselines import (
     DisjointSet,
+    charge_finds,
+    charge_union,
     flatten_parents,
     link_roots,
     pointer_jump_roots,
+    resolve_roots_local,
+    shortcut_parents,
+    union_edge_batch,
 )
+from repro.instrument.counters import OpCounters
 
 
 class TestDisjointSet:
@@ -109,3 +115,173 @@ class TestVectorizedPrimitives:
     def test_link_roots_self_pairs_ignored(self):
         parent = np.arange(4)
         assert link_roots(parent, np.array([2]), np.array([2])) == 0
+
+
+def _chain_parent(n):
+    """parent = [0, 0, 1, 2, ...]: vertex i at depth i."""
+    parent = np.arange(n, dtype=np.int64)
+    parent[1:] = np.arange(n - 1)
+    return parent
+
+
+class TestResolveRootsLocal:
+    def test_untouched_entries_never_read_or_written(self):
+        parent = np.array([0, 0, 1, 3, 3], dtype=np.int64)
+        before = parent.copy()
+        roots, _ = resolve_roots_local(parent, np.array([4]))
+        assert roots.tolist() == [3]
+        # Only the touched entry may change (here it was already flat).
+        assert np.array_equal(parent, before)
+
+    def test_roots_match_pointer_jump(self):
+        rng = np.random.default_rng(3)
+        parent = np.arange(200, dtype=np.int64)
+        link_roots(parent, rng.integers(0, 200, 300),
+                   rng.integers(0, 200, 300))
+        reference, _ = pointer_jump_roots(parent)
+        touched = rng.integers(0, 200, 80)
+        roots, _ = resolve_roots_local(parent, touched)
+        assert np.array_equal(roots, reference[touched])
+
+    def test_compression_preserves_all_roots(self):
+        rng = np.random.default_rng(4)
+        parent = np.arange(100, dtype=np.int64)
+        link_roots(parent, rng.integers(0, 100, 150),
+                   rng.integers(0, 100, 150))
+        reference, _ = pointer_jump_roots(parent)
+        resolve_roots_local(parent, rng.integers(0, 100, 40))
+        after, _ = pointer_jump_roots(parent)
+        assert np.array_equal(after, reference)
+
+    def test_hops_is_depth_for_first_find(self):
+        # Vertex 5 sits at depth 5 in a chain: one sequential find.
+        parent = _chain_parent(8)
+        _, hops = resolve_roots_local(parent, np.array([5]))
+        assert hops == 5
+
+    def test_root_find_costs_one_hop(self):
+        parent = np.arange(4, dtype=np.int64)
+        _, hops = resolve_roots_local(parent, np.array([2]))
+        assert hops == 1
+
+    def test_duplicate_finds_hit_the_memo_cache(self):
+        parent = _chain_parent(8)
+        _, hops = resolve_roots_local(parent, np.array([5, 5, 5]))
+        # First find walks the depth-5 path; the two repeats cost one
+        # (memoized) read each.
+        assert hops == 5 + 2
+
+    def test_second_batch_sees_compressed_path(self):
+        parent = _chain_parent(8)
+        resolve_roots_local(parent, np.array([5]))
+        _, hops = resolve_roots_local(parent, np.array([5]))
+        assert hops == 1
+
+    def test_empty_batch(self):
+        parent = np.arange(3, dtype=np.int64)
+        roots, hops = resolve_roots_local(parent, np.array([], np.int64))
+        assert roots.size == 0 and hops == 0
+
+
+class TestShortcutParents:
+    def test_local_matches_reference_array(self):
+        rng = np.random.default_rng(5)
+        a = np.arange(300, dtype=np.int64)
+        link_roots(a, rng.integers(0, 300, 500),
+                   rng.integers(0, 300, 500))
+        b = a.copy()
+        shortcut_parents(a, local=True)
+        shortcut_parents(b, local=False)
+        assert np.array_equal(a, b)
+        assert np.array_equal(a[a], a)       # depth <= 1 everywhere
+
+    def test_round_counts_agree(self):
+        rng = np.random.default_rng(6)
+        a = np.arange(128, dtype=np.int64)
+        link_roots(a, rng.integers(0, 128, 200),
+                   rng.integers(0, 128, 200))
+        b = a.copy()
+        rounds_local, _ = shortcut_parents(a, local=True)
+        rounds_ref, _ = shortcut_parents(b, local=False)
+        assert rounds_local == rounds_ref
+
+    def test_flat_array_is_zero_work(self):
+        parent = np.zeros(6, dtype=np.int64)
+        assert shortcut_parents(parent.copy(), local=True) == (0, 0)
+        assert shortcut_parents(parent.copy(), local=False) == (0, 0)
+
+    def test_touched_counts_only_moved_entries(self):
+        parent = _chain_parent(4)        # depths 0,1,2,3
+        rounds, touched = shortcut_parents(parent.copy(), local=True)
+        # Round 1 moves vertices at depth >= 2 (two of them); round 2
+        # re-checks; the doubling flattens depth 3 in one more touch.
+        _, touched_ref = shortcut_parents(parent.copy(), local=False)
+        assert touched == touched_ref
+
+
+class TestUnionEdgeBatchLocal:
+    @pytest.mark.parametrize("with_priority", [False, True])
+    def test_local_and_reference_agree(self, with_priority):
+        rng = np.random.default_rng(7)
+        n = 500
+        eu = rng.integers(0, n, 2000)
+        ev = rng.integers(0, n, 2000)
+        priority = rng.permutation(n) if with_priority else None
+        pa = np.arange(n, dtype=np.int64)
+        pb = np.arange(n, dtype=np.int64)
+        links_a, _ = union_edge_batch(pa, eu, ev, priority=priority,
+                                      local=True)
+        links_b, _ = union_edge_batch(pb, eu, ev, priority=priority,
+                                      local=False)
+        assert links_a == links_b
+        assert np.array_equal(flatten_parents(pa), flatten_parents(pb))
+
+    def test_local_hops_floor_is_per_endpoint(self):
+        # Round one charges at least one read per endpoint occurrence.
+        parent = np.arange(10, dtype=np.int64)
+        eu = np.array([0, 2, 4])
+        ev = np.array([1, 3, 5])
+        _, hops = union_edge_batch(parent, eu, ev, local=True)
+        assert hops >= 2 * eu.size
+
+    def test_local_hops_never_charge_untouched_vertices(self):
+        # Thousands of deep trees the batch never touches: the
+        # all-vertex reference charges their pointer chases anyway;
+        # the local path charges only the four touched endpoints.
+        n = 10_000
+        pa = _chain_parent(n)            # vertex i at depth i
+        pa[:5] = np.arange(5)            # detach the touched corner
+        pb = pa.copy()
+        eu = np.array([0, 1])
+        ev = np.array([2, 3])
+        _, hops_local = union_edge_batch(pa, eu, ev, local=True)
+        _, hops_ref = union_edge_batch(pb, eu, ev, local=False)
+        assert hops_local < 20
+        assert hops_ref > n              # charges vertices never touched
+
+
+class TestChargeHelpers:
+    def test_charge_union_recipe(self):
+        c = OpCounters()
+        charge_union(c, edges=10, links=4, hops=7)
+        assert c.edges_processed == 10
+        assert c.random_accesses == 10 + 4     # endpoint gathers + links
+        assert c.label_reads == 10 + 7
+        assert c.cas_attempts == 10
+        assert c.cas_successes == 4
+        assert c.label_writes == 4
+        assert c.branches == 10
+        assert c.unpredictable_branches == 10
+        assert c.dependent_accesses == 7
+
+    def test_charge_union_two_endpoint_reads(self):
+        c = OpCounters()
+        charge_union(c, edges=5, links=0, hops=0, endpoint_reads=2)
+        assert c.random_accesses == 10
+        assert c.label_reads == 10
+
+    def test_charge_finds(self):
+        c = OpCounters()
+        charge_finds(c, 9)
+        assert c.dependent_accesses == 9
+        assert c.label_reads == 9

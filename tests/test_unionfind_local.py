@@ -1,0 +1,78 @@
+"""Worklist-local vs all-vertex union-find: equivalence sweep.
+
+The tentpole contract of the local substrate (see
+repro.baselines.disjoint_set): for every tree-hooking baseline and
+ConnectIt combination, the worklist-local path (``local=True``)
+produces **identical final labels and identical link counts** to the
+all-vertex reference (``local=False``).  Only the find-cost
+accounting (``hops`` -> ``dependent_accesses``/``label_reads``) may
+differ, because that is the bug the local path fixes: charging
+pointer chases for vertices the algorithm never touches.
+
+The sweep crosses >= 3 graph families x {SV, JT, Afforest, two
+ConnectIt combos}.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    afforest_cc,
+    jayanti_tarjan_cc,
+    shiloach_vishkin_cc,
+)
+from repro.connectit import connectit_cc
+from repro.graph.generators import (
+    chung_lu_graph,
+    erdos_renyi_graph,
+    rmat_graph,
+    road_network_graph,
+    star_graph,
+    with_dust_components,
+)
+from repro.validate import validate_against_reference
+
+GRAPHS = [
+    ("rmat", lambda: rmat_graph(9, 8, seed=21)),
+    ("rmat_dusty", lambda: with_dust_components(rmat_graph(8, 8, seed=22),
+                                                10, seed=22)),
+    ("chung_lu", lambda: chung_lu_graph(500, 9.0, exponent=2.1, seed=23)),
+    ("road", lambda: road_network_graph(20, 16, seed=24)),
+    ("uniform", lambda: erdos_renyi_graph(400, 5.0, seed=25)),
+    ("star", lambda: star_graph(64)),
+]
+
+STRATEGIES = [
+    ("sv", lambda g, local: shiloach_vishkin_cc(g, local=local)),
+    ("jt", lambda g, local: jayanti_tarjan_cc(g, seed=3, local=local)),
+    ("afforest", lambda g, local: afforest_cc(g, seed=3, local=local)),
+    ("connectit_kout_skip", lambda g, local: connectit_cc(
+        g, sampling="kout", finish="skip-giant", seed=3, local=local)),
+    ("connectit_bfs_all", lambda g, local: connectit_cc(
+        g, sampling="bfs", finish="all-edges", seed=3, local=local)),
+]
+
+
+def _links(result):
+    """Total successful links (hook/CAS commits) across the run."""
+    return result.counters().cas_successes
+
+
+@pytest.mark.parametrize("strategy,run",
+                         STRATEGIES, ids=[s for s, _ in STRATEGIES])
+@pytest.mark.parametrize("family,make",
+                         GRAPHS, ids=[g for g, _ in GRAPHS])
+def test_local_matches_reference(family, make, strategy, run):
+    graph = make()
+    local = run(graph, True)
+    reference = run(graph, False)
+    assert np.array_equal(local.labels, reference.labels)
+    assert _links(local) == _links(reference)
+
+
+@pytest.mark.parametrize("strategy,run",
+                         STRATEGIES, ids=[s for s, _ in STRATEGIES])
+def test_local_path_is_correct(strategy, run):
+    """The local path also agrees with the ground-truth components."""
+    graph = with_dust_components(rmat_graph(8, 8, seed=26), 6, seed=26)
+    validate_against_reference(graph, run(graph, True))
