@@ -11,11 +11,17 @@ quicker smoke runs, e.g. ``REPRO_BENCH_SCALE=0.2 pytest benchmarks/``.
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
 from repro.experiments import clear_cache
+
+#: Perf-trajectory artifact at the repo root, shared by every
+#: extension benchmark (one top-level key per artifact).
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_baselines.json"
 
 #: Dataset scale for all benchmarks.
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
@@ -34,6 +40,25 @@ ALL_DATASETS = ROAD_DATASETS + PL_DATASETS
 
 #: Representative subset for the single-dataset figures.
 REP_DATASET = "Twtr"
+
+
+def write_baseline(artifact, report):
+    """Merge ``report`` into ``BENCH_baselines.json`` under ``artifact``.
+
+    Each benchmark owns one top-level key, so regenerating one artifact
+    never clobbers the others.  A legacy single-report file (flat dict
+    with an ``"artifact"`` key) is re-keyed on first contact.
+    """
+    data = {}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            data = {}
+        if "artifact" in data:          # legacy flat layout
+            data = {data["artifact"]: data}
+    data[artifact] = report
+    BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n")
 
 
 def run_once(benchmark, fn):

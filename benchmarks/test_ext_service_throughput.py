@@ -1,0 +1,138 @@
+"""Extension experiment — serving-layer throughput & router fidelity.
+
+Two artifacts from the serving layer (``repro.service``):
+
+* **Repeated-workload throughput** — a trace that revisits each graph
+  ``REPEATS`` times is pushed through ``CCService`` with
+  ``method="auto"`` and compared against uncached dispatch (the same
+  route-then-run work, but re-probing the graph and re-running the
+  algorithm on every request, which is what a dispatch layer without
+  a registry and result cache must do).  The registry hashes each
+  graph once, probes it once, and the LRU result cache serves every
+  repeat with zero algorithm work, so wall-clock throughput on the
+  trace improves by at least the assert floor (3x at full scale).
+
+* **Router fidelity** — the structure-aware planner behind
+  ``method="auto"`` is swept across all 17 dataset surrogates at the
+  benchmark scale and must pick the family (label propagation vs
+  union-find) that actually measures fastest under the cost model,
+  i.e. reproduce the Table IV winner on every row.
+
+Both reports are merged into ``BENCH_baselines.json`` under the
+``service_throughput`` key so CI keeps the perf trajectory alongside
+the union-find substrate sweep.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import BENCH_PATH, SCALE, STRICT, run_once, write_baseline
+
+from repro.api import connected_components
+from repro.experiments import format_table
+from repro.experiments.routing import auto_routing_table
+from repro.graph.datasets import ALL_DATASET_NAMES, load_dataset
+from repro.service import CCRequest, CCService, plan_for_graph
+
+#: The trace revisits a working set of graphs this many times.
+REPEATS = 5
+#: Working set: both road surrogates plus moderate power-law ones, so
+#: the trace exercises both router families.
+TRACE_DATASETS = ("GBRd", "USRd", "Pkc", "WWiki", "Twtr10", "LJGrp")
+
+
+def _uncached_dispatch(graphs, trace):
+    """Route + run every request from scratch (no registry, no cache)."""
+    t0 = time.perf_counter()
+    for name in trace:
+        graph = graphs[name]
+        plan = plan_for_graph(graph)
+        connected_components(graph, plan.method, dataset=name)
+    return time.perf_counter() - t0
+
+
+def _served_dispatch(graphs, trace):
+    """Push the same trace through one ``CCService`` instance."""
+    svc = CCService()
+    for name, graph in graphs.items():
+        svc.register(graph, name=name)
+    t0 = time.perf_counter()
+    svc.submit_batch([CCRequest(key=name) for name in trace])
+    return time.perf_counter() - t0, svc
+
+
+def _generate():
+    graphs = {name: load_dataset(name, SCALE) for name in TRACE_DATASETS}
+    trace = [name for _ in range(REPEATS) for name in TRACE_DATASETS]
+
+    uncached_s = _uncached_dispatch(graphs, trace)
+    served_s, svc = _served_dispatch(graphs, trace)
+    snap = svc.metrics.snapshot()
+
+    # Served results must agree with direct dispatch per graph.
+    for name, graph in graphs.items():
+        direct = connected_components(graph, "bfs")
+        via = svc.connected_components(graph)
+        assert np.array_equal(
+            np.unique(direct.labels, return_inverse=True)[1],
+            np.unique(via.result.labels, return_inverse=True)[1]), name
+
+    routing = auto_routing_table(scale=SCALE)
+
+    report = {
+        "bench_scale": SCALE,
+        "repeats": REPEATS,
+        "trace_datasets": list(TRACE_DATASETS),
+        "requests": len(trace),
+        "uncached_seconds": uncached_s,
+        "served_seconds": served_s,
+        "throughput_speedup": uncached_s / served_s,
+        "hit_rate": snap["cache_hits"] / snap["requests"],
+        "latency_ms": snap["latency"],
+        "routing": {
+            "agreement": sum(r["agree"] for r in routing),
+            "datasets": len(routing),
+            "rows": [{k: row[k] for k in
+                      ("dataset", "routed", "measured_winner", "agree",
+                       "pred_lp_ms", "pred_uf_ms",
+                       "measured_lp_ms", "measured_uf_ms")}
+                     for row in routing],
+        },
+    }
+    write_baseline("service_throughput", report)
+    return report
+
+
+def test_service_throughput_and_router(benchmark):
+    report = run_once(benchmark, _generate)
+
+    print()
+    print(format_table(
+        ["metric", "value"],
+        [["requests", str(report["requests"])],
+         ["uncached_ms", f"{report['uncached_seconds'] * 1e3:.1f}"],
+         ["served_ms", f"{report['served_seconds'] * 1e3:.1f}"],
+         ["speedup", f"{report['throughput_speedup']:.2f}x"],
+         ["hit_rate", f"{report['hit_rate']:.2f}"]],
+        title="Serving layer — repeated-workload trace"))
+    rows = [[r["dataset"], r["routed"], r["measured_winner"],
+             "yes" if r["agree"] else "NO"]
+            for r in report["routing"]["rows"]]
+    print(format_table(
+        ["dataset", "routed", "measured_winner", "agree"], rows,
+        title="Auto-router vs measured winners"))
+    print(f"(written to {BENCH_PATH.name})")
+
+    assert BENCH_PATH.exists()
+    # The planner must reproduce the measured winner on every surrogate.
+    routing = report["routing"]
+    assert routing["datasets"] == len(ALL_DATASET_NAMES)
+    assert routing["agreement"] == routing["datasets"], [
+        r["dataset"] for r in routing["rows"] if not r["agree"]]
+    # Repeats are served from cache: hit rate is exactly (R-1)/R.
+    assert report["hit_rate"] == (REPEATS - 1) / REPEATS
+    if STRICT:
+        assert report["throughput_speedup"] >= 3.0
+    else:
+        assert report["throughput_speedup"] >= 2.0

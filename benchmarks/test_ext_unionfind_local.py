@@ -38,13 +38,11 @@ context figures, are written to ``BENCH_baselines.json`` at the repo
 root so CI keeps a perf-trajectory artifact.
 """
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 
-from conftest import SCALE, STRICT, run_once
+from conftest import BENCH_PATH, SCALE, STRICT, run_once, write_baseline
 
 from repro.baselines import (
     afforest_cc,
@@ -70,8 +68,6 @@ CHUNK_EDGES = 4096
 #: SV interleaves a shortcut pass after each window of hook chunks.
 SHORTCUT_WINDOW = 64
 NEIGHBOR_ROUNDS = 2
-
-BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_baselines.json"
 
 
 def _afforest_leg(graph, local):
@@ -221,7 +217,6 @@ def _generate():
         }
 
     report = {
-        "artifact": "unionfind_local_sweep",
         "rmat_scale": RMAT_SCALE,
         "edge_factor": EDGE_FACTOR,
         "chunk_edges": CHUNK_EDGES,
@@ -232,7 +227,7 @@ def _generate():
         "combined_speedup": combined,
         "full_runs": full_runs,
     }
-    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    write_baseline("unionfind_local_sweep", report)
     return report
 
 

@@ -2,12 +2,17 @@
 
 Public API highlights:
 
->>> from repro import connected_components
+>>> from repro import connected_components, ThriftyOptions
 >>> from repro.graph import rmat_graph
 >>> g = rmat_graph(12, 8, seed=1)
->>> result = connected_components(g, method="thrifty")
+>>> result = connected_components(g, method="thrifty",
+...                               options=ThriftyOptions(threshold=0.05))
 >>> result.num_components >= 1
 True
+
+``method="auto"`` routes through the structure-aware planner
+(:mod:`repro.service`), and :class:`repro.service.CCService` serves
+repeated workloads with a content-addressed result cache.
 
 Subpackages:
 
@@ -17,10 +22,26 @@ Subpackages:
 * :mod:`repro.parallel` — simulated parallel runtime
 * :mod:`repro.instrument` — counters, PAPI proxies, cost model
 * :mod:`repro.experiments` — harness regenerating every paper artifact
+* :mod:`repro.service` — registry, auto-routing planner, result cache
 """
 
-from .api import ALGORITHMS, connected_components, num_components
+from .api import ALGORITHMS, AUTO_METHOD, connected_components, num_components
 from .core import CCResult, LPOptions, dolp_cc, thrifty_cc, unified_dolp_cc
+from .options import (
+    OPTION_TYPES,
+    AfforestOptions,
+    BFSOptions,
+    ConnectItOptions,
+    DOLPOptions,
+    FastSVOptions,
+    JTOptions,
+    KLAOptions,
+    LPShortcutOptions,
+    ThriftyOptions,
+    UnifiedOptions,
+    UnionFindOptions,
+    options_for,
+)
 from .parallel import EPYC, MACHINES, SKYLAKEX, MachineSpec
 from .validate import (
     canonicalize,
@@ -29,11 +50,12 @@ from .validate import (
     validate_against_reference,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
     "ALGORITHMS",
+    "AUTO_METHOD",
     "connected_components",
     "num_components",
     "CCResult",
@@ -41,6 +63,19 @@ __all__ = [
     "thrifty_cc",
     "dolp_cc",
     "unified_dolp_cc",
+    "OPTION_TYPES",
+    "options_for",
+    "ThriftyOptions",
+    "DOLPOptions",
+    "UnifiedOptions",
+    "UnionFindOptions",
+    "JTOptions",
+    "AfforestOptions",
+    "FastSVOptions",
+    "BFSOptions",
+    "LPShortcutOptions",
+    "ConnectItOptions",
+    "KLAOptions",
     "MachineSpec",
     "SKYLAKEX",
     "EPYC",

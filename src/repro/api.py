@@ -14,12 +14,22 @@ Every algorithm from the paper's evaluation is addressable by name:
 ``bfs``        BFS-CC
 ``kla``        K-Level Asynchronous LP (Section VII, extension)
 ``connectit``  ConnectIt sampling x finish (Related Work, extension)
+``auto``       structure-aware routing (Table IV crossover; service)
 =============  ====================================================
+
+Algorithm tunables travel as one typed options dataclass per method
+(see :mod:`repro.options`); ``method="auto"`` consults the serving
+layer's planner (:mod:`repro.service`), which probes the graph's
+structure once and routes to Thrifty or Afforest according to the
+measured Table IV crossover.  Every dispatch target accepts
+``machine=`` uniformly: label-propagation methods schedule on it,
+the baselines accept and ignore it (their execution is
+machine-independent; the cost model applies it at timing).
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 from .baselines import afforest_cc, bfs_cc, fastsv_cc, \
     jayanti_tarjan_cc, shiloach_vishkin_cc
@@ -28,10 +38,34 @@ from .connectit import connectit_cc
 from .core import CCResult, dolp_cc, thrifty_cc, unified_dolp_cc
 from .core.kla import KLAOptions, kla_cc
 from .graph.csr import CSRGraph
+from .options import resolve_options, to_call_kwargs
 from .parallel.machine import SKYLAKEX, MachineSpec
 
 __all__ = ["ALGORITHMS", "connected_components", "num_components"]
 
+
+def _kla_adapter(graph: CSRGraph, *,
+                 machine: MachineSpec = SKYLAKEX,
+                 k: int = 4,
+                 zero_planting: bool = True,
+                 zero_convergence: bool = True,
+                 max_supersteps: int = 1_000_000,
+                 dataset: str = "") -> CCResult:
+    """Adapter exposing KLA through the keyword-style front door.
+
+    ``machine`` is accepted for interface uniformity; KLA's execution
+    is bulk-synchronous and machine-independent here.
+    """
+    del machine
+    return kla_cc(graph,
+                  KLAOptions(k=k, zero_planting=zero_planting,
+                             zero_convergence=zero_convergence,
+                             max_supersteps=max_supersteps),
+                  dataset=dataset)
+
+
+#: Dispatch table.  Every entry has the uniform signature
+#: ``fn(graph, *, machine=..., dataset=..., **option_fields)``.
 ALGORITHMS: dict[str, Callable[..., CCResult]] = {
     "thrifty": thrifty_cc,
     "dolp": dolp_cc,
@@ -43,25 +77,11 @@ ALGORITHMS: dict[str, Callable[..., CCResult]] = {
     "afforest": afforest_cc,
     "bfs": bfs_cc,
     "connectit": connectit_cc,
+    "kla": _kla_adapter,
 }
 
-
-def _kla_adapter(graph: CSRGraph, *, k: int = 4,
-                 zero_planting: bool = True,
-                 zero_convergence: bool = True,
-                 dataset: str = "") -> CCResult:
-    """Adapter exposing KLA through the keyword-style front door."""
-    return kla_cc(graph,
-                  KLAOptions(k=k, zero_planting=zero_planting,
-                             zero_convergence=zero_convergence),
-                  dataset=dataset)
-
-
-ALGORITHMS["kla"] = _kla_adapter
-
-# Algorithms whose execution (not just cost model) depends on the
-# machine's thread count / topology.
-_MACHINE_AWARE = {"thrifty", "dolp", "unified"}
+#: The planner-routed pseudo-method accepted by the front door.
+AUTO_METHOD = "auto"
 
 
 def connected_components(graph: CSRGraph,
@@ -69,6 +89,7 @@ def connected_components(graph: CSRGraph,
                          *,
                          machine: MachineSpec = SKYLAKEX,
                          dataset: str = "",
+                         options: Any = None,
                          **kwargs) -> CCResult:
     """Compute connected components with the named algorithm.
 
@@ -77,28 +98,56 @@ def connected_components(graph: CSRGraph,
     graph:
         Canonical CSR graph (see :func:`repro.graph.build_graph`).
     method:
-        One of :data:`ALGORITHMS`.
+        One of :data:`ALGORITHMS`, or ``"auto"`` to let the serving
+        layer's structure-aware planner pick the Table IV winner
+        family for this graph.
     machine:
         Simulated machine (affects LP scheduling and all cost models).
+    options:
+        Typed options dataclass for the method (:mod:`repro.options`);
+        ``None`` runs the algorithm's canonical configuration.
+        ``"auto"`` routes with per-algorithm defaults and therefore
+        accepts no options.
     kwargs:
-        Forwarded to the algorithm (thresholds, seeds, ...).
+        Deprecated keyword spelling of ``options`` (emits a
+        :class:`DeprecationWarning`; will be removed).
 
     Returns
     -------
     CCResult
         Labels plus the full per-iteration trace.
     """
+    if method == AUTO_METHOD:
+        if options is not None or kwargs:
+            raise ValueError(
+                "method='auto' picks the algorithm itself and takes "
+                "no options; pass an explicit method to tune it")
+        from .service import plan_for_graph
+        method = plan_for_graph(graph, machine=machine).method
     try:
         fn = ALGORITHMS[method]
     except KeyError:
         raise ValueError(
             f"unknown method {method!r}; pick one of "
-            f"{sorted(ALGORITHMS)}") from None
-    if method in _MACHINE_AWARE:
-        kwargs.setdefault("machine", machine)
-    return fn(graph, dataset=dataset, **kwargs)
+            f"{sorted([*ALGORITHMS, AUTO_METHOD])}") from None
+    opts = resolve_options(method, options, kwargs)
+    return fn(graph, machine=machine, dataset=dataset,
+              **to_call_kwargs(opts))
 
 
-def num_components(graph: CSRGraph, method: str = "thrifty") -> int:
-    """Number of connected components (convenience wrapper)."""
-    return connected_components(graph, method).num_components
+def num_components(graph: CSRGraph,
+                   method: str = "thrifty",
+                   *,
+                   machine: MachineSpec = SKYLAKEX,
+                   dataset: str = "",
+                   options: Any = None,
+                   **kwargs) -> int:
+    """Number of connected components (convenience wrapper).
+
+    Same signature as :func:`connected_components`; every argument is
+    forwarded, so machine choice, dataset tagging and typed options
+    behave identically to the full call.
+    """
+    return connected_components(
+        graph, method, machine=machine, dataset=dataset,
+        options=options, **kwargs).num_components

@@ -32,6 +32,7 @@ from ..core.result import CCResult
 from ..graph.csr import CSRGraph
 from ..instrument.counters import OpCounters
 from ..instrument.trace import Direction, IterationRecord, RunTrace
+from ..parallel.machine import SKYLAKEX, MachineSpec
 from .disjoint_set import (
     charge_finds,
     charge_union,
@@ -46,8 +47,14 @@ __all__ = ["afforest_cc"]
 
 def afforest_cc(graph: CSRGraph, *, neighbor_rounds: int = 2,
                 sample_size: int = 1024, seed: int = 0,
+                machine: MachineSpec = SKYLAKEX,
                 dataset: str = "", local: bool = True) -> CCResult:
-    """Run Afforest; labels are fully-compressed parent ids."""
+    """Run Afforest; labels are fully-compressed parent ids.
+
+    ``machine`` is accepted for front-door uniformity; execution is
+    machine-independent (the cost model applies it at timing).
+    """
+    del machine
     n = graph.num_vertices
     trace = RunTrace(algorithm="afforest", dataset=dataset)
     parent = np.arange(n, dtype=np.int64)

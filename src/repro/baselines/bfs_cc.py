@@ -21,6 +21,7 @@ from ..core.result import CCResult
 from ..graph.csr import CSRGraph
 from ..instrument.counters import OpCounters
 from ..instrument.trace import Direction, IterationRecord, RunTrace
+from ..parallel.machine import SKYLAKEX, MachineSpec
 
 __all__ = ["bfs_cc"]
 
@@ -48,8 +49,15 @@ def _first_hit_lengths(counts: np.ndarray, hit: np.ndarray) -> np.ndarray:
     return np.where(has, first - offsets + 1, counts)
 
 
-def bfs_cc(graph: CSRGraph, *, dataset: str = "") -> CCResult:
-    """Run BFS-CC; labels are the seed (minimum) vertex id per component."""
+def bfs_cc(graph: CSRGraph, *,
+           machine: MachineSpec = SKYLAKEX,
+           dataset: str = "") -> CCResult:
+    """Run BFS-CC; labels are the seed (minimum) vertex id per component.
+
+    ``machine`` is accepted for front-door uniformity; execution is
+    machine-independent (the cost model applies it at timing).
+    """
+    del machine
     n = graph.num_vertices
     trace = RunTrace(algorithm="bfs-cc", dataset=dataset)
     comp = np.full(n, -1, dtype=np.int64)

@@ -29,6 +29,7 @@ from ..core.result import CCResult
 from ..graph.csr import CSRGraph
 from ..instrument.counters import OpCounters
 from ..instrument.trace import Direction, IterationRecord, RunTrace
+from ..parallel.machine import SKYLAKEX, MachineSpec
 from .disjoint_set import flatten_parents
 
 __all__ = ["fastsv_cc"]
@@ -36,8 +37,15 @@ __all__ = ["fastsv_cc"]
 _MAX_ROUNDS = 10_000
 
 
-def fastsv_cc(graph: CSRGraph, *, dataset: str = "") -> CCResult:
-    """Run FastSV to convergence; labels are component roots."""
+def fastsv_cc(graph: CSRGraph, *,
+              machine: MachineSpec = SKYLAKEX,
+              dataset: str = "") -> CCResult:
+    """Run FastSV to convergence; labels are component roots.
+
+    ``machine`` is accepted for front-door uniformity; execution is
+    machine-independent (the cost model applies it at timing).
+    """
+    del machine
     n = graph.num_vertices
     trace = RunTrace(algorithm="fastsv", dataset=dataset)
     f = np.arange(n, dtype=np.int64)

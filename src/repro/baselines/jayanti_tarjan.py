@@ -30,6 +30,7 @@ from ..core.result import CCResult
 from ..graph.csr import CSRGraph
 from ..instrument.counters import OpCounters
 from ..instrument.trace import Direction, IterationRecord, RunTrace
+from ..parallel.machine import SKYLAKEX, MachineSpec
 from .disjoint_set import (
     charge_union,
     flatten_parents,
@@ -44,8 +45,14 @@ _MAX_ROUNDS = 10_000
 
 
 def jayanti_tarjan_cc(graph: CSRGraph, *, seed: int = 0,
+                      machine: MachineSpec = SKYLAKEX,
                       dataset: str = "", local: bool = True) -> CCResult:
-    """Run JT; labels are fully-compressed parent ids."""
+    """Run JT; labels are fully-compressed parent ids.
+
+    ``machine`` is accepted for front-door uniformity; execution is
+    machine-independent (the cost model applies it at timing).
+    """
+    del machine
     n = graph.num_vertices
     trace = RunTrace(algorithm="jt", dataset=dataset)
     parent = np.arange(n, dtype=np.int64)

@@ -23,6 +23,7 @@ from ..core.result import CCResult
 from ..graph.csr import CSRGraph
 from ..instrument.counters import OpCounters
 from ..instrument.trace import Direction, IterationRecord, RunTrace
+from ..parallel.machine import SKYLAKEX, MachineSpec
 
 __all__ = ["lp_shortcut_cc"]
 
@@ -30,8 +31,14 @@ _MAX_ROUNDS = 10_000
 
 
 def lp_shortcut_cc(graph: CSRGraph, *, shortcut_depth: int = 2,
+                   machine: MachineSpec = SKYLAKEX,
                    dataset: str = "") -> CCResult:
-    """Run shortcutting LP; labels are component-minimum vertex ids."""
+    """Run shortcutting LP; labels are component-minimum vertex ids.
+
+    ``machine`` is accepted for front-door uniformity; execution is
+    machine-independent (the cost model applies it at timing).
+    """
+    del machine
     if shortcut_depth < 0:
         raise ValueError("shortcut_depth must be >= 0")
     n = graph.num_vertices

@@ -31,6 +31,7 @@ from ..core.result import CCResult
 from ..graph.csr import CSRGraph
 from ..instrument.counters import OpCounters
 from ..instrument.trace import Direction, IterationRecord, RunTrace
+from ..parallel.machine import SKYLAKEX, MachineSpec
 from .disjoint_set import shortcut_parents
 
 __all__ = ["shiloach_vishkin_cc"]
@@ -38,9 +39,16 @@ __all__ = ["shiloach_vishkin_cc"]
 _MAX_ROUNDS = 10_000
 
 
-def shiloach_vishkin_cc(graph: CSRGraph, *, dataset: str = "",
+def shiloach_vishkin_cc(graph: CSRGraph, *,
+                        machine: MachineSpec = SKYLAKEX,
+                        dataset: str = "",
                         local: bool = True) -> CCResult:
-    """Run SV to convergence; returns labels = component root ids."""
+    """Run SV to convergence; returns labels = component root ids.
+
+    ``machine`` is accepted for front-door uniformity; execution is
+    machine-independent (the cost model applies it at timing).
+    """
+    del machine
     n = graph.num_vertices
     trace = RunTrace(algorithm="sv", dataset=dataset)
     comp = np.arange(n, dtype=np.int64)

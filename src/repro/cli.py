@@ -7,6 +7,11 @@ Subcommands
 ``generate``  write a synthetic graph to an edge-list / npz file
 ``experiment``
               regenerate a paper table/figure by experiment id
+``serve``     replay a request workload through the CC service
+
+``run`` and ``trials`` accept ``--method auto`` (the structure-aware
+planner picks the algorithm) and repeatable ``--opt KEY=VALUE`` flags
+that populate the method's typed options dataclass.
 """
 
 from __future__ import annotations
@@ -16,12 +21,15 @@ import sys
 from typing import Sequence
 
 from . import experiments
-from .api import ALGORITHMS, connected_components
+from .api import ALGORITHMS, AUTO_METHOD, connected_components
 from .experiments.tables import format_table
 from .graph.datasets import ALL_DATASET_NAMES, DATASETS, load_dataset
 from .graph.io import load_graph, save_csr_npz, save_edge_list_text
 from .instrument.costmodel import simulate_run_time
+from .options import options_for
 from .parallel.machine import MACHINES
+
+_METHOD_CHOICES = sorted([*ALGORITHMS, AUTO_METHOD])
 
 __all__ = ["main", "build_parser"]
 
@@ -43,7 +51,46 @@ _EXPERIMENTS = {
     "table6": lambda a: _print_rows(experiments.table6_initial_push()),
     "table7": lambda a: _print_table7(),
     "fig9": lambda a: _print_rows(experiments.fig9_10_ablation()),
+    "routing": lambda a: _print_rows(
+        experiments.auto_routing_table(
+            datasets=a.datasets or ALL_DATASET_NAMES)),
 }
+
+
+def _parse_opt_value(text: str):
+    low = text.lower()
+    if low == "true":
+        return True
+    if low == "false":
+        return False
+    if low in ("none", "null"):
+        return None
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    return text
+
+
+def _options_from_args(args):
+    """Build a typed options dataclass from ``--opt KEY=VALUE`` flags."""
+    pairs = args.opt or []
+    fields_ = {}
+    for item in pairs:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--opt expects KEY=VALUE, got {item!r}")
+        fields_[key] = _parse_opt_value(value)
+    if not fields_:
+        return None
+    if args.method == AUTO_METHOD:
+        raise SystemExit("--method auto picks the algorithm itself and "
+                         "takes no --opt flags")
+    try:
+        return options_for(args.method, **fields_)
+    except (ValueError, TypeError) as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _print_rows(rows: list[dict]) -> None:
@@ -86,11 +133,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("input", help="dataset name (see `repro datasets`) "
                                    "or path to an edge-list/.npz file")
     run.add_argument("--method", default="thrifty",
-                     choices=sorted(ALGORITHMS))
+                     choices=_METHOD_CHOICES)
     run.add_argument("--machine", default="SkylakeX",
                      choices=sorted(MACHINES))
     run.add_argument("--scale", type=float, default=1.0,
                      help="dataset scale factor (surrogates only)")
+    run.add_argument("--opt", action="append", metavar="KEY=VALUE",
+                     help="typed algorithm option (repeatable), e.g. "
+                          "--opt threshold=0.05")
     run.add_argument("--trace", action="store_true",
                      help="print the per-iteration execution trace")
 
@@ -106,6 +156,23 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("id", choices=sorted(_EXPERIMENTS))
     exp.add_argument("datasets", nargs="*",
                      help="optional dataset names to restrict to")
+
+    srv = sub.add_parser("serve",
+                         help="replay a request workload through the "
+                              "CC service")
+    srv.add_argument("datasets", nargs="+",
+                     help="dataset surrogate names to request")
+    srv.add_argument("--method", default=AUTO_METHOD,
+                     choices=_METHOD_CHOICES)
+    srv.add_argument("--machine", default="SkylakeX",
+                     choices=sorted(MACHINES))
+    srv.add_argument("--scale", type=float, default=1.0)
+    srv.add_argument("--repeats", type=int, default=3,
+                     help="how many times each dataset is requested")
+    srv.add_argument("--cache-size", type=int, default=128)
+    srv.add_argument("--budget-ms", type=float, default=None,
+                     help="per-request simulated-time budget "
+                          "(over-budget LP runs fall back to Afforest)")
 
     rep = sub.add_parser("report",
                          help="regenerate all artifacts into markdown")
@@ -123,6 +190,8 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=sorted(MACHINES))
     tri.add_argument("--trials", type=int, default=5)
     tri.add_argument("--scale", type=float, default=1.0)
+    tri.add_argument("--opt", action="append", metavar="KEY=VALUE",
+                     help="typed algorithm option (repeatable)")
     return p
 
 
@@ -134,8 +203,9 @@ def _cmd_run(args) -> int:
         graph = load_graph(args.input)
         name = args.input
     machine = MACHINES[args.machine]
+    options = _options_from_args(args)
     result = connected_components(graph, args.method, machine=machine,
-                                  dataset=name)
+                                  dataset=name, options=options)
     timing = simulate_run_time(result.trace, machine, graph.num_vertices)
     c = result.counters()
     print(f"dataset            : {name}  (|V|={graph.num_vertices}, "
@@ -185,6 +255,42 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .service import CCRequest, CCService
+
+    service = CCService(machine=MACHINES[args.machine],
+                        cache_capacity=args.cache_size)
+    requests = []
+    for _ in range(args.repeats):
+        for name in args.datasets:
+            if name not in DATASETS:
+                raise SystemExit(f"unknown dataset {name!r}; see "
+                                 f"`repro datasets`")
+            requests.append(CCRequest(graph=load_dataset(name, args.scale),
+                                      name=name, method=args.method,
+                                      budget_ms=args.budget_ms))
+    responses = service.submit_batch(requests)
+    rows = []
+    for resp in responses:
+        rows.append([resp.request.name, resp.method,
+                     "hit" if resp.cache_hit else "miss",
+                     "yes" if resp.fallback else "no",
+                     resp.num_components,
+                     f"{resp.simulated_ms:.3f}"])
+    print(format_table(
+        ["dataset", "method", "cache", "fallback", "components",
+         "sim ms"], rows))
+    snap = service.metrics.snapshot()
+    print(f"\nrequests={snap['requests']} hit_rate={snap['hit_rate']:.2f} "
+          f"fallbacks={snap['fallbacks']} "
+          f"auto_routed={snap['auto_routed']}")
+    print("per-method counts:", snap["per_method"])
+    lat = snap["latency"]
+    print(f"simulated latency: mean={lat['mean_ms']:.3f}ms "
+          f"p50={lat['p50_ms']:.3f}ms p99={lat['p99_ms']:.3f}ms")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -196,6 +302,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "experiment":
         _EXPERIMENTS[args.id](args)
         return 0
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "trials":
         from .experiments.protocol import run_trials
         if args.input in DATASETS:
@@ -203,7 +311,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             graph = load_graph(args.input)
         stats = run_trials(graph, args.method, num_trials=args.trials,
-                           machine=args.machine)
+                           machine=args.machine,
+                           options=_options_from_args(args))
         print(f"{args.method} on {args.input}: {stats.num_trials} "
               f"verified trials on {stats.machine}")
         print(f"  simulated ms: mean={stats.mean_ms:.3f} "

@@ -13,6 +13,7 @@ import numpy as np
 from ..core.result import CCResult
 from ..graph.csr import CSRGraph
 from ..instrument.trace import Direction, IterationRecord, RunTrace
+from ..parallel.machine import SKYLAKEX, MachineSpec
 from .finish import FINISH_STRATEGIES
 from .sampling import SAMPLING_STRATEGIES
 
@@ -24,6 +25,7 @@ def connectit_cc(graph: CSRGraph,
                  sampling: str = "kout",
                  finish: str = "skip-giant",
                  seed: int = 0,
+                 machine: MachineSpec = SKYLAKEX,
                  dataset: str = "",
                  local: bool = True,
                  **strategy_kwargs) -> CCResult:
@@ -33,8 +35,11 @@ def connectit_cc(graph: CSRGraph,
     k-out, ``rounds=2`` for BFS/LDD sampling).  ``local`` selects
     worklist-local union-find root resolution in both phases (the
     default); ``local=False`` runs the all-vertex reference, with
-    identical labels and link counts.
+    identical labels and link counts.  ``machine`` is accepted for
+    front-door uniformity; execution is machine-independent (the cost
+    model applies it at timing).
     """
+    del machine
     try:
         sample_fn = SAMPLING_STRATEGIES[sampling]
     except KeyError:

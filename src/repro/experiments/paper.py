@@ -19,6 +19,7 @@ from ..graph.datasets import (
 )
 from ..graph.properties import max_degree_component_fraction
 from ..instrument.costmodel import CostModel
+from ..options import ThriftyOptions
 from ..parallel.machine import MACHINES
 from .runner import timed_run
 
@@ -258,7 +259,7 @@ def table7_threshold(dataset: str = "TwtrMpi",
     out: dict[float, list[dict]] = {}
     for threshold in thresholds:
         run = timed_run(dataset, "thrifty", machine, scale=scale,
-                        threshold=threshold)
+                        options=ThriftyOptions(threshold=threshold))
         cm = CostModel(spec, run.graph.num_vertices)
         rows = []
         for rec in run.result.trace.iterations:

@@ -15,18 +15,16 @@ variance).
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 
 from ..api import connected_components
 from ..graph.csr import CSRGraph
 from ..instrument.costmodel import simulate_run_time
+from ..options import resolve_options
 from ..parallel.machine import MACHINES, MachineSpec
 from ..validate import validate_against_reference
 
 __all__ = ["TrialStats", "run_trials"]
-
-#: Algorithms that accept a ``seed`` keyword.
-_SEEDED = {"jt", "afforest"}
 
 
 @dataclass
@@ -66,21 +64,29 @@ def run_trials(graph: CSRGraph, method: str,
                machine: MachineSpec | str = "SkylakeX",
                verify: bool = True,
                seed_base: int = 0,
-               **kwargs) -> TrialStats:
+               options: object = None) -> TrialStats:
     """Run ``num_trials`` verified trials of one algorithm.
 
     Raises if any trial produces wrong components (when ``verify``).
+    When ``options`` is omitted, algorithms with a ``seed`` field get
+    ``seed_base + trial`` so the statistics cover their randomization;
+    explicit ``options`` are used verbatim on every trial (a
+    reproducibility measurement).
     """
     if num_trials < 1:
         raise ValueError("num_trials must be >= 1")
     spec = MACHINES[machine] if isinstance(machine, str) else machine
+    vary_seed = options is None
+    base_options = resolve_options(method, options, {})
+    seeded = any(f.name == "seed" for f in fields(base_options))
     stats = TrialStats(method=method, machine=spec.name)
     for trial in range(num_trials):
-        trial_kwargs = dict(kwargs)
-        if method in _SEEDED:
-            trial_kwargs.setdefault("seed", seed_base + trial)
+        trial_options = base_options
+        if seeded and vary_seed:
+            trial_options = replace(base_options,
+                                    seed=seed_base + trial)
         result = connected_components(graph, method, machine=spec,
-                                      **trial_kwargs)
+                                      options=trial_options)
         if verify:
             validate_against_reference(graph, result)
         timing = simulate_run_time(result.trace, spec,

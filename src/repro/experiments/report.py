@@ -12,6 +12,7 @@ import io
 import time
 
 from . import paper
+from .routing import auto_routing_table
 
 __all__ = ["generate_report"]
 
@@ -88,6 +89,12 @@ def generate_report(scale: float = 1.0,
     w("\n## Figures 9/10 — ablation\n\n")
     w(_rows_to_md(paper.fig9_10_ablation(machine=machine,
                                          scale=scale)))
+
+    w("\n## Auto-routing — planner vs measured winners\n\n")
+    routing = auto_routing_table(machine=machine, scale=scale)
+    w(_rows_to_md(routing))
+    agree = sum(r["agree"] for r in routing)
+    w(f"\nplanner agreement: {agree}/{len(routing)} datasets\n")
 
     w(f"\n---\ngenerated in {time.time() - start:.1f}s\n")
     return buf.getvalue()

@@ -1,0 +1,55 @@
+"""Auto-routing evaluation: planner decisions vs measured winners.
+
+The serving layer's ``method="auto"`` claims to reproduce Table IV's
+LP-vs-union-find crossover from structural probes alone.  This driver
+makes that claim auditable: for every dataset surrogate it reports the
+probes, the planner's predicted family costs and decision, the
+*measured* best family (Thrifty vs the best of SV/JT/Afforest, from
+:func:`timed_run`), and whether they agree.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..graph.datasets import ALL_DATASET_NAMES, load_dataset
+from ..parallel.machine import MACHINES
+from ..service import plan
+from ..service.registry import probe_graph
+from .runner import timed_run
+
+__all__ = ["auto_routing_table", "UF_BASELINES"]
+
+#: Union-find measured comparators: the best of these defines the
+#: "UF family" time a routing decision is judged against.
+UF_BASELINES = ("sv", "jt", "afforest")
+
+
+def auto_routing_table(machine: str = "SkylakeX",
+                       scale: float = 1.0,
+                       datasets: Sequence[str] = ALL_DATASET_NAMES,
+                       ) -> list[dict]:
+    """One row per dataset: probes, prediction, measurement, agreement."""
+    spec = MACHINES[machine]
+    rows = []
+    for name in datasets:
+        lp_ms = timed_run(name, "thrifty", machine, scale=scale).total_ms
+        uf_ms = min(timed_run(name, m, machine, scale=scale).total_ms
+                    for m in UF_BASELINES)
+        measured = "lp" if lp_ms <= uf_ms else "uf"
+        probes = probe_graph(load_dataset(name, scale))
+        decision = plan(probes, spec)
+        rows.append({
+            "dataset": name,
+            "diameter": probes.diameter,
+            "giant_pct": 100.0 * probes.giant_fraction,
+            "skew": probes.skew_ratio,
+            "pred_lp_ms": decision.predicted_lp_ms,
+            "pred_uf_ms": decision.predicted_uf_ms,
+            "routed": decision.method,
+            "measured_lp_ms": lp_ms,
+            "measured_uf_ms": uf_ms,
+            "measured_winner": measured,
+            "agree": decision.family == measured,
+        })
+    return rows

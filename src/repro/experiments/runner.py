@@ -1,8 +1,9 @@
 """Shared experiment driver: run-and-time any algorithm on any dataset.
 
 All benchmark targets call through :func:`timed_run`, which memoizes
-(dataset, method, machine, scale) so a full `pytest benchmarks/` pass
-runs each configuration once.
+(dataset, method, machine, scale, options) so a full
+`pytest benchmarks/` pass runs each configuration once.  Options are
+frozen dataclasses, so configured runs memoize just like default ones.
 """
 
 from __future__ import annotations
@@ -65,22 +66,24 @@ def clear_cache() -> None:
 
 def timed_run(dataset: str, method: str,
               machine: MachineSpec | str = "SkylakeX",
-              *, scale: float = 1.0, **kwargs) -> ExperimentRun:
+              *, scale: float = 1.0,
+              options: object = None) -> ExperimentRun:
     """Run (memoized) and cost-model one configuration.
 
-    ``kwargs`` are forwarded to the algorithm; runs with custom kwargs
-    are not cached (they would alias the default-config entry).
+    ``options`` is a typed per-algorithm dataclass (see
+    :mod:`repro.options`); being frozen and hashable, it participates
+    in the memoization key, so configured runs are cached exactly like
+    default-configuration ones.
     """
     spec = MACHINES[machine] if isinstance(machine, str) else machine
-    key = (dataset, method, spec.name, scale)
-    if not kwargs and key in _CACHE:
+    key = (dataset, method, spec.name, scale, options)
+    if key in _CACHE:
         return _CACHE[key]
     graph = load_dataset(dataset, scale)
     result = connected_components(graph, method, machine=spec,
-                                  dataset=dataset, **kwargs)
+                                  dataset=dataset, options=options)
     timing = simulate_run_time(result.trace, spec, graph.num_vertices)
     run = ExperimentRun(dataset=dataset, method=method, machine=spec.name,
                         graph=graph, result=result, timing=timing)
-    if not kwargs:
-        _CACHE[key] = run
+    _CACHE[key] = run
     return run

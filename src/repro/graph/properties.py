@@ -27,6 +27,7 @@ __all__ = [
     "component_labels_reference",
     "component_sizes",
     "giant_component_fraction",
+    "sampled_giant_fraction",
     "max_degree_component_fraction",
     "estimate_diameter",
 ]
@@ -152,6 +153,42 @@ def giant_component_fraction(graph: CSRGraph) -> float:
     if sizes.size == 0:
         return 0.0
     return float(sizes[0] / graph.num_vertices)
+
+
+def sampled_giant_fraction(graph: CSRGraph, *, samples: int = 256,
+                           seed: int = 0) -> float:
+    """Cheap giant-component vertex-fraction estimate via a hub BFS.
+
+    One BFS from the maximum-degree vertex marks its component — on
+    skewed graphs the hub almost surely lives in the giant component
+    (the Zero Planting premise, Table I), and on road-like graphs the
+    single component is found regardless of the seed.  With
+    ``samples > 0`` the fraction is estimated from that many uniformly
+    sampled vertices (deterministic given ``seed``); ``samples == 0``
+    counts the mask exactly.  Unlike :func:`giant_component_fraction`
+    this never materializes a scipy sparse matrix, so the serving
+    layer can afford it as a structural probe.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return 0.0
+    hub = graph.max_degree_vertex()
+    visited = np.zeros(n, dtype=bool)
+    visited[hub] = True
+    frontier = np.array([hub], dtype=np.int64)
+    while frontier.size:
+        counts = graph.degrees[frontier]
+        nbrs = _gather_neighbors(graph, frontier, counts)
+        new = np.unique(nbrs[~visited[nbrs]])
+        if new.size == 0:
+            break
+        visited[new] = True
+        frontier = new
+    if samples <= 0 or samples >= n:
+        return float(np.count_nonzero(visited) / n)
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, n, size=samples)
+    return float(np.count_nonzero(visited[picks]) / samples)
 
 
 def max_degree_component_fraction(graph: CSRGraph) -> float:

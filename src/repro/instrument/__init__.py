@@ -2,11 +2,13 @@
 
 from .counters import OpCounters
 from .costmodel import CostModel, TimedRun, simulate_run_time
+from .metrics import LatencyHistogram
 from .papi import HardwareProxy, model_hardware_counters, random_miss_rate
 from .trace import Direction, IterationRecord, RunTrace
 
 __all__ = [
     "OpCounters",
+    "LatencyHistogram",
     "Direction",
     "IterationRecord",
     "RunTrace",

@@ -1,0 +1,247 @@
+"""Typed options for the public front door.
+
+Each algorithm name in :data:`repro.api.ALGORITHMS` has one frozen
+dataclass describing every tunable it accepts; the front door takes an
+instance via ``connected_components(graph, method, options=...)``.
+Because the classes are frozen and hold only scalars, an options value
+is hashable and comparable — the service layer uses the resolved
+instance directly as part of its result-cache key, so two requests
+that spell the same configuration differently (legacy keywords,
+defaulted fields, an explicitly constructed dataclass) canonicalize to
+the same cache entry.
+
+==============  ====================================================
+``thrifty``     :class:`ThriftyOptions`
+``dolp``        :class:`DOLPOptions`
+``unified``     :class:`UnifiedOptions`
+``sv``          :class:`UnionFindOptions`
+``fastsv``      :class:`FastSVOptions`
+``lp-shortcut`` :class:`LPShortcutOptions`
+``jt``          :class:`JTOptions`
+``afforest``    :class:`AfforestOptions`
+``bfs``         :class:`BFSOptions`
+``kla``         :class:`KLAOptions` (reused from :mod:`repro.core.kla`)
+``connectit``   :class:`ConnectItOptions`
+==============  ====================================================
+
+LP-family fields default to ``None`` meaning "keep the algorithm's
+canonical value" (:data:`repro.core.thrifty.THRIFTY_OPTIONS` etc.), so
+a default-constructed options object reproduces the historical
+behaviour bit-for-bit.  The legacy ``**kwargs`` spelling still works
+through :func:`resolve_options`, which maps the keywords onto the
+dataclass and emits a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields
+from typing import Any
+
+from .core.kla import KLAOptions
+
+__all__ = [
+    "ThriftyOptions",
+    "DOLPOptions",
+    "UnifiedOptions",
+    "UnionFindOptions",
+    "FastSVOptions",
+    "LPShortcutOptions",
+    "JTOptions",
+    "AfforestOptions",
+    "BFSOptions",
+    "KLAOptions",
+    "ConnectItOptions",
+    "OPTION_TYPES",
+    "options_for",
+    "resolve_options",
+    "to_call_kwargs",
+]
+
+_DEPRECATION_MESSAGE = (
+    "passing algorithm options as **kwargs is deprecated; pass a typed "
+    "options dataclass instead, e.g. options={cls}({kwargs})")
+
+
+@dataclass(frozen=True)
+class _LPEngineOptions:
+    """Shared tunables of the label-propagation engine front doors.
+
+    ``None`` means "use the algorithm's canonical value" — see
+    :class:`repro.core.engine.LPOptions` for the semantics and
+    validation of each field.  The four optimization switches are NOT
+    exposed here; ablations go through :mod:`repro.core.engine`
+    directly (they are different *algorithms*, not tunings).
+    """
+
+    threshold: float | None = None
+    num_threads: int | None = None
+    block_size: int | None = None
+    partitions_per_thread: int | None = None
+    frontier_switch_density: float | None = None
+    fuse_pull_blocks: bool | None = None
+    fuse_push: bool | None = None
+    race_rate: float | None = None
+    max_iterations: int | None = None
+    track_convergence: bool | None = None
+
+
+@dataclass(frozen=True)
+class ThriftyOptions(_LPEngineOptions):
+    """Tunables for Thrifty (Algorithm 2)."""
+
+
+@dataclass(frozen=True)
+class DOLPOptions(_LPEngineOptions):
+    """Tunables for DO-LP (Algorithm 1)."""
+
+
+@dataclass(frozen=True)
+class UnifiedOptions(_LPEngineOptions):
+    """Tunables for the DO-LP + Unified Labels ablation variant."""
+
+
+@dataclass(frozen=True)
+class UnionFindOptions:
+    """Tunables shared by the tree-hooking baselines (``sv``).
+
+    ``local`` selects the worklist-local union-find substrate (the
+    default); ``False`` replays the all-vertex reference with
+    identical labels and link counts.
+    """
+
+    local: bool = True
+
+
+@dataclass(frozen=True)
+class JTOptions(UnionFindOptions):
+    """Tunables for Jayanti-Tarjan (adds the randomization seed)."""
+
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class AfforestOptions(UnionFindOptions):
+    """Tunables for Afforest (sampling phase parameters)."""
+
+    neighbor_rounds: int = 2
+    sample_size: int = 1024
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class FastSVOptions:
+    """FastSV has no tunables; the class exists for uniformity."""
+
+
+@dataclass(frozen=True)
+class BFSOptions:
+    """BFS-CC has no tunables; the class exists for uniformity."""
+
+
+@dataclass(frozen=True)
+class LPShortcutOptions:
+    """Tunables for LP with pointer-jump shortcutting."""
+
+    shortcut_depth: int = 2
+
+
+@dataclass(frozen=True)
+class ConnectItOptions:
+    """One (sampling, finish) point of the ConnectIt design space.
+
+    ``k`` parameterizes k-out sampling and ``rounds`` the BFS/LDD
+    sampling strategies; ``None`` keeps the strategy's own default.
+    """
+
+    sampling: str = "kout"
+    finish: str = "skip-giant"
+    seed: int = 0
+    local: bool = True
+    k: int | None = None
+    rounds: int | None = None
+
+
+#: method name -> its options dataclass.  ``KLAOptions`` is the
+#: canonical KLA configuration object reused as-is.
+OPTION_TYPES: dict[str, type] = {
+    "thrifty": ThriftyOptions,
+    "dolp": DOLPOptions,
+    "unified": UnifiedOptions,
+    "sv": UnionFindOptions,
+    "fastsv": FastSVOptions,
+    "lp-shortcut": LPShortcutOptions,
+    "jt": JTOptions,
+    "afforest": AfforestOptions,
+    "bfs": BFSOptions,
+    "kla": KLAOptions,
+    "connectit": ConnectItOptions,
+}
+
+
+def options_for(method: str, **fields_) -> Any:
+    """Construct the right options dataclass for ``method``.
+
+    Raises ``ValueError`` for an unknown method or an unknown option
+    field, naming the valid choices in both cases.
+    """
+    try:
+        cls = OPTION_TYPES[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {method!r}; pick one of "
+            f"{sorted([*OPTION_TYPES, 'auto'])}") from None
+    valid = {f.name for f in fields(cls)}
+    unknown = sorted(set(fields_) - valid)
+    if unknown:
+        raise ValueError(
+            f"unknown option(s) {unknown} for method {method!r}; "
+            f"valid options: {sorted(valid) or '(none)'}")
+    return cls(**fields_)
+
+
+def to_call_kwargs(options: Any) -> dict[str, Any]:
+    """Flatten an options dataclass into algorithm keyword arguments.
+
+    ``None`` fields mean "algorithm default" and are omitted, so the
+    callee's own defaults stay the single source of truth.
+    """
+    return {f.name: v for f in fields(options)
+            if (v := getattr(options, f.name)) is not None}
+
+
+def resolve_options(method: str, options: Any,
+                    legacy_kwargs: dict[str, Any],
+                    *, stacklevel: int = 3) -> Any:
+    """Canonicalize the (options=, **kwargs) front-door inputs.
+
+    Exactly one spelling may be used.  Legacy keywords are mapped onto
+    the method's dataclass with a :class:`DeprecationWarning`; a
+    ``None`` options value resolves to the method's defaults.  The
+    returned instance is always of ``OPTION_TYPES[method]`` exactly,
+    making it safe to use as a canonical cache-key component.
+    """
+    cls = OPTION_TYPES.get(method)
+    if cls is None:
+        raise ValueError(
+            f"unknown method {method!r}; pick one of "
+            f"{sorted([*OPTION_TYPES, 'auto'])}")
+    if legacy_kwargs:
+        if options is not None:
+            raise ValueError(
+                "pass either options= or legacy keyword options, "
+                "not both")
+        rendered = ", ".join(f"{k}={v!r}"
+                             for k, v in legacy_kwargs.items())
+        warnings.warn(
+            _DEPRECATION_MESSAGE.format(cls=cls.__name__,
+                                        kwargs=rendered),
+            DeprecationWarning, stacklevel=stacklevel)
+        return options_for(method, **legacy_kwargs)
+    if options is None:
+        return cls()
+    if type(options) is not cls:
+        raise TypeError(
+            f"method {method!r} takes {cls.__name__}, "
+            f"got {type(options).__name__}")
+    return options

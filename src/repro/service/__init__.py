@@ -1,0 +1,53 @@
+"""The serving layer: registry, planner, result cache, executor.
+
+This package turns the algorithm library into the production-shaped
+system the ROADMAP aims at: clients submit graphs and get components
+back, with the service deciding *which* algorithm runs (the
+structure-aware ``auto`` planner reproducing Table IV's LP-vs-UF
+crossover), *whether* anything runs at all (a content-fingerprint
+result cache — repeats are free), and *what happens when a run blows
+its budget* (Thrifty→Afforest fallback), all measured through
+``repro.instrument``.
+
+Entry points:
+
+* :class:`CCService` — the request executor (submit/submit_batch).
+* :func:`plan_for_graph` — what ``connected_components(method="auto")``
+  calls under the hood.
+* :class:`GraphRegistry` / :func:`graph_fingerprint` — content-keyed
+  graph store with cached structural probes.
+"""
+
+from .cache import ResultCache, result_cache_key
+from .executor import CCRequest, CCResponse, CCService
+from .fingerprint import graph_fingerprint
+from .metrics import ServiceMetrics
+from .planner import (
+    LP_METHOD,
+    UF_METHOD,
+    RoutePlan,
+    plan,
+    plan_for_graph,
+    predict_family_costs,
+)
+from .registry import GraphEntry, GraphProbes, GraphRegistry, probe_graph
+
+__all__ = [
+    "CCRequest",
+    "CCResponse",
+    "CCService",
+    "GraphEntry",
+    "GraphProbes",
+    "GraphRegistry",
+    "LP_METHOD",
+    "UF_METHOD",
+    "ResultCache",
+    "RoutePlan",
+    "ServiceMetrics",
+    "graph_fingerprint",
+    "plan",
+    "plan_for_graph",
+    "predict_family_costs",
+    "probe_graph",
+    "result_cache_key",
+]

@@ -1,0 +1,79 @@
+"""LRU result cache keyed by (fingerprint, method, machine, options).
+
+A repeated request must cost *zero algorithm work* — not "a fast
+re-run" but a dictionary move-to-front.  The key is fully canonical:
+
+* the graph enters as its content fingerprint, so equal graphs share
+  entries regardless of object identity;
+* options enter as the resolved frozen dataclass (every front door
+  path — typed, legacy kwargs, defaults — normalizes to one), so
+  ``ThriftyOptions()`` and ``options=None`` and ``**{}`` all hit the
+  same entry;
+* the machine enters by name (MachineSpec instances are frozen and
+  registry-owned, but the name keeps keys printable).
+
+Eviction is plain LRU over distinct keys.  Stored CCResults are
+returned as-is — they are treated as immutable by convention
+(callers get the same labels array a fresh run would return).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+from ..core.result import CCResult
+
+__all__ = ["ResultCache", "result_cache_key"]
+
+
+def result_cache_key(fingerprint: str, method: str, machine_name: str,
+                     options: Hashable) -> tuple:
+    """Canonical cache key for one (graph, algorithm, config) request."""
+    return (fingerprint, method, machine_name, options)
+
+
+class ResultCache:
+    """Bounded LRU mapping canonical request keys to CCResults."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._store: OrderedDict[tuple, CCResult] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: tuple) -> CCResult | None:
+        """Look up a key; refreshes recency on hit."""
+        result = self._store.get(key)
+        if result is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return result
+
+    def put(self, key: tuple, result: CCResult) -> None:
+        """Insert (or refresh) a result, evicting the LRU entry if full."""
+        if key in self._store:
+            self._store.move_to_end(key)
+        self._store[key] = result
+        if len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._store
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._store.clear()

@@ -1,0 +1,199 @@
+"""The request executor: CCService and its request/response types.
+
+This is the serving loop the ROADMAP's production framing asks for:
+clients submit (graph, method, options, budget) requests — singly or
+in batches — and the service registers the graph, routes ``auto``
+through the structure-aware planner, consults the LRU result cache,
+runs the algorithm only on a miss, enforces per-request simulated-time
+budgets with a Thrifty→Afforest fallback, and keeps dashboard metrics
+(hit rate, per-method counts, latency histograms, cumulative
+algorithm-work counters).
+
+Time here is *simulated* milliseconds from the repo's CostModel —
+the serving layer inherits the cost semantics every benchmark in this
+repo uses, so "the run blew its budget" means the same thing in a
+service trace as in Table IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..api import ALGORITHMS, AUTO_METHOD
+from ..core.result import CCResult
+from ..graph.csr import CSRGraph
+from ..instrument.costmodel import simulate_run_time
+from ..options import resolve_options, to_call_kwargs
+from ..parallel.machine import SKYLAKEX, MachineSpec
+from .cache import ResultCache, result_cache_key
+from .metrics import ServiceMetrics
+from .planner import UF_METHOD, RoutePlan, plan
+from .registry import GraphEntry, GraphRegistry
+
+__all__ = ["CCRequest", "CCResponse", "CCService"]
+
+
+@dataclass(eq=False)
+class CCRequest:
+    """One unit of service work.
+
+    Provide either ``graph`` (registered on submit) or ``key`` (the
+    name or fingerprint of an already-registered graph).  ``method``
+    defaults to ``"auto"`` — the planner picks; ``budget_ms`` caps the
+    request's simulated time, triggering the union-find fallback when
+    the primary run exceeds it.  ``eq=False``: requests are identities
+    (the embedded ndarray-bearing graph makes value equality
+    ill-defined and useless here).
+    """
+
+    graph: CSRGraph | None = None
+    key: str | None = None
+    method: str = AUTO_METHOD
+    options: object = None
+    budget_ms: float | None = None
+    name: str = ""          # alias to register the graph under
+
+
+@dataclass(eq=False)
+class CCResponse:
+    """What the service returns for one request."""
+
+    request: CCRequest
+    fingerprint: str
+    method: str                   # resolved concrete algorithm that ran
+    result: CCResult
+    simulated_ms: float           # total charged time (incl. fallback)
+    cache_hit: bool
+    fallback: bool = False        # budget blown -> Afforest finished it
+    budget_exceeded: bool = False
+    plan: RoutePlan | None = None  # set when method was "auto"
+
+    @property
+    def num_components(self) -> int:
+        return self.result.num_components
+
+
+class CCService:
+    """Connected-components serving front end.
+
+    One service instance owns a graph registry, a result cache, and a
+    metrics aggregator, all scoped to one target machine model.
+    """
+
+    def __init__(self, *, machine: MachineSpec = SKYLAKEX,
+                 cache_capacity: int = 128,
+                 registry: GraphRegistry | None = None) -> None:
+        self.machine = machine
+        self.registry = registry if registry is not None else GraphRegistry()
+        self.cache = ResultCache(cache_capacity)
+        self.metrics = ServiceMetrics()
+
+    # -- graph management ---------------------------------------------
+
+    def register(self, graph: CSRGraph, *, name: str = "") -> GraphEntry:
+        """Pre-register a graph (optional; submit registers implicitly)."""
+        return self.registry.register(graph, name=name)
+
+    # -- request execution --------------------------------------------
+
+    def submit(self, request: CCRequest) -> CCResponse:
+        """Execute one request through registry, planner, and cache."""
+        entry = self._resolve_entry(request)
+        route: RoutePlan | None = None
+        method = request.method
+        if method == AUTO_METHOD:
+            if request.options is not None:
+                raise ValueError(
+                    "method='auto' picks the algorithm itself and "
+                    "takes no options")
+            route = plan(entry.probes, self.machine)
+            method = route.method
+        elif method not in ALGORITHMS:
+            known = sorted([*ALGORITHMS, AUTO_METHOD])
+            raise ValueError(f"unknown method {method!r}; known: {known}")
+        options = resolve_options(method, request.options, {})
+
+        cache_key = result_cache_key(entry.fingerprint, method,
+                                     self.machine.name, options)
+        cached = self.cache.get(cache_key)
+        if cached is not None:
+            self.metrics.record_request(
+                method, 0.0, cache_hit=True,
+                auto_routed=route is not None)
+            return CCResponse(request=request,
+                              fingerprint=entry.fingerprint,
+                              method=method, result=cached,
+                              simulated_ms=0.0, cache_hit=True,
+                              plan=route)
+
+        result, simulated_ms = self._run(entry, method, options)
+        work = result.trace.total_counters()
+        self.cache.put(cache_key, result)
+
+        fallback = False
+        budget_exceeded = False
+        total_ms = simulated_ms
+        if (request.budget_ms is not None
+                and simulated_ms > request.budget_ms):
+            budget_exceeded = True
+            if method != UF_METHOD:
+                # The budget is already blown; finish with the
+                # strongest union-find baseline and charge for both
+                # runs — the honest cost of a mispredicted route.
+                fb_options = resolve_options(UF_METHOD, None, {})
+                fb_result, fb_ms = self._run(entry, UF_METHOD,
+                                             fb_options)
+                work += fb_result.trace.total_counters()
+                self.cache.put(
+                    result_cache_key(entry.fingerprint, UF_METHOD,
+                                     self.machine.name, fb_options),
+                    fb_result)
+                result = fb_result
+                method = UF_METHOD
+                total_ms = simulated_ms + fb_ms
+                fallback = True
+
+        self.metrics.record_request(
+            method, total_ms, cache_hit=False,
+            auto_routed=route is not None, fallback=fallback,
+            work=work)
+        return CCResponse(request=request, fingerprint=entry.fingerprint,
+                          method=method, result=result,
+                          simulated_ms=total_ms, cache_hit=False,
+                          fallback=fallback,
+                          budget_exceeded=budget_exceeded, plan=route)
+
+    def submit_batch(self, requests: list[CCRequest]) -> list[CCResponse]:
+        """Execute a batch in order; later requests see earlier caching."""
+        return [self.submit(r) for r in requests]
+
+    def connected_components(self, graph: CSRGraph, *,
+                             method: str = AUTO_METHOD,
+                             options: object = None,
+                             budget_ms: float | None = None,
+                             name: str = "") -> CCResponse:
+        """One-call convenience wrapper around :meth:`submit`."""
+        return self.submit(CCRequest(graph=graph, method=method,
+                                     options=options,
+                                     budget_ms=budget_ms, name=name))
+
+    # -- internals ----------------------------------------------------
+
+    def _resolve_entry(self, request: CCRequest) -> GraphEntry:
+        if request.graph is not None:
+            return self.registry.register(request.graph,
+                                          name=request.name)
+        if request.key is not None:
+            return self.registry.get(request.key)
+        raise ValueError("request needs a graph or a registry key")
+
+    def _run(self, entry: GraphEntry, method: str,
+             options: object) -> tuple[CCResult, float]:
+        """Actually execute one algorithm and price its trace."""
+        fn = ALGORITHMS[method]
+        result = fn(entry.graph, machine=self.machine,
+                    dataset=entry.name or entry.fingerprint,
+                    **to_call_kwargs(options))
+        timed = simulate_run_time(result.trace, self.machine,
+                                  entry.graph.num_vertices)
+        return result, timed.total_ms

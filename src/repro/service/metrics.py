@@ -1,0 +1,86 @@
+"""Service metrics: hit rates, per-method counts, latency histograms.
+
+Everything a serving dashboard would scrape, built from the repo's
+instrumentation primitives: simulated latencies go into
+:class:`repro.instrument.LatencyHistogram` (overall and per method),
+and every *actual* algorithm execution folds its trace's
+:class:`OpCounters` into a cumulative ``algorithm_work`` tally — which
+is how tests assert that cache hits perform literally zero algorithm
+work (the counter delta across a hit is exactly zero on every field).
+"""
+
+from __future__ import annotations
+
+from ..instrument.counters import OpCounters
+from ..instrument.metrics import LatencyHistogram
+
+__all__ = ["ServiceMetrics"]
+
+
+class ServiceMetrics:
+    """Aggregated counters for one :class:`~repro.service.CCService`."""
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.fallbacks = 0
+        self.auto_routed = 0
+        self.per_method: dict[str, int] = {}
+        self.latency = LatencyHistogram()
+        self.per_method_latency: dict[str, LatencyHistogram] = {}
+        # Sum of OpCounters over every actually-executed run (cache
+        # hits contribute nothing, by definition).
+        self.algorithm_work = OpCounters()
+
+    def record_request(self, method: str, simulated_ms: float, *,
+                       cache_hit: bool, auto_routed: bool = False,
+                       fallback: bool = False,
+                       work: OpCounters | None = None) -> None:
+        """Record one served request under its resolved method."""
+        self.requests += 1
+        if cache_hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+        if auto_routed:
+            self.auto_routed += 1
+        if fallback:
+            self.fallbacks += 1
+        self.per_method[method] = self.per_method.get(method, 0) + 1
+        self.latency.observe(simulated_ms)
+        hist = self.per_method_latency.get(method)
+        if hist is None:
+            hist = self.per_method_latency[method] = LatencyHistogram()
+        hist.observe(simulated_ms)
+        if work is not None:
+            self.algorithm_work += work
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    def work_snapshot(self) -> OpCounters:
+        """Copy of the cumulative algorithm-work counters.
+
+        Take one before and one after a request; if the request was a
+        cache hit, ``after - before`` is all-zero.
+        """
+        return self.algorithm_work.copy()
+
+    def snapshot(self) -> dict:
+        """Plain-dict dump for reports / JSON export."""
+        return {
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+            "fallbacks": self.fallbacks,
+            "auto_routed": self.auto_routed,
+            "per_method": dict(sorted(self.per_method.items())),
+            "latency": self.latency.summary(),
+            "per_method_latency": {
+                m: h.summary()
+                for m, h in sorted(self.per_method_latency.items())},
+            "algorithm_work": self.algorithm_work.as_dict(),
+        }

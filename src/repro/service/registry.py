@@ -1,0 +1,158 @@
+"""Graph registry: fingerprint-keyed graph store with cached probes.
+
+Structural probes (degree skew, sampled giant-component fraction,
+diameter estimate) are what the planner routes on, and they cost BFS
+sweeps — far cheaper than a CC run but far too expensive to redo per
+request.  The registry computes them once per distinct graph content
+and serves them from the entry afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph import properties
+from ..graph.csr import CSRGraph
+from .fingerprint import graph_fingerprint
+
+__all__ = ["GraphProbes", "GraphEntry", "GraphRegistry", "probe_graph"]
+
+
+@dataclass(frozen=True)
+class GraphProbes:
+    """The structural facts the planner routes on."""
+
+    num_vertices: int
+    num_edges: int
+    mean_degree: float
+    skew_ratio: float
+    top1pct_edge_share: float
+    giant_fraction: float
+    diameter: int
+
+
+def probe_graph(graph: CSRGraph, *, giant_samples: int = 4096,
+                diameter_sources: int = 4) -> GraphProbes:
+    """Measure a graph's routing-relevant structure.
+
+    Uses the sampled (hub-BFS) giant-fraction estimate and the
+    double-sweep diameter lower bound — both linear-ish probes, no
+    scipy materialization.
+    """
+    stats = properties.degree_stats(graph)
+    return GraphProbes(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        mean_degree=stats.mean,
+        skew_ratio=stats.skew_ratio,
+        top1pct_edge_share=stats.top1pct_edge_share,
+        giant_fraction=properties.sampled_giant_fraction(
+            graph, samples=giant_samples),
+        diameter=properties.estimate_diameter(
+            graph, num_sources=diameter_sources),
+    )
+
+
+class GraphEntry:
+    """One registered graph: content fingerprint + lazily-cached probes."""
+
+    __slots__ = ("fingerprint", "graph", "name", "_probes",
+                 "probe_computations")
+
+    def __init__(self, fingerprint: str, graph: CSRGraph,
+                 name: str = "") -> None:
+        self.fingerprint = fingerprint
+        self.graph = graph
+        self.name = name
+        self._probes: GraphProbes | None = None
+        self.probe_computations = 0
+
+    @property
+    def probes(self) -> GraphProbes:
+        """Structural probes, computed on first access and cached."""
+        if self._probes is None:
+            self._probes = probe_graph(self.graph)
+            self.probe_computations += 1
+        return self._probes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        label = self.name or self.fingerprint
+        return (f"GraphEntry({label}, n={self.graph.num_vertices}, "
+                f"m={self.graph.num_edges})")
+
+
+class GraphRegistry:
+    """Fingerprint-keyed graph store.
+
+    ``register`` is idempotent on content: submitting the same graph
+    (or an equal copy) twice returns the same entry, so its cached
+    probes — and any cached results keyed by the fingerprint — are
+    reused.  A per-instance ``id()`` memo skips re-hashing the arrays
+    when the *same object* is submitted repeatedly; it is only
+    consulted for objects the registry still holds strongly, so id
+    reuse after garbage collection cannot alias.
+    """
+
+    def __init__(self) -> None:
+        self._by_fingerprint: dict[str, GraphEntry] = {}
+        self._by_name: dict[str, str] = {}
+        self._id_memo: dict[int, str] = {}
+
+    def register(self, graph: CSRGraph, *, name: str = "") -> GraphEntry:
+        """Add a graph (idempotent); returns its entry.
+
+        ``name`` attaches a human alias usable with :meth:`get`.
+        Re-registering the same content under a new name just adds the
+        alias.
+        """
+        fp = self.fingerprint_of(graph)
+        entry = self._by_fingerprint.get(fp)
+        if entry is None:
+            entry = GraphEntry(fp, graph, name)
+            self._by_fingerprint[fp] = entry
+            self._id_memo[id(entry.graph)] = fp
+        if name:
+            existing = self._by_name.get(name)
+            if existing is not None and existing != fp:
+                raise ValueError(
+                    f"name {name!r} already registered for a different "
+                    f"graph (fingerprint {existing})")
+            self._by_name[name] = fp
+            if not entry.name:
+                entry.name = name
+        return entry
+
+    def fingerprint_of(self, graph: CSRGraph) -> str:
+        """Content fingerprint, memoized for already-registered objects."""
+        fp = self._id_memo.get(id(graph))
+        if fp is not None:
+            held = self._by_fingerprint.get(fp)
+            if held is not None and held.graph is graph:
+                return fp
+        return graph_fingerprint(graph)
+
+    def get(self, key: str) -> GraphEntry:
+        """Look up by name or fingerprint; KeyError when absent."""
+        fp = self._by_name.get(key, key)
+        try:
+            return self._by_fingerprint[fp]
+        except KeyError:
+            raise KeyError(
+                f"no registered graph named or fingerprinted {key!r}"
+            ) from None
+
+    def entries(self) -> list[GraphEntry]:
+        """All registered entries, in registration order."""
+        return list(self._by_fingerprint.values())
+
+    def __len__(self) -> int:
+        return len(self._by_fingerprint)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._by_fingerprint or key in self._by_name
+
+    @property
+    def probe_computations(self) -> int:
+        """Total structural-probe evaluations across all entries."""
+        return sum(e.probe_computations
+                   for e in self._by_fingerprint.values())

@@ -1,13 +1,16 @@
 """Tests for the public front door."""
 
+import numpy as np
 import pytest
 
 from repro import (
     ALGORITHMS,
     EPYC,
+    ThriftyOptions,
     connected_components,
     num_components,
 )
+from repro.options import JTOptions
 from repro.validate import same_partition, validate_against_reference
 
 
@@ -37,14 +40,36 @@ class TestDispatch:
         r = connected_components(small_skewed, "thrifty", machine=EPYC)
         validate_against_reference(small_skewed, r)
 
-    def test_machine_ignored_for_baselines(self, triangle):
-        # Baselines are machine-independent; must not choke on it.
-        r = connected_components(triangle, "sv", machine=EPYC)
+    @pytest.mark.parametrize("method", sorted(ALGORITHMS))
+    def test_machine_accepted_uniformly(self, method, triangle):
+        # Every dispatch target takes machine=, LP engines and
+        # machine-independent baselines alike.
+        r = connected_components(triangle, method, machine=EPYC)
         assert r.num_components == 1
 
-    def test_kwargs_forwarded(self, small_skewed):
-        r = connected_components(small_skewed, "thrifty", threshold=0.2)
+    def test_typed_options_forwarded(self, small_skewed):
+        r = connected_components(small_skewed, "thrifty",
+                                 options=ThriftyOptions(threshold=0.2))
         validate_against_reference(small_skewed, r)
+
+    def test_legacy_kwargs_bit_identical_with_warning(self, small_skewed):
+        typed = connected_components(small_skewed, "thrifty",
+                                     options=ThriftyOptions(threshold=0.2))
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            legacy = connected_components(small_skewed, "thrifty",
+                                          threshold=0.2)
+        assert np.array_equal(typed.labels, legacy.labels)
+        assert typed.counters().as_dict() == legacy.counters().as_dict()
+
+    def test_options_and_kwargs_conflict(self, triangle):
+        with pytest.raises(ValueError, match="not both"):
+            connected_components(triangle, "thrifty",
+                                 options=ThriftyOptions(), threshold=0.2)
+
+    def test_wrong_options_type(self, triangle):
+        with pytest.raises(TypeError, match="ThriftyOptions"):
+            connected_components(triangle, "thrifty",
+                                 options=JTOptions())
 
     def test_dataset_name_recorded(self, triangle):
         r = connected_components(triangle, "thrifty", dataset="tri")
@@ -52,6 +77,29 @@ class TestDispatch:
 
     def test_num_components(self, two_triangles):
         assert num_components(two_triangles) == 2
+
+    def test_num_components_forwards_everything(self, small_skewed):
+        # num_components takes the full front-door signature.
+        n = num_components(small_skewed, "jt", machine=EPYC,
+                           dataset="sk", options=JTOptions(seed=3))
+        assert n == num_components(small_skewed, "thrifty")
+
+
+class TestAutoRouting:
+    def test_auto_runs_and_is_correct(self, small_skewed):
+        r = connected_components(small_skewed, "auto")
+        validate_against_reference(small_skewed, r)
+
+    def test_auto_rejects_options(self, small_skewed):
+        with pytest.raises(ValueError, match="auto"):
+            connected_components(small_skewed, "auto",
+                                 options=ThriftyOptions())
+        with pytest.raises(ValueError, match="auto"):
+            connected_components(small_skewed, "auto", threshold=0.1)
+
+    def test_unknown_method_error_lists_auto(self, triangle):
+        with pytest.raises(ValueError, match="auto"):
+            connected_components(triangle, "magic")
 
 
 class TestCCResult:

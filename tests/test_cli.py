@@ -15,6 +15,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "Pkc", "--method", "x"])
 
+    def test_bad_method_error_lists_auto(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "Pkc", "--method", "x"])
+        assert "auto" in capsys.readouterr().err
+
+    def test_auto_method_accepted(self):
+        args = build_parser().parse_args(["run", "Pkc",
+                                          "--method", "auto"])
+        assert args.method == "auto"
+
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -58,6 +68,40 @@ class TestCommands:
         assert main(["experiment", "table1"]) == 0
         out = capsys.readouterr().out
         assert "vertices_pct" in out
+
+    def test_run_auto_routes(self, capsys):
+        assert main(["run", "Pkc", "--method", "auto",
+                     "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm          : thrifty" in out
+
+    def test_run_with_typed_opt(self, capsys):
+        assert main(["run", "Pkc", "--method", "thrifty",
+                     "--scale", "0.1", "--opt", "threshold=0.05"]) == 0
+        assert "components" in capsys.readouterr().out
+
+    def test_unknown_opt_field_exits(self):
+        with pytest.raises(SystemExit, match="valid options"):
+            main(["run", "Pkc", "--method", "thrifty",
+                  "--scale", "0.1", "--opt", "bogus=1"])
+
+    def test_auto_with_opt_exits(self):
+        with pytest.raises(SystemExit, match="auto"):
+            main(["run", "Pkc", "--method", "auto",
+                  "--scale", "0.1", "--opt", "threshold=0.05"])
+
+
+class TestServeCommand:
+    def test_serve_repeats_hit_cache(self, capsys):
+        assert main(["serve", "Pkc", "--scale", "0.1",
+                     "--repeats", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "hit_rate=0.50" in out
+        assert "hit" in out and "miss" in out
+
+    def test_serve_unknown_dataset_exits(self):
+        with pytest.raises(SystemExit, match="unknown dataset"):
+            main(["serve", "NotADataset"])
 
 
 class TestTrialsCommand:

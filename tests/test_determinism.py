@@ -7,6 +7,7 @@ import numpy as np
 import repro
 from repro import connected_components
 from repro.distributed import DistributedLPOptions, distributed_cc
+from repro.options import options_for
 from repro.graph import rmat_graph
 
 
@@ -22,8 +23,9 @@ class TestBitReproducibility:
 
     def test_seeded_algorithms_reproducible(self, small_skewed):
         for method in ("jt", "afforest"):
-            a = connected_components(small_skewed, method, seed=7)
-            b = connected_components(small_skewed, method, seed=7)
+            opts = options_for(method, seed=7)
+            a = connected_components(small_skewed, method, options=opts)
+            b = connected_components(small_skewed, method, options=opts)
             assert np.array_equal(a.labels, b.labels)
             assert a.counters().as_dict() == b.counters().as_dict()
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.options import ThriftyOptions
 from repro.experiments import (
     clear_cache,
     fig1_speedup_summary,
@@ -43,10 +44,17 @@ class TestRunner:
         b = timed_run("Pkc", "thrifty", scale=SCALE)
         assert a is b
 
-    def test_kwargs_bypass_cache(self):
+    def test_options_get_their_own_cache_entry(self):
         a = timed_run("Pkc", "thrifty", scale=SCALE)
-        b = timed_run("Pkc", "thrifty", scale=SCALE, threshold=0.02)
+        b = timed_run("Pkc", "thrifty", scale=SCALE,
+                      options=ThriftyOptions(threshold=0.02))
+        c = timed_run("Pkc", "thrifty", scale=SCALE,
+                      options=ThriftyOptions(threshold=0.02))
         assert a is not b
+        assert b is c   # frozen options memoize like defaults
+        # an explicitly defaulted options object aliases the default run
+        d = timed_run("Pkc", "thrifty", scale=SCALE)
+        assert a is d
 
     def test_machine_by_name_or_spec(self):
         from repro.parallel import EPYC

@@ -1,0 +1,67 @@
+"""LatencyHistogram: bucketing, quantiles, merging."""
+
+import pytest
+
+from repro.instrument import LatencyHistogram
+
+
+class TestLatencyHistogram:
+    def test_empty_summary(self):
+        h = LatencyHistogram()
+        s = h.summary()
+        assert s["count"] == 0
+        assert s["mean_ms"] == 0.0 and s["p99_ms"] == 0.0
+
+    def test_observe_updates_scalars(self):
+        h = LatencyHistogram()
+        for ms in (0.5, 2.0, 8.0):
+            h.observe(ms)
+        assert h.count == 3
+        assert h.mean_ms == pytest.approx(3.5)
+        assert h.min_ms == 0.5 and h.max_ms == 8.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().observe(-1.0)
+
+    def test_quantiles_bucket_granular(self):
+        h = LatencyHistogram()
+        for _ in range(99):
+            h.observe(0.01)
+        h.observe(100.0)
+        # p50 sits in the 0.01ms bucket; its upper bound is within 2x.
+        assert h.quantile(0.5) <= 0.02
+        assert h.quantile(1.0) == 100.0
+
+    def test_quantile_domain(self):
+        h = LatencyHistogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(0.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_zero_latency_lands_in_first_bucket(self):
+        h = LatencyHistogram()
+        h.observe(0.0)
+        assert h.count == 1
+        assert h.quantile(1.0) == 0.0
+
+    def test_merge(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.observe(1.0)
+        b.observe(4.0)
+        b.observe(16.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.total_ms == pytest.approx(21.0)
+        assert a.max_ms == 16.0
+
+    def test_nonzero_buckets_ascending(self):
+        h = LatencyHistogram()
+        for ms in (0.002, 0.002, 30.0):
+            h.observe(ms)
+        buckets = h.nonzero_buckets()
+        assert sum(c for _, c in buckets) == 3
+        bounds = [b for b, _ in buckets]
+        assert bounds == sorted(bounds)

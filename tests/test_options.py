@@ -1,0 +1,93 @@
+"""Typed options front door: construction, canonicalization, shim."""
+
+import numpy as np
+import pytest
+
+from repro import ALGORITHMS, connected_components
+from repro.options import (
+    OPTION_TYPES,
+    AfforestOptions,
+    ThriftyOptions,
+    options_for,
+    resolve_options,
+    to_call_kwargs,
+)
+
+
+class TestOptionTypes:
+    def test_every_algorithm_has_options(self):
+        assert set(OPTION_TYPES) == set(ALGORITHMS)
+
+    def test_options_are_frozen_and_hashable(self):
+        from dataclasses import FrozenInstanceError, fields
+        for method, cls in OPTION_TYPES.items():
+            opts = cls()
+            for f in fields(opts):
+                with pytest.raises(FrozenInstanceError):
+                    setattr(opts, f.name, None)
+                break
+            assert hash(opts) == hash(cls()), method
+            assert opts == cls(), method
+
+    def test_default_options_flatten_to_no_kwargs_for_lp(self):
+        # None fields are "use canonical value" and must be dropped.
+        assert to_call_kwargs(ThriftyOptions()) == {}
+
+    def test_defaulted_fields_survive_flattening(self):
+        kw = to_call_kwargs(AfforestOptions(neighbor_rounds=3))
+        assert kw["neighbor_rounds"] == 3
+        assert kw["sample_size"] == 1024    # non-None class default
+
+    def test_options_for_unknown_method(self):
+        with pytest.raises(ValueError, match="auto"):
+            options_for("magic")
+
+    def test_options_for_unknown_field_lists_valid(self):
+        with pytest.raises(ValueError, match="threshold"):
+            options_for("thrifty", thresold=0.1)   # typo
+
+    def test_options_for_builds_right_type(self):
+        for method, cls in OPTION_TYPES.items():
+            assert type(options_for(method)) is cls
+
+
+class TestResolveOptions:
+    def test_none_resolves_to_defaults(self):
+        assert resolve_options("thrifty", None, {}) == ThriftyOptions()
+
+    def test_legacy_kwargs_warn_and_map(self):
+        with pytest.warns(DeprecationWarning, match="ThriftyOptions"):
+            opts = resolve_options("thrifty", None, {"threshold": 0.2})
+        assert opts == ThriftyOptions(threshold=0.2)
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            resolve_options("thrifty", ThriftyOptions(),
+                            {"threshold": 0.2})
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError, match="AfforestOptions"):
+            resolve_options("afforest", ThriftyOptions(), {})
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("method,legacy", [
+        ("thrifty", {"threshold": 0.2, "num_threads": 4}),
+        ("dolp", {"num_threads": 8}),
+        ("unified", {"block_size": 32}),
+        ("sv", {"local": False}),
+        ("jt", {"seed": 9}),
+        ("afforest", {"neighbor_rounds": 1, "seed": 2}),
+        ("lp-shortcut", {"shortcut_depth": 3}),
+        ("kla", {"k": 2}),
+        ("connectit", {"sampling": "kout", "seed": 1}),
+    ])
+    def test_legacy_and_typed_bit_identical(self, method, legacy,
+                                            small_skewed):
+        typed = connected_components(
+            small_skewed, method, options=options_for(method, **legacy))
+        with pytest.warns(DeprecationWarning):
+            shim = connected_components(small_skewed, method, **legacy)
+        assert np.array_equal(typed.labels, shim.labels)
+        assert typed.counters().as_dict() == shim.counters().as_dict()
+        assert typed.num_iterations == shim.num_iterations

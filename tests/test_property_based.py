@@ -3,8 +3,9 @@
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro import ALGORITHMS, connected_components
+from repro import ALGORITHMS, ThriftyOptions, connected_components
 from repro.graph import build_graph, from_pairs
+from repro.options import options_for
 from repro.graph.coo import dedup, symmetrize
 from repro.graph.properties import component_labels_reference
 from repro.parallel import batch_atomic_min, edge_balanced_partitions
@@ -33,9 +34,11 @@ def test_all_algorithms_agree_with_scipy(g):
     """Fundamental: every algorithm partitions exactly like the oracle."""
     ref = component_labels_reference(g)
     for method in ALGORITHMS:
-        result = connected_components(g, method, num_threads=2) \
-            if method in ("thrifty", "dolp", "unified") \
-            else connected_components(g, method)
+        if method in ("thrifty", "dolp", "unified"):
+            result = connected_components(
+                g, method, options=options_for(method, num_threads=2))
+        else:
+            result = connected_components(g, method)
         assert same_partition(result.labels, ref), method
 
 
@@ -46,8 +49,9 @@ def test_thrifty_parameter_space(g, threshold, threads, block_size):
     """Thrifty is correct for any threshold/threads/block size."""
     ref = component_labels_reference(g)
     result = connected_components(
-        g, "thrifty", threshold=threshold, num_threads=threads,
-        block_size=block_size)
+        g, "thrifty",
+        options=ThriftyOptions(threshold=threshold, num_threads=threads,
+                               block_size=block_size))
     assert same_partition(result.labels, ref)
 
 
@@ -119,7 +123,8 @@ def test_partition_bounds_invariants(g, threads, ppt):
 @given(graphs())
 def test_iteration_traces_account_all_edge_work(g):
     """Trace totals equal the sum of per-iteration deltas."""
-    result = connected_components(g, "thrifty", num_threads=2)
+    result = connected_components(
+        g, "thrifty", options=ThriftyOptions(num_threads=2))
     total = result.counters()
     summed = sum(r.counters.edges_processed
                  for r in result.trace.iterations)

@@ -1,0 +1,229 @@
+"""Serving layer: registry, fingerprints, cache, executor, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import rmat_graph
+from repro.graph.datasets import load_dataset
+from repro.options import AfforestOptions, ThriftyOptions
+from repro.service import (
+    CCRequest,
+    CCService,
+    GraphRegistry,
+    ResultCache,
+    graph_fingerprint,
+    plan_for_graph,
+    result_cache_key,
+)
+from repro.validate import validate_against_reference
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    return rmat_graph(9, 8, seed=11)
+
+
+@pytest.fixture(scope="module")
+def road():
+    return load_dataset("GBRd", 0.05)
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        a = rmat_graph(8, 8, seed=4)
+        b = rmat_graph(8, 8, seed=4)
+        assert a is not b
+        assert graph_fingerprint(a) == graph_fingerprint(b)
+
+    def test_distinct_graphs_differ(self):
+        a = rmat_graph(8, 8, seed=4)
+        b = rmat_graph(8, 8, seed=5)
+        assert graph_fingerprint(a) != graph_fingerprint(b)
+
+
+class TestRegistry:
+    def test_register_idempotent_on_content(self):
+        reg = GraphRegistry()
+        e1 = reg.register(rmat_graph(8, 8, seed=4))
+        e2 = reg.register(rmat_graph(8, 8, seed=4))
+        assert e1 is e2
+        assert len(reg) == 1
+
+    def test_probes_computed_once(self, skewed):
+        reg = GraphRegistry()
+        entry = reg.register(skewed)
+        assert reg.probe_computations == 0
+        p1 = entry.probes
+        p2 = entry.probes
+        assert p1 is p2
+        assert reg.probe_computations == 1
+        assert p1.num_vertices == skewed.num_vertices
+        assert p1.diameter >= 1
+        assert 0.0 < p1.giant_fraction <= 1.0
+
+    def test_lookup_by_name_and_fingerprint(self, skewed):
+        reg = GraphRegistry()
+        entry = reg.register(skewed, name="sk")
+        assert reg.get("sk") is entry
+        assert reg.get(entry.fingerprint) is entry
+        assert "sk" in reg and entry.fingerprint in reg
+        with pytest.raises(KeyError):
+            reg.get("missing")
+
+    def test_name_collision_rejected(self, skewed):
+        reg = GraphRegistry()
+        reg.register(skewed, name="sk")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register(rmat_graph(7, 8, seed=1), name="sk")
+
+
+class TestResultCache:
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        keys = [result_cache_key(f"fp{i}", "thrifty", "SkylakeX",
+                                 ThriftyOptions()) for i in range(3)]
+        for k in keys:
+            cache.put(k, object())
+        assert keys[0] not in cache          # evicted, oldest
+        assert keys[1] in cache and keys[2] in cache
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(capacity=2)
+        keys = [result_cache_key(f"fp{i}", "thrifty", "SkylakeX",
+                                 ThriftyOptions()) for i in range(3)]
+        cache.put(keys[0], object())
+        cache.put(keys[1], object())
+        cache.get(keys[0])                   # now most-recent
+        cache.put(keys[2], object())
+        assert keys[0] in cache
+        assert keys[1] not in cache
+
+    def test_options_canonicalization_shares_entries(self):
+        # Spelled-default options and explicit defaults are one key.
+        k1 = result_cache_key("fp", "afforest", "SkylakeX",
+                              AfforestOptions())
+        k2 = result_cache_key("fp", "afforest", "SkylakeX",
+                              AfforestOptions(neighbor_rounds=2,
+                                              sample_size=1024, seed=0))
+        assert k1 == k2
+
+
+class TestService:
+    def test_miss_then_hit(self, skewed):
+        svc = CCService()
+        r1 = svc.connected_components(skewed, method="thrifty")
+        r2 = svc.connected_components(skewed, method="thrifty")
+        assert not r1.cache_hit and r2.cache_hit
+        assert r2.simulated_ms == 0.0
+        assert np.array_equal(r1.result.labels, r2.result.labels)
+        validate_against_reference(skewed, r1.result)
+
+    def test_cache_hit_performs_zero_algorithm_work(self, skewed):
+        svc = CCService()
+        svc.connected_components(skewed, method="thrifty")
+        before = svc.metrics.work_snapshot()
+        resp = svc.connected_components(skewed, method="thrifty")
+        delta = svc.metrics.algorithm_work - before
+        assert resp.cache_hit
+        assert all(v == 0 for v in delta.as_dict().values())
+
+    def test_equal_content_different_object_hits(self, skewed):
+        svc = CCService()
+        svc.connected_components(rmat_graph(9, 8, seed=11))
+        resp = svc.connected_components(rmat_graph(9, 8, seed=11))
+        assert resp.cache_hit
+
+    def test_distinct_options_are_distinct_entries(self, skewed):
+        svc = CCService()
+        r1 = svc.connected_components(
+            skewed, method="thrifty", options=ThriftyOptions())
+        r2 = svc.connected_components(
+            skewed, method="thrifty",
+            options=ThriftyOptions(threshold=0.2))
+        assert not r2.cache_hit
+        assert np.array_equal(r1.result.labels, r2.result.labels)
+
+    def test_auto_resolves_before_caching(self, skewed):
+        # auto and the concrete method it routes to share cache slots.
+        svc = CCService()
+        first = svc.connected_components(skewed)              # auto
+        again = svc.connected_components(skewed,
+                                         method=first.method)
+        assert first.plan is not None
+        assert again.cache_hit
+
+    def test_auto_rejects_options(self, skewed):
+        svc = CCService()
+        with pytest.raises(ValueError, match="auto"):
+            svc.connected_components(skewed,
+                                     options=ThriftyOptions())
+
+    def test_unknown_method_lists_auto(self, skewed):
+        svc = CCService()
+        with pytest.raises(ValueError, match="auto"):
+            svc.submit(CCRequest(graph=skewed, method="magic"))
+
+    def test_request_needs_graph_or_key(self):
+        svc = CCService()
+        with pytest.raises(ValueError, match="graph or a registry key"):
+            svc.submit(CCRequest())
+
+    def test_submit_by_registered_key(self, skewed):
+        svc = CCService()
+        svc.register(skewed, name="sk")
+        resp = svc.submit(CCRequest(key="sk", method="sv"))
+        assert resp.method == "sv"
+        validate_against_reference(skewed, resp.result)
+
+    def test_budget_fallback_to_afforest(self, skewed):
+        svc = CCService()
+        resp = svc.connected_components(skewed, method="thrifty",
+                                        budget_ms=1e-12)
+        assert resp.budget_exceeded and resp.fallback
+        assert resp.method == "afforest"
+        validate_against_reference(skewed, resp.result)
+        # both runs were charged
+        r_thrifty = CCService().connected_components(skewed,
+                                                     method="thrifty")
+        assert resp.simulated_ms > r_thrifty.simulated_ms
+        assert svc.metrics.fallbacks == 1
+
+    def test_no_fallback_from_afforest(self, skewed):
+        svc = CCService()
+        resp = svc.connected_components(skewed, method="afforest",
+                                        budget_ms=1e-12)
+        assert resp.budget_exceeded and not resp.fallback
+
+    def test_batch_later_requests_hit(self, skewed, road):
+        svc = CCService()
+        reqs = [CCRequest(graph=g) for g in (skewed, road,
+                                             skewed, road)]
+        out = svc.submit_batch(reqs)
+        assert [o.cache_hit for o in out] == [False, False, True, True]
+        assert svc.metrics.hit_rate == 0.5
+
+    def test_metrics_snapshot_shape(self, skewed):
+        svc = CCService()
+        svc.connected_components(skewed)
+        svc.connected_components(skewed)
+        snap = svc.metrics.snapshot()
+        assert snap["requests"] == 2
+        assert snap["cache_hits"] == 1
+        assert snap["auto_routed"] == 2
+        assert sum(snap["per_method"].values()) == 2
+        assert snap["latency"]["count"] == 2
+        assert snap["algorithm_work"]["edges_processed"] > 0
+
+
+class TestPlanner:
+    def test_skewed_routes_lp(self, skewed):
+        plan = plan_for_graph(skewed)
+        assert plan.family == "lp" and plan.method == "thrifty"
+        assert plan.predicted_lp_ms < plan.predicted_uf_ms
+
+    def test_road_routes_uf(self, road):
+        plan = plan_for_graph(road)
+        assert plan.family == "uf" and plan.method == "afforest"
+        assert plan.predicted_uf_ms < plan.predicted_lp_ms
+        assert plan.margin > 1.0

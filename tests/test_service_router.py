@@ -1,0 +1,44 @@
+"""Auto-router vs measured Table IV winners, all 17 surrogates.
+
+The acceptance bar for ``method="auto"``: on every dataset surrogate
+the planner must pick the family (LP vs union-find) that actually
+measures fastest under the cost model.  This runs the full sweep at a
+reduced scale so it stays inside the tier-1 budget; the benchmark
+suite repeats it at benchmark scale
+(``benchmarks/test_ext_service_throughput.py``).
+"""
+
+import pytest
+
+from repro.experiments.routing import auto_routing_table
+from repro.graph.datasets import ALL_DATASET_NAMES
+
+SCALE = 0.2
+
+
+@pytest.fixture(scope="module")
+def routing_rows():
+    return auto_routing_table(scale=SCALE)
+
+
+def test_sweep_covers_all_surrogates(routing_rows):
+    assert [r["dataset"] for r in routing_rows] == list(ALL_DATASET_NAMES)
+
+
+@pytest.mark.parametrize("idx", range(len(ALL_DATASET_NAMES)),
+                         ids=list(ALL_DATASET_NAMES))
+def test_router_matches_measured_winner(routing_rows, idx):
+    row = routing_rows[idx]
+    assert row["agree"], (
+        f"{row['dataset']}: planner routed {row['routed']} "
+        f"(lp={row['pred_lp_ms']:.2f}ms uf={row['pred_uf_ms']:.2f}ms) "
+        f"but measured winner is {row['measured_winner']} "
+        f"(lp={row['measured_lp_ms']:.2f}ms "
+        f"uf={row['measured_uf_ms']:.2f}ms)")
+
+
+def test_roads_route_uf_and_skewed_route_lp(routing_rows):
+    by_name = {r["dataset"]: r for r in routing_rows}
+    for road in ("GBRd", "USRd"):
+        assert by_name[road]["routed"] == "afforest"
+    assert by_name["Twtr"]["routed"] == "thrifty"
