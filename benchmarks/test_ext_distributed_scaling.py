@@ -14,7 +14,7 @@ from conftest import SCALE, run_once
 from repro.distributed import (
     ETHERNET_25G,
     HDR_INFINIBAND,
-    DistributedLPOptions,
+    DistributedOptions,
     distributed_cc,
     simulate_distributed_time,
 )
@@ -29,11 +29,12 @@ def _generate():
     graph = load_dataset(DATASET, min(SCALE, 0.5))
     rows = []
     for ranks in RANKS:
-        naive = distributed_cc(graph, DistributedLPOptions(
+        naive = distributed_cc(graph, DistributedOptions(
             num_ranks=ranks, zero_planting=False,
-            zero_convergence=False, dedup_sends=False))
+            zero_convergence=False, dedup_sends=False,
+            combining=False))
         thrifty = distributed_cc(graph,
-                                 DistributedLPOptions(num_ranks=ranks))
+                                 DistributedOptions(num_ranks=ranks))
         row = {"ranks": ranks}
         for net in (ETHERNET_25G, HDR_INFINIBAND):
             row[f"naive@{net.name}"] = simulate_distributed_time(

@@ -23,6 +23,7 @@ Subpackages:
 * :mod:`repro.instrument` — counters, PAPI proxies, cost model
 * :mod:`repro.experiments` — harness regenerating every paper artifact
 * :mod:`repro.service` — registry, auto-routing planner, result cache
+* :mod:`repro.distributed` — sharded CC tier on a simulated BSP fabric
 """
 
 from .api import ALGORITHMS, AUTO_METHOD, connected_components, num_components
@@ -32,6 +33,7 @@ from .options import (
     AfforestOptions,
     BFSOptions,
     ConnectItOptions,
+    DistributedOptions,
     DOLPOptions,
     FastSVOptions,
     JTOptions,
@@ -76,6 +78,7 @@ __all__ = [
     "LPShortcutOptions",
     "ConnectItOptions",
     "KLAOptions",
+    "DistributedOptions",
     "MachineSpec",
     "SKYLAKEX",
     "EPYC",

@@ -14,6 +14,7 @@ Every algorithm from the paper's evaluation is addressable by name:
 ``bfs``        BFS-CC
 ``kla``        K-Level Asynchronous LP (Section VII, extension)
 ``connectit``  ConnectIt sampling x finish (Related Work, extension)
+``distributed``  sharded tier on the simulated fabric (Section VII)
 ``auto``       structure-aware routing (Table IV crossover; service)
 =============  ====================================================
 
@@ -38,7 +39,7 @@ from .connectit import connectit_cc
 from .core import CCResult, dolp_cc, thrifty_cc, unified_dolp_cc
 from .core.kla import KLAOptions, kla_cc
 from .graph.csr import CSRGraph
-from .options import resolve_options, to_call_kwargs
+from .options import DistributedOptions, resolve_options, to_call_kwargs
 from .parallel.machine import SKYLAKEX, MachineSpec
 
 __all__ = ["ALGORITHMS", "connected_components", "num_components"]
@@ -64,6 +65,36 @@ def _kla_adapter(graph: CSRGraph, *,
                   dataset=dataset)
 
 
+def _distributed_adapter(graph: CSRGraph, *,
+                         machine: MachineSpec = SKYLAKEX,
+                         num_ranks: int = 8,
+                         algorithm: str = "lp",
+                         partition: str = "block",
+                         combining: bool = True,
+                         zero_planting: bool = True,
+                         zero_convergence: bool = True,
+                         dedup_sends: bool = True,
+                         max_supersteps: int = 100_000,
+                         dataset: str = "") -> CCResult:
+    """Adapter exposing the sharded tier through the front door.
+
+    ``machine`` is accepted for interface uniformity; the distributed
+    cost model prices per-node compute and the network separately (see
+    :func:`repro.distributed.simulate_distributed_time`).
+    """
+    del machine
+    from .distributed import distributed_cc
+    return distributed_cc(
+        graph,
+        DistributedOptions(num_ranks=num_ranks, algorithm=algorithm,
+                           partition=partition, combining=combining,
+                           zero_planting=zero_planting,
+                           zero_convergence=zero_convergence,
+                           dedup_sends=dedup_sends,
+                           max_supersteps=max_supersteps),
+        dataset=dataset)
+
+
 #: Dispatch table.  Every entry has the uniform signature
 #: ``fn(graph, *, machine=..., dataset=..., **option_fields)``.
 ALGORITHMS: dict[str, Callable[..., CCResult]] = {
@@ -78,6 +109,7 @@ ALGORITHMS: dict[str, Callable[..., CCResult]] = {
     "bfs": bfs_cc,
     "connectit": connectit_cc,
     "kla": _kla_adapter,
+    "distributed": _distributed_adapter,
 }
 
 #: The planner-routed pseudo-method accepted by the front door.

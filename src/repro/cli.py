@@ -173,6 +173,10 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--budget-ms", type=float, default=None,
                      help="per-request simulated-time budget "
                           "(over-budget LP runs fall back to Afforest)")
+    srv.add_argument("--edge-budget", type=int, default=None,
+                     help="single-node edge capacity; auto-routed "
+                          "graphs with more edges go to the "
+                          "distributed tier")
 
     rep = sub.add_parser("report",
                          help="regenerate all artifacts into markdown")
@@ -216,6 +220,19 @@ def _cmd_run(args) -> int:
     print(f"edges processed    : {c.edges_processed} "
           f"({100 * c.edges_processed / max(graph.num_edges, 1):.2f}% of |E|)")
     print(f"simulated time     : {timing.total_ms:.3f} ms on {machine.name}")
+    comm = result.extras.get("comm")
+    if comm is not None:
+        from .distributed import simulate_distributed_time
+        dist_ms = simulate_distributed_time(result, graph.num_vertices,
+                                            node=machine)
+        print(f"ranks              : {result.extras['num_ranks']} "
+              f"({result.extras['partition']} partition, "
+              f"edge cut {result.extras['edge_cut']})")
+        print(f"communication      : {comm.supersteps} supersteps, "
+              f"{comm.messages} messages, {comm.updates} updates, "
+              f"{comm.modeled_bytes} modeled bytes")
+        print(f"distributed time   : {dist_ms:.3f} ms "
+              f"({machine.name} nodes, 25GbE)")
     if args.trace:
         print()
         rows = [[rec.index, rec.direction.value, f"{rec.density:.4f}",
@@ -259,7 +276,8 @@ def _cmd_serve(args) -> int:
     from .service import CCRequest, CCService
 
     service = CCService(machine=MACHINES[args.machine],
-                        cache_capacity=args.cache_size)
+                        cache_capacity=args.cache_size,
+                        single_node_edge_budget=args.edge_budget)
     requests = []
     for _ in range(args.repeats):
         for name in args.datasets:

@@ -35,6 +35,7 @@ _INT64_MAX = np.iinfo(np.int64).max
 
 __all__ = [
     "pull_block",
+    "pull_block_zero_cut",
     "zero_cut_scan_lengths",
     "concat_adjacency",
     "fused_push_window",
@@ -103,6 +104,48 @@ def pull_block(graph: CSRGraph, labels: np.ndarray,
     ends = (graph.indptr[lo + 1:hi + 1] - s0).astype(np.int64)
     new = segment_min(nbr_labels, starts, ends, own)
     return new, new < own
+
+
+def pull_block_zero_cut(graph: CSRGraph, labels: np.ndarray,
+                        lo: int, hi: int,
+                        skip: np.ndarray | None = None
+                        ) -> tuple[np.ndarray, np.ndarray, int]:
+    """Pull over rows ``[lo, hi)`` with Zero Convergence *executed*.
+
+    Where :func:`pull_block` gathers every row's full adjacency,
+    this kernel gathers only what a sequential Zero-Convergence scan
+    (Algorithm 2 line 31) touches: skipped rows (own label already
+    zero, or ``skip[i]``) contribute nothing, and every other row's
+    scan stops at its first zero-labelled neighbour.  Labels are
+    non-negative, so a prefix ending at a zero has the same minimum as
+    the full row — the result is bit-identical to :func:`pull_block`
+    while the gathered edge set matches the counted one exactly.
+
+    Returns ``(new_labels_block, changed_mask, edges_scanned)`` with
+    ``edges_scanned == zero_cut_scan_lengths(...).sum()``.  Does not
+    write; callers decide commit policy.
+    """
+    if hi <= lo:
+        empty = np.empty(0, dtype=labels.dtype)
+        return empty, np.empty(0, dtype=bool), 0
+    own = labels[lo:hi]
+    if skip is None:
+        skip = own == 0
+    scanned = zero_cut_scan_lengths(graph, labels, lo, hi, skip)
+    total = int(scanned.sum())
+    new = own.copy()
+    if total == 0:
+        return new, np.zeros(hi - lo, dtype=bool), 0
+    row_start = graph.indptr[lo:hi].astype(np.int64)
+    starts = np.zeros(hi - lo, dtype=np.int64)
+    np.cumsum(scanned[:-1], out=starts[1:])
+    ends = starts + scanned
+    idx = np.arange(total, dtype=np.int64)
+    seg = np.searchsorted(starts, idx, side="right") - 1
+    pos = row_start[seg] + (idx - starts[seg])
+    nbr_labels = labels[graph.indices[pos]]
+    new = segment_min(nbr_labels, starts, ends, own)
+    return new, new < own, total
 
 
 def zero_cut_scan_lengths(graph: CSRGraph, labels: np.ndarray,

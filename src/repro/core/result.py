@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -19,10 +20,18 @@ class CCResult:
     ``labels[v]`` is an arbitrary per-component identifier; two
     vertices are connected iff their labels are equal.  Use
     :meth:`canonical_labels` to compare results across algorithms.
+
+    ``extras`` carries method-specific metrics beyond the trace — the
+    same convention the serving layer's snapshots use: a flat dict of
+    named records (e.g. the distributed tier's ``"comm"``
+    :class:`~repro.distributed.comm.CommStats` plus its ``"edge_cut"``
+    and partitioning facts).  Always present (possibly empty), so
+    every result — and every cached result — has a uniform shape.
     """
 
     labels: np.ndarray
     trace: RunTrace
+    extras: dict[str, Any] = field(default_factory=dict)
 
     @property
     def algorithm(self) -> str:

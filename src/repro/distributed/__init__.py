@@ -1,5 +1,18 @@
-"""Distributed LP simulation (paper Section VII future work)."""
+"""Sharded CC tier on a simulated BSP fabric (paper Section VII).
 
+Distributed Thrifty-style LP and distributed FastSV run over the same
+bandwidth-accounted message fabric; runs are reachable through the
+typed front door (``connected_components(graph, "distributed",
+options=DistributedOptions(...))``), the service planner and the CLI.
+
+The legacy ``DistributedLPOptions`` name is a deprecated alias of
+:class:`repro.options.DistributedOptions` (import-time
+``DeprecationWarning``, promoted to an error under pytest).
+"""
+
+import warnings
+
+from ..options import DistributedOptions
 from .comm import CommStats, Fabric
 from .costmodel import (
     ETHERNET_25G,
@@ -7,16 +20,31 @@ from .costmodel import (
     NetworkSpec,
     simulate_distributed_time,
 )
-from .lp import DistributedLPOptions, DistributedResult, distributed_cc
+from .lp import distributed_cc
+from .partition import PARTITION_STRATEGIES, edge_cut, rank_bounds
 
 __all__ = [
     "Fabric",
     "CommStats",
-    "DistributedLPOptions",
-    "DistributedResult",
+    "DistributedOptions",
     "distributed_cc",
     "NetworkSpec",
     "ETHERNET_25G",
     "HDR_INFINIBAND",
     "simulate_distributed_time",
+    "PARTITION_STRATEGIES",
+    "rank_bounds",
+    "edge_cut",
 ]
+
+
+def __getattr__(name: str):
+    if name == "DistributedLPOptions":
+        warnings.warn(
+            "DistributedLPOptions is deprecated; use "
+            "repro.options.DistributedOptions (same fields, plus the "
+            "sharded-tier ones: algorithm, partition, combining)",
+            DeprecationWarning, stacklevel=2)
+        return DistributedOptions
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

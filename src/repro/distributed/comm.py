@@ -1,49 +1,133 @@
-"""Simulated message-passing fabric for distributed LP.
+"""Simulated message-passing fabric for distributed CC.
 
 The paper's headline argument for label propagation over disjoint-set
 CC is that LP's SpMV structure scales to distributed memory (Section I
-and VII).  This package demonstrates that claim on a simulated BSP
-(bulk-synchronous parallel) fabric: ranks exchange labelled-vertex
-messages between supersteps, and the fabric counts every message and
-byte so communication volume — the quantity that decides distributed
-performance — is measured exactly.
+and VII), and the follow-up literature on distributed CC shows that
+*network bandwidth* is the quantity that decides distributed
+performance.  This fabric therefore models the wire precisely: ranks
+exchange labelled-vertex updates between BSP supersteps and the fabric
+accounts every update, wire message and modeled byte, so communication
+volume is measured exactly rather than estimated.
+
+Two accounting regimes, selected by ``combining``:
+
+* ``combining=False`` — the naive per-pair regime (the historical
+  fabric): every queued ``(vertex, label)`` update is its own wire
+  message with its own header.  Kept for A/B runs; final labels are
+  bit-identical because receivers min-merge either way.
+* ``combining=True`` — bandwidth-optimized: per destination, the
+  sender min-combines its queued updates (one update per ``(vertex,
+  dst)`` per superstep, keeping only the smallest label — exactly a
+  Pregel combiner) and ships them as a single batched envelope per
+  ``(src, dst)`` pair with one modeled header.  Envelope payloads are
+  priced with a delta/varint byte model: vertex ids are sorted,
+  delta-encoded and varint-sized, labels varint-sized.
 
 No real networking: deliveries are deterministic (per-rank FIFO by
-sending rank, then send order), which makes distributed runs exactly
-reproducible.
+sending rank, then send order; combined envelopes sorted by vertex
+id), which makes distributed runs exactly reproducible.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 import numpy as np
 
-__all__ = ["CommStats", "Fabric"]
+__all__ = ["CommStats", "Fabric", "varint_bytes",
+           "MESSAGE_BYTES", "ENVELOPE_HEADER_BYTES"]
 
-#: Bytes per (vertex id, label) message — 4-byte ids + 4-byte labels,
-#: matching the paper's data sizes.
+#: Naive bytes per (vertex id, label) update — 4-byte ids + 4-byte
+#: labels, matching the paper's data sizes.  The ``bytes`` counter
+#: keeps this historical accounting in both regimes.
 MESSAGE_BYTES = 8
+
+#: Modeled per-wire-message header (rank ids, superstep tag, payload
+#: length — an MPI-ish envelope).  Charged once per envelope in the
+#: combining regime, once per update in the naive regime.
+ENVELOPE_HEADER_BYTES = 16
+
+
+def varint_bytes(values: np.ndarray) -> int:
+    """Total LEB128-style varint bytes to encode ``values`` (all >= 0).
+
+    One byte per 7 payload bits: values below 128 cost 1 byte, below
+    16384 cost 2, and so on.  Exact and fully vectorized (no float
+    log2 near-power-of-two hazards).
+    """
+    v = np.asarray(values, dtype=np.int64)
+    if v.size == 0:
+        return 0
+    if v.min() < 0:
+        raise ValueError("varint model is for non-negative values")
+    sizes = np.ones(v.shape, dtype=np.int64)
+    for k in range(1, 9):
+        sizes += v >= (1 << (7 * k))
+    return int(sizes.sum())
+
+
+def _envelope_payload_bytes(vertices: np.ndarray,
+                            labels: np.ndarray) -> int:
+    """Modeled payload of one combined envelope.
+
+    ``vertices`` arrive sorted ascending (the combiner sorts), so they
+    are delta-encoded — first id absolute, the rest as gaps — and the
+    labels ride along varint-coded.
+    """
+    if vertices.size == 0:
+        return 0
+    deltas = np.empty(vertices.size, dtype=np.int64)
+    deltas[0] = vertices[0]
+    np.subtract(vertices[1:], vertices[:-1], out=deltas[1:])
+    return varint_bytes(deltas) + varint_bytes(labels)
 
 
 @dataclass
 class CommStats:
-    """Aggregate communication counters for one distributed run."""
+    """Aggregate communication counters for one distributed run.
+
+    ``updates`` counts the ``(vertex, label)`` payload entries actually
+    delivered; ``messages`` counts *wire* messages — equal to updates
+    in the naive regime, one per batched ``(src, dst)`` envelope in the
+    combining regime.  ``bytes`` keeps the historical naive accounting
+    (8 bytes per delivered update); ``modeled_bytes`` is the
+    header + delta/varint wire model, reported separately so benchmarks
+    can compare message counts and bandwidth independently.
+    """
 
     supersteps: int = 0
     messages: int = 0
-    bytes: int = 0
+    updates: int = 0
+    combined_updates: int = 0      # updates removed by the combiner
+    bytes: int = 0                 # naive 8-byte-per-update accounting
+    header_bytes: int = 0
+    payload_bytes: int = 0
     max_rank_messages_per_step: int = 0
+    max_rank_bytes_per_step: int = 0   # modeled bytes, bottleneck rank
 
-    def record_step(self, per_rank_messages: list[int]) -> None:
+    @property
+    def modeled_bytes(self) -> int:
+        """Wire bytes under the envelope + delta/varint model."""
+        return self.header_bytes + self.payload_bytes
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict dump (includes the derived ``modeled_bytes``)."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["modeled_bytes"] = self.modeled_bytes
+        return out
+
+    def record_step(self, per_rank_messages: list[int],
+                    per_rank_bytes: list[int]) -> None:
+        """Close one superstep: track the bottleneck-rank maxima."""
         self.supersteps += 1
-        step_total = int(sum(per_rank_messages))
-        self.messages += step_total
-        self.bytes += step_total * MESSAGE_BYTES
         if per_rank_messages:
             self.max_rank_messages_per_step = max(
                 self.max_rank_messages_per_step,
                 int(max(per_rank_messages)))
+        if per_rank_bytes:
+            self.max_rank_bytes_per_step = max(
+                self.max_rank_bytes_per_step,
+                int(max(per_rank_bytes)))
 
 
 class Fabric:
@@ -54,19 +138,24 @@ class Fabric:
         fabric.send(src_rank, dst_rank, vertices, labels)
         ...
         inboxes = fabric.exchange()   # delivers + clears + counts
+
+    ``combining=True`` enables sender-side min-combining and batched
+    per-``(src, dst)`` envelopes (see module docstring).  Receivers
+    min-merge, so the regimes produce bit-identical final labels.
     """
 
-    def __init__(self, num_ranks: int) -> None:
+    def __init__(self, num_ranks: int, *, combining: bool = False) -> None:
         if num_ranks < 1:
             raise ValueError("num_ranks must be >= 1")
         self.num_ranks = num_ranks
+        self.combining = combining
         self.stats = CommStats()
         self._outboxes: list[list[tuple[int, np.ndarray, np.ndarray]]] = [
             [] for _ in range(num_ranks)]
 
     def send(self, src: int, dst: int,
              vertices: np.ndarray, labels: np.ndarray) -> None:
-        """Queue (vertex, label) pairs from ``src`` to ``dst``."""
+        """Queue (vertex, label) updates from ``src`` to ``dst``."""
         if not (0 <= src < self.num_ranks):
             raise ValueError(f"bad source rank {src}")
         if not (0 <= dst < self.num_ranks):
@@ -81,30 +170,73 @@ class Fabric:
             raise ValueError("local updates must not use the fabric")
         self._outboxes[dst].append((src, vertices, labels))
 
+    def _combine(self, vertices: np.ndarray, labels: np.ndarray
+                 ) -> tuple[np.ndarray, np.ndarray]:
+        """Sender-side min-combiner: one update per vertex, min label,
+        sorted by vertex id (the envelope's delta-coded order)."""
+        order = np.lexsort((labels, vertices))
+        sv, sl = vertices[order], labels[order]
+        first = np.empty(sv.size, dtype=bool)
+        first[0] = True
+        np.not_equal(sv[1:], sv[:-1], out=first[1:])
+        return sv[first], sl[first]
+
     def exchange(self) -> list[tuple[np.ndarray, np.ndarray]]:
         """Complete the superstep: deliver everything, return inboxes.
 
         Returns one ``(vertices, labels)`` pair per rank (concatenated
         over senders in rank order).  Counts the step in ``stats``.
         """
-        sent_by_rank = [0] * self.num_ranks
+        stats = self.stats
+        msgs_by_rank = [0] * self.num_ranks
+        bytes_by_rank = [0] * self.num_ranks
         inboxes: list[tuple[np.ndarray, np.ndarray]] = []
         for dst in range(self.num_ranks):
             queue = sorted(self._outboxes[dst], key=lambda t: t[0])
-            if queue:
-                vs = np.concatenate([q[1] for q in queue])
-                ls = np.concatenate([q[2] for q in queue])
-            else:
-                vs = np.empty(0, dtype=np.int64)
-                ls = np.empty(0, dtype=np.int64)
-            for src, v, _ in queue:
-                sent_by_rank[src] += int(v.size)
-            inboxes.append((vs, ls))
             self._outboxes[dst] = []
-        self.stats.record_step(sent_by_rank)
+            parts_v: list[np.ndarray] = []
+            parts_l: list[np.ndarray] = []
+            i = 0
+            while i < len(queue):
+                src = queue[i][0]
+                j = i
+                while j < len(queue) and queue[j][0] == src:
+                    j += 1
+                v = np.concatenate([q[1] for q in queue[i:j]])
+                lab = np.concatenate([q[2] for q in queue[i:j]])
+                i = j
+                if self.combining:
+                    raw = int(v.size)
+                    v, lab = self._combine(v, lab)
+                    stats.combined_updates += raw - int(v.size)
+                parts_v.append(v)
+                parts_l.append(lab)
+                stats.updates += int(v.size)
+                stats.bytes += int(v.size) * MESSAGE_BYTES
+                if self.combining:
+                    wire_msgs = 1
+                    wire_bytes = (ENVELOPE_HEADER_BYTES
+                                  + _envelope_payload_bytes(v, lab))
+                else:
+                    wire_msgs = int(v.size)
+                    wire_bytes = int(v.size) * ENVELOPE_HEADER_BYTES \
+                        + varint_bytes(v) + varint_bytes(lab)
+                stats.messages += wire_msgs
+                stats.header_bytes += wire_msgs * ENVELOPE_HEADER_BYTES
+                stats.payload_bytes += (wire_bytes
+                                        - wire_msgs * ENVELOPE_HEADER_BYTES)
+                msgs_by_rank[src] += wire_msgs
+                bytes_by_rank[src] += wire_bytes
+            if parts_v:
+                inboxes.append((np.concatenate(parts_v),
+                                np.concatenate(parts_l)))
+            else:
+                inboxes.append((np.empty(0, dtype=np.int64),
+                                np.empty(0, dtype=np.int64)))
+        stats.record_step(msgs_by_rank, bytes_by_rank)
         return inboxes
 
     def pending_messages(self) -> int:
-        """Messages queued but not yet exchanged."""
+        """Updates queued but not yet exchanged."""
         return sum(v.size for box in self._outboxes
                    for _, v, _ in box)

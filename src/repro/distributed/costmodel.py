@@ -10,18 +10,21 @@ superstep additionally pays communication.  The classic alpha-beta
 
 Compute per rank approximates the balanced share of the superstep's
 counted work priced by the node's cost model; the communication term
-uses the fabric's exact per-rank message maxima.  As with the
-shared-memory model, only relative shapes are claimed.
+uses the fabric's exact per-rank *modeled* byte maxima (envelope
+headers + delta/varint payloads — see :mod:`repro.distributed.comm`),
+so sender-side combining and batching show up directly as saved wire
+time.  As with the shared-memory model, only relative shapes are
+claimed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..core.result import CCResult
 from ..instrument.costmodel import CostModel
 from ..parallel.machine import SKYLAKEX, MachineSpec
-from .comm import MESSAGE_BYTES
-from .lp import DistributedResult
+from .comm import CommStats
 
 __all__ = ["NetworkSpec", "ETHERNET_25G", "HDR_INFINIBAND",
            "simulate_distributed_time"]
@@ -49,27 +52,37 @@ HDR_INFINIBAND = NetworkSpec("HDR-IB", latency_us=2.0,
                              bandwidth_gbps=200.0)
 
 
-def simulate_distributed_time(result: DistributedResult,
+def simulate_distributed_time(result: CCResult,
                               num_vertices: int,
-                              num_ranks: int,
+                              num_ranks: int | None = None,
                               *,
                               node: MachineSpec = SKYLAKEX,
                               network: NetworkSpec = ETHERNET_25G
                               ) -> float:
     """Simulated wall-clock (ms) of a distributed run.
 
+    ``result`` is the :class:`CCResult` a distributed run returns —
+    its ``extras["comm"]`` :class:`CommStats` drives the network term;
+    ``num_ranks`` defaults to ``extras["num_ranks"]``.
+
     Compute: each superstep's counters are divided evenly across
-    ranks (block partitions are near-balanced by construction) and
+    ranks (rank partitions are near-balanced by construction) and
     priced with the node's cost model; every rank is a full ``node``.
     Communication: one alpha per superstep plus the bottleneck rank's
-    bytes (``max_rank_messages_per_step`` is tracked exactly; the
+    modeled bytes (``max_rank_bytes_per_step`` is tracked exactly; the
     per-step maximum is approximated by the run-level maximum).
     """
+    comm: CommStats | None = result.extras.get("comm")
+    if comm is None:
+        raise ValueError("result has no extras['comm'] record; "
+                         "was it produced by distributed_cc?")
+    if num_ranks is None:
+        num_ranks = int(result.extras.get("num_ranks", 1))
     if num_ranks < 1:
         raise ValueError("num_ranks must be >= 1")
     cm = CostModel(node, max(num_vertices // num_ranks, 1))
     total_ms = 0.0
-    trace = result.result.trace
+    trace = result.trace
     for rec in trace.iterations:
         share = rec.counters.copy()
         for field_name, value in share.as_dict().items():
@@ -77,8 +90,6 @@ def simulate_distributed_time(result: DistributedResult,
         share.iterations = 1
         total_ms += cm.iteration_ms(share)
     if num_ranks > 1 and trace.num_iterations:
-        per_step_bytes = (result.comm.max_rank_messages_per_step
-                          * MESSAGE_BYTES)
         total_ms += trace.num_iterations * network.transfer_ms(
-            per_step_bytes)
+            comm.max_rank_bytes_per_step)
     return total_ms

@@ -1,0 +1,168 @@
+"""Distributed FastSV — the union-find competitor on the same fabric.
+
+FastSV (Zhang, Azad & Hu, arXiv:1910.05971) is the standard
+distributed-memory min-label union-find variant; racing it against
+distributed Thrifty on the *same* simulated fabric makes the paper's
+Section VII communication claim directly measurable: both report
+through one :class:`~repro.distributed.comm.CommStats`, so messages
+and modeled bytes are comparable number-for-number.
+
+Parents are partitioned across ranks by the same contiguous rank
+bounds as LP.  Each rank keeps a full-size *view* of the parent
+vector: owned entries are authoritative, every other entry is a stale
+mirror that only improves when the owner's updates arrive through the
+fabric (initial values are the globally-known identity, so no
+bootstrap exchange is needed).  One superstep, per rank, over its
+owned CSR rows (edges ``(u, v)`` with ``u`` owned):
+
+1. grandparents: ``gu = view[view[u]]`` — one local read, one
+   possibly-stale mirror read;
+2. stochastic hooking: propose ``f[view[v]] <- min(.., gu)``;
+3. aggressive hooking: propose ``f[v] <- min(.., gu)``;
+4. shortcutting: ``f[w] <- min(f[w], view[view[w]])`` for owned ``w``.
+
+Proposals targeting owned entries apply locally (min-merge);
+proposals targeting remote entries become fabric messages to the
+owner, filtered by a per-rank ``sent`` watermark (never re-send a
+value >= the best already sent for that entry — the union-find
+analogue of LP's change-tracked sends).  Receivers min-merge their
+inboxes into owned entries.
+
+Parent entries only decrease and every proposed value is a vertex id
+from the same component, so the assembled global parent vector is an
+acyclic forest; at quiescence (no local change, no in-flight message)
+every component's entries have collapsed to its minimum vertex id —
+the same labels sequential FastSV converges to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..instrument.counters import OpCounters
+from ..instrument.trace import Direction, IterationRecord, RunTrace
+from ..options import DistributedOptions
+from .comm import Fabric
+
+__all__ = ["distributed_fastsv_labels"]
+
+
+class _RankEdges:
+    """One rank's owned edge slice, precomputed once."""
+
+    def __init__(self, graph: CSRGraph, lo: int, hi: int) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.num_owned = hi - lo
+        self.src = np.repeat(np.arange(lo, hi, dtype=np.int64),
+                             np.diff(graph.indptr[lo:hi + 1]))
+        self.dst = graph.indices[
+            graph.indptr[lo]:graph.indptr[hi]].astype(np.int64)
+
+
+def distributed_fastsv_labels(graph: CSRGraph, opts: DistributedOptions,
+                              trace: RunTrace, fabric: Fabric,
+                              ranks: list, rank_of: np.ndarray
+                              ) -> np.ndarray:
+    """Run distributed FastSV supersteps; returns global labels.
+
+    ``ranks`` supplies each rank's ``(lo, hi)`` range (the LP tier's
+    ``_Rank`` objects — only the bounds are used here).
+    """
+    n = graph.num_vertices
+    num_ranks = opts.num_ranks
+    intmax = np.iinfo(np.int64).max
+    edges = [_RankEdges(graph, rk.lo, rk.hi) for rk in ranks]
+    views = [np.arange(n, dtype=np.int64) for _ in range(num_ranks)]
+    # Best value ever sent to each entry's owner, per sending rank:
+    # proposals >= the watermark cannot improve the owner's entry
+    # (entries are min-merged and monotone), so they are suppressed.
+    sent = [np.full(n, intmax, dtype=np.int64) for _ in range(num_ranks)]
+    for view in views:
+        trace.setup_counters.sequential_accesses += n
+        trace.setup_counters.label_writes += n
+
+    for step in range(opts.max_supersteps):
+        counters = OpCounters()
+        total_changed = 0
+        active_edges = 0
+        for r in range(num_ranks):
+            er = edges[r]
+            if er.num_owned == 0:
+                continue
+            view = views[r]
+            m_r = er.src.size
+            n_r = er.num_owned
+            active_edges += m_r
+            before = view[er.lo:er.hi].copy()
+            # Grandparents of owned sources: view[u] is authoritative,
+            # view[view[u]] may be a stale mirror (monotone-safe).
+            gu = view[view[er.src]]
+            counters.edges_processed += m_r
+            counters.random_accesses += 2 * m_r
+            counters.label_reads += 2 * m_r
+            counters.branches += 2 * m_r
+            counters.unpredictable_branches += m_r
+            # Hooking proposals: stochastic targets f[v], aggressive
+            # targets v itself; both carry gu.
+            targets = np.concatenate([view[er.dst], er.dst])
+            values = np.concatenate([gu, gu])
+            counters.random_accesses += m_r      # view[dst] gather
+            counters.label_reads += m_r
+            counters.cas_attempts += 2 * m_r
+            local = rank_of[targets] == r
+            lt, lv = targets[local], values[local]
+            if lt.size:
+                np.minimum.at(view, lt, lv)
+            # Shortcutting over the owned range (after local hooks).
+            own = view[er.lo:er.hi]
+            np.minimum(own, view[own], out=own)
+            counters.random_accesses += n_r
+            counters.label_reads += n_r
+            counters.sequential_accesses += n_r
+            changed = int(np.count_nonzero(view[er.lo:er.hi] != before))
+            counters.record_cas_successes(changed)
+            total_changed += changed
+            # Remote proposals through the fabric, watermark-filtered.
+            remote_t, remote_v = targets[~local], values[~local]
+            if remote_t.size:
+                w = sent[r]
+                passing = remote_v < w[remote_t]
+                remote_t, remote_v = remote_t[passing], remote_v[passing]
+                if remote_t.size:
+                    np.minimum.at(w, remote_t, remote_v)
+                    dst_ranks = rank_of[remote_t]
+                    for dst in np.unique(dst_ranks):
+                        sel = dst_ranks == dst
+                        fabric.send(r, int(dst), remote_t[sel],
+                                    remote_v[sel])
+
+        inboxes = fabric.exchange()
+        for r in range(num_ranks):
+            vs, ls = inboxes[r]
+            if vs.size == 0:
+                continue
+            view = views[r]
+            before = view[vs].copy()
+            np.minimum.at(view, vs, ls)
+            improved = np.unique(vs[view[vs] < before])
+            total_changed += int(improved.size)
+
+        counters.iterations = 1
+        trace.add(IterationRecord(
+            index=step, direction=Direction.PUSH, density=1.0,
+            active_vertices=n, active_edges=active_edges,
+            changed_vertices=total_changed, converged_fraction=0.0,
+            counters=counters))
+        if total_changed == 0 and fabric.pending_messages() == 0:
+            break
+    else:
+        raise RuntimeError("distributed FastSV failed to converge "
+                           f"within {opts.max_supersteps} supersteps")
+
+    trace.iterations[-1].converged_fraction = 1.0
+    labels = np.empty(n, dtype=np.int64)
+    for rk in ranks:
+        labels[rk.lo:rk.hi] = views[rk.rank][rk.lo:rk.hi]
+    return labels

@@ -11,68 +11,54 @@ configurations:
   nor communicate), and a send filter that suppresses re-sending a
   label a ghost already holds.
 
-Vertices are block-partitioned across ranks.  Each rank keeps *ghost*
-copies of remote neighbours' labels; a superstep is:
+Vertices are partitioned across ranks by contiguous ranges
+(``"block"`` or ``"degree_balanced"``; see
+:mod:`repro.distributed.partition`).  Each rank keeps *ghost* copies
+of remote neighbours' labels; a superstep is:
 
 1. local compute: pull over owned vertices using owned + ghost labels
-   (in place — Unified Labels within the rank);
+   (in place — Unified Labels within the rank).  The pull reuses the
+   shared-memory engine's partitioned structure: each rank's range is
+   cut into edge-balanced blocks, all-zero (converged) blocks are
+   skipped without touching their rows, and within a live block the
+   Zero-Convergence kernel :func:`repro.core.kernels.pull_block_zero_cut`
+   gathers only the prefix of each row up to its first zero ghost —
+   converged work is *not executed*, not merely discounted;
 2. exchange: for each owned vertex whose label changed and that has
-   remote neighbours, send (vertex, label) to each rank that needs it;
+   remote neighbours, send (vertex, label) to each rank that needs it
+   (the fabric min-combines and batches when ``combining=True``);
 3. apply: min-merge received labels into the ghost table.
 
 Convergence: a superstep with no label change on any rank and no
 in-flight messages.
+
+Results are ordinary :class:`~repro.core.result.CCResult` values; the
+communication record travels in ``result.extras`` (``"comm"`` — the
+fabric's :class:`CommStats` — plus ``"edge_cut"``, ``"num_ranks"``,
+``"partition"`` and ``"algorithm"``), the same extras/metrics
+convention the serving layer uses, so the result cache keys
+distributed runs like any other method.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
-from ..core.kernels import pull_block
+from ..core.kernels import pull_block, pull_block_zero_cut
 from ..core.result import CCResult
 from ..graph.csr import CSRGraph
 from ..instrument.counters import OpCounters
 from ..instrument.trace import Direction, IterationRecord, RunTrace
-from .comm import CommStats, Fabric
+from ..options import DistributedOptions
+from .comm import Fabric
+from .partition import edge_cut, intra_rank_blocks, rank_bounds, \
+    rank_of_vertex
 
-__all__ = ["DistributedLPOptions", "DistributedResult", "distributed_cc"]
+__all__ = ["DistributedOptions", "distributed_cc"]
 
-
-@dataclass(frozen=True)
-class DistributedLPOptions:
-    """Configuration for a distributed CC run."""
-
-    num_ranks: int = 8
-    zero_planting: bool = True
-    zero_convergence: bool = True
-    # True: send a mirror's label only when it changed since the last
-    # send (change-tracking, what Thrifty-style distributed LP does).
-    # False: the naive SpMV/allgather pattern — every superstep, every
-    # boundary vertex broadcasts its label to each neighbouring rank.
-    dedup_sends: bool = True
-    max_supersteps: int = 100_000
-
-    def __post_init__(self) -> None:
-        if self.num_ranks < 1:
-            raise ValueError("num_ranks must be >= 1")
-
-
-@dataclass
-class DistributedResult:
-    """Labels plus trace plus communication statistics."""
-
-    result: CCResult
-    comm: CommStats
-
-    @property
-    def labels(self) -> np.ndarray:
-        return self.result.labels
-
-    @property
-    def supersteps(self) -> int:
-        return self.comm.supersteps
+#: Edge-balanced pull blocks per rank (the rank-local analogue of the
+#: engine's partitions-per-thread; converged blocks are skipped whole).
+BLOCKS_PER_RANK = 8
 
 
 class _Rank:
@@ -103,59 +89,92 @@ class _Rank:
         # Last label value sent per (vertex, rank) pair, for dedup.
         self.last_sent = np.full(pairs.shape[0], np.iinfo(np.int64).max,
                                  dtype=np.int64)
+        # Rank-local pull blocks (edge-balanced within the range).
+        self.block_bounds = intra_rank_blocks(graph, lo, hi,
+                                              BLOCKS_PER_RANK)
 
 
-def _block_ranges(n: int, num_ranks: int) -> np.ndarray:
-    """Rank boundary array of length num_ranks+1 (balanced blocks)."""
-    return np.linspace(0, n, num_ranks + 1).astype(np.int64)
-
-
-def distributed_cc(graph: CSRGraph,
-                   opts: DistributedLPOptions | None = None,
-                   *, dataset: str = "") -> DistributedResult:
-    """Run distributed LP CC; returns labels + communication stats.
-
-    The *global* label array in this simulation plays the role of the
-    union of every rank's owned labels and ghost tables: rank-local
-    reads of remote labels only observe values that were delivered
-    through the fabric (enforced by updating ghosts exclusively from
-    inbox messages).
-    """
-    opts = opts or DistributedLPOptions()
-    n = graph.num_vertices
-    trace = RunTrace(algorithm="distributed-lp", dataset=dataset)
-    fabric = Fabric(opts.num_ranks)
-    if n == 0:
-        return DistributedResult(
-            CCResult(labels=np.empty(0, dtype=np.int64), trace=trace),
-            fabric.stats)
-
-    bounds = _block_ranges(n, opts.num_ranks)
-    rank_of = np.searchsorted(bounds[1:], np.arange(n), side="right")
+def _build_ranks(graph: CSRGraph, opts: DistributedOptions
+                 ) -> tuple[list[_Rank], np.ndarray, np.ndarray]:
+    bounds = rank_bounds(graph, opts.num_ranks, opts.partition)
+    rank_of = rank_of_vertex(bounds, graph.num_vertices)
     ranks = [_Rank(r, graph, int(bounds[r]), int(bounds[r + 1]), rank_of)
              for r in range(opts.num_ranks)]
+    return ranks, bounds, rank_of
 
+
+def _initial_labels(graph: CSRGraph, bounds: np.ndarray,
+                    zero_planting: bool) -> np.ndarray:
+    if not zero_planting:
+        return np.arange(graph.num_vertices, dtype=np.int64)
+    # Global max-degree reduction: each rank reports its local hub;
+    # the winner becomes the zero vertex (one tiny allreduce, not
+    # counted as per-edge communication).
+    local_hubs = [int(bounds[r]) + int(np.argmax(
+        graph.degrees[bounds[r]:bounds[r + 1]]))
+        for r in range(bounds.size - 1)
+        if bounds[r + 1] > bounds[r]]
+    hub = max(local_hubs, key=lambda v: (graph.degree(v), -v))
+    init = np.arange(1, graph.num_vertices + 1, dtype=np.int64)
+    init[hub] = 0
+    return init
+
+
+def _rank_pull(graph: CSRGraph, rk: _Rank, view: np.ndarray,
+               counters: OpCounters, zero_convergence: bool) -> int:
+    """One rank's local compute: partitioned, convergence-skipping pull.
+
+    Returns the number of owned labels that changed.  Mirrors the
+    engine's converged-block-aware strategy at rank scope: all-zero
+    blocks are skipped in O(1), live blocks run the zero-cut kernel.
+    """
+    bb = rk.block_bounds
+    changed_total = 0
+    for b in range(bb.size - 1):
+        lo, hi = int(bb[b]), int(bb[b + 1])
+        nv = hi - lo
+        if nv == 0:
+            continue
+        if zero_convergence:
+            own = view[lo:hi]
+            skip = own == 0
+            n_skip = int(np.count_nonzero(skip))
+            if n_skip == nv:
+                # Converged block: per-vertex own-label checks only,
+                # no kernel call, no edges touched.
+                counters.record_pull_skip(nv)
+                continue
+            new, changed, scanned = pull_block_zero_cut(
+                graph, view, lo, hi, skip)
+            counters.record_pull_scan(scanned, nv - n_skip)
+            if n_skip:
+                counters.record_pull_skip(n_skip)
+        else:
+            new, changed = pull_block(graph, view, lo, hi)
+            counters.record_pull_scan(
+                int(graph.indptr[hi] - graph.indptr[lo]), nv)
+        rows = lo + np.flatnonzero(changed)
+        if rows.size:
+            view[rows] = new[changed]
+            counters.record_label_commits(int(rows.size), random=False)
+            changed_total += int(rows.size)
+    return changed_total
+
+
+def _distributed_lp(graph: CSRGraph, opts: DistributedOptions,
+                    trace: RunTrace, fabric: Fabric,
+                    ranks: list[_Rank], bounds: np.ndarray) -> np.ndarray:
+    """Run the LP supersteps; returns the assembled global labels."""
+    n = graph.num_vertices
     # Each rank's view: owned labels are authoritative; ghost labels
     # live in `view` too but only change via messages.
     views = [np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
              for _ in range(opts.num_ranks)]
-    if opts.zero_planting:
-        # Global max-degree reduction: each rank reports its local
-        # hub; the winner becomes the zero vertex (one tiny allreduce,
-        # not counted as per-edge communication).
-        local_hubs = [int(bounds[r]) + int(np.argmax(
-            graph.degrees[bounds[r]:bounds[r + 1]]))
-            for r in range(opts.num_ranks)
-            if bounds[r + 1] > bounds[r]]
-        hub = max(local_hubs, key=lambda v: (graph.degree(v), -v))
-        init = np.arange(1, n + 1, dtype=np.int64)
-        init[hub] = 0
-    else:
-        init = np.arange(n, dtype=np.int64)
-    for r, view in enumerate(ranks):
-        views[r][view.lo:view.hi] = init[view.lo:view.hi]
-        if view.ghosts.size:
-            views[r][view.ghosts] = init[view.ghosts]
+    init = _initial_labels(graph, bounds, opts.zero_planting)
+    for r, rk in enumerate(ranks):
+        views[r][rk.lo:rk.hi] = init[rk.lo:rk.hi]
+        if rk.ghosts.size:
+            views[r][rk.ghosts] = init[rk.ghosts]
 
     for step in range(opts.max_supersteps):
         counters = OpCounters()
@@ -164,23 +183,8 @@ def distributed_cc(graph: CSRGraph,
             view = views[rk.rank]
             if rk.num_owned == 0:
                 continue
-            # Pull over all owned vertices (classic BSP LP sweep).
-            # Zero Convergence skips converged rows' work in the cost
-            # accounting (and they cannot change: 0 is minimal).
-            if opts.zero_convergence:
-                scan = view[rk.lo:rk.hi] != 0
-            else:
-                scan = np.ones(rk.num_owned, dtype=bool)
-            new, changed = pull_block(graph, view, rk.lo, rk.hi)
-            counters.record_pull_scan(
-                int(graph.degrees[rk.lo + np.flatnonzero(scan)].sum()),
-                int(scan.sum()))
-            rows = rk.lo + np.flatnonzero(changed)
-            if rows.size:
-                view[rows] = new[changed]
-                counters.record_label_commits(int(rows.size),
-                                              random=False)
-            total_changed += int(rows.size)
+            total_changed += _rank_pull(graph, rk, view, counters,
+                                        opts.zero_convergence)
             # Communication: mirrors whose label changed.
             if rk.mirror_vertices.size:
                 mirror_labels = view[rk.mirror_vertices]
@@ -222,9 +226,52 @@ def distributed_cc(graph: CSRGraph,
         raise RuntimeError("distributed LP failed to converge within "
                            f"{opts.max_supersteps} supersteps")
 
-    # Assemble global labels from each rank's owned range.
     labels = np.empty(n, dtype=np.int64)
     for rk in ranks:
         labels[rk.lo:rk.hi] = views[rk.rank][rk.lo:rk.hi]
-    return DistributedResult(CCResult(labels=labels, trace=trace),
-                             fabric.stats)
+    return labels
+
+
+def distributed_cc(graph: CSRGraph,
+                   opts: DistributedOptions | None = None,
+                   *, dataset: str = "") -> CCResult:
+    """Run sharded CC (LP or FastSV) on the simulated fabric.
+
+    The *global* label array in this simulation plays the role of the
+    union of every rank's owned labels and ghost tables: rank-local
+    reads of remote labels only observe values that were delivered
+    through the fabric (enforced by updating ghosts exclusively from
+    inbox messages).
+
+    Returns a plain :class:`CCResult`; communication statistics ride
+    in ``result.extras`` (see module docstring).
+    """
+    opts = opts or DistributedOptions()
+    algorithm_name = ("distributed-lp" if opts.algorithm == "lp"
+                      else "distributed-fastsv")
+    trace = RunTrace(algorithm=algorithm_name, dataset=dataset)
+    fabric = Fabric(opts.num_ranks, combining=opts.combining)
+    n = graph.num_vertices
+    if n == 0:
+        return CCResult(
+            labels=np.empty(0, dtype=np.int64), trace=trace,
+            extras={"comm": fabric.stats, "edge_cut": 0,
+                    "num_ranks": opts.num_ranks,
+                    "partition": opts.partition,
+                    "algorithm": opts.algorithm})
+
+    ranks, bounds, rank_of = _build_ranks(graph, opts)
+    if opts.algorithm == "lp":
+        labels = _distributed_lp(graph, opts, trace, fabric, ranks,
+                                 bounds)
+    else:
+        from .fastsv import distributed_fastsv_labels
+        labels = distributed_fastsv_labels(graph, opts, trace, fabric,
+                                           ranks, rank_of)
+    return CCResult(
+        labels=labels, trace=trace,
+        extras={"comm": fabric.stats,
+                "edge_cut": edge_cut(graph, rank_of),
+                "num_ranks": opts.num_ranks,
+                "partition": opts.partition,
+                "algorithm": opts.algorithm})

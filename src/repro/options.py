@@ -22,6 +22,7 @@ the same cache entry.
 ``bfs``         :class:`BFSOptions`
 ``kla``         :class:`KLAOptions` (reused from :mod:`repro.core.kla`)
 ``connectit``   :class:`ConnectItOptions`
+``distributed`` :class:`DistributedOptions`
 ==============  ====================================================
 
 LP-family fields default to ``None`` meaning "keep the algorithm's
@@ -52,6 +53,7 @@ __all__ = [
     "BFSOptions",
     "KLAOptions",
     "ConnectItOptions",
+    "DistributedOptions",
     "OPTION_TYPES",
     "options_for",
     "resolve_options",
@@ -147,6 +149,49 @@ class LPShortcutOptions:
 
 
 @dataclass(frozen=True)
+class DistributedOptions:
+    """Configuration of the sharded (distributed-memory) CC tier.
+
+    ``algorithm`` picks the method run on the simulated fabric:
+    ``"lp"`` (distributed Thrifty-style label propagation) or
+    ``"fastsv"`` (the distributed union-find competitor).
+    ``partition`` selects the vertex-to-rank split (``"block"`` equal
+    vertices, ``"degree_balanced"`` equal edges).  ``combining``
+    enables sender-side min-combining + batched envelopes in the
+    fabric; ``False`` replays the naive per-pair wire accounting with
+    bit-identical final labels.  The three LP switches mirror the
+    paper's optimizations (ignored by ``fastsv``).
+    """
+
+    num_ranks: int = 8
+    algorithm: str = "lp"
+    partition: str = "block"
+    combining: bool = True
+    zero_planting: bool = True
+    zero_convergence: bool = True
+    # True: send a mirror's label only when it changed since the last
+    # send (change-tracking, what Thrifty-style distributed LP does).
+    # False: the naive SpMV/allgather pattern — every superstep, every
+    # boundary vertex broadcasts its label to each neighbouring rank.
+    dedup_sends: bool = True
+    max_supersteps: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
+        if self.algorithm not in ("lp", "fastsv"):
+            raise ValueError(
+                f"unknown distributed algorithm {self.algorithm!r}; "
+                "pick 'lp' or 'fastsv'")
+        if self.partition not in ("block", "degree_balanced"):
+            raise ValueError(
+                f"unknown partition strategy {self.partition!r}; "
+                "pick 'block' or 'degree_balanced'")
+        if self.max_supersteps < 1:
+            raise ValueError("max_supersteps must be >= 1")
+
+
+@dataclass(frozen=True)
 class ConnectItOptions:
     """One (sampling, finish) point of the ConnectIt design space.
 
@@ -176,6 +221,7 @@ OPTION_TYPES: dict[str, type] = {
     "bfs": BFSOptions,
     "kla": KLAOptions,
     "connectit": ConnectItOptions,
+    "distributed": DistributedOptions,
 }
 
 

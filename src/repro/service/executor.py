@@ -21,13 +21,14 @@ from dataclasses import dataclass
 
 from ..api import ALGORITHMS, AUTO_METHOD
 from ..core.result import CCResult
+from ..distributed import simulate_distributed_time
 from ..graph.csr import CSRGraph
 from ..instrument.costmodel import simulate_run_time
-from ..options import resolve_options, to_call_kwargs
+from ..options import DistributedOptions, resolve_options, to_call_kwargs
 from ..parallel.machine import SKYLAKEX, MachineSpec
 from .cache import ResultCache, result_cache_key
 from .metrics import ServiceMetrics
-from .planner import UF_METHOD, RoutePlan, plan
+from .planner import DISTRIBUTED_METHOD, UF_METHOD, RoutePlan, plan
 from .registry import GraphEntry, GraphRegistry
 
 __all__ = ["CCRequest", "CCResponse", "CCService"]
@@ -82,11 +83,15 @@ class CCService:
 
     def __init__(self, *, machine: MachineSpec = SKYLAKEX,
                  cache_capacity: int = 128,
-                 registry: GraphRegistry | None = None) -> None:
+                 registry: GraphRegistry | None = None,
+                 single_node_edge_budget: int | None = None) -> None:
         self.machine = machine
         self.registry = registry if registry is not None else GraphRegistry()
         self.cache = ResultCache(cache_capacity)
         self.metrics = ServiceMetrics()
+        # Graphs whose probed edge count exceeds this route to the
+        # sharded tier under method="auto" (None: never).
+        self.single_node_edge_budget = single_node_edge_budget
 
     # -- graph management ---------------------------------------------
 
@@ -102,12 +107,26 @@ class CCService:
         route: RoutePlan | None = None
         method = request.method
         if method == AUTO_METHOD:
-            if request.options is not None:
+            if isinstance(request.options, DistributedOptions):
+                # The request already describes a multi-node job: a
+                # DistributedOptions value with num_ranks > 1 IS the
+                # routing decision — run it on the sharded tier.
+                if request.options.num_ranks > 1:
+                    method = DISTRIBUTED_METHOD
+                else:
+                    raise ValueError(
+                        "method='auto' with DistributedOptions needs "
+                        "num_ranks > 1; pass method='distributed' to "
+                        "force a single-rank sharded run")
+            elif request.options is not None:
                 raise ValueError(
                     "method='auto' picks the algorithm itself and "
                     "takes no options")
-            route = plan(entry.probes, self.machine)
-            method = route.method
+            else:
+                route = plan(
+                    entry.probes, self.machine,
+                    single_node_edge_budget=self.single_node_edge_budget)
+                method = route.method
         elif method not in ALGORITHMS:
             known = sorted([*ALGORITHMS, AUTO_METHOD])
             raise ValueError(f"unknown method {method!r}; known: {known}")
@@ -194,6 +213,12 @@ class CCService:
         result = fn(entry.graph, machine=self.machine,
                     dataset=entry.name or entry.fingerprint,
                     **to_call_kwargs(options))
+        if method == DISTRIBUTED_METHOD:
+            # Sharded runs are priced with the alpha-beta network
+            # model on top of per-node compute; one `machine` node
+            # per rank.
+            return result, simulate_distributed_time(
+                result, entry.graph.num_vertices, node=self.machine)
         timed = simulate_run_time(result.trace, self.machine,
                                   entry.graph.num_vertices)
         return result, timed.total_ms

@@ -46,12 +46,15 @@ from ..parallel.machine import SKYLAKEX, MachineSpec
 from .registry import GraphProbes, probe_graph
 
 __all__ = ["RoutePlan", "predict_family_costs", "plan", "plan_for_graph",
-           "LP_METHOD", "UF_METHOD"]
+           "LP_METHOD", "UF_METHOD", "DISTRIBUTED_METHOD"]
 
 # Concrete algorithm each family resolves to: the best member of each
 # family in Table IV.
 LP_METHOD = "thrifty"
 UF_METHOD = "afforest"
+# Routed to when the graph exceeds the single-node edge budget: the
+# sharded tier (Section VII), distributed Thrifty on the fabric.
+DISTRIBUTED_METHOD = "distributed"
 
 # Calibrated predictor constants (see module docstring).
 _LP_EDGE_FRACTION_BASE = 0.04      # edge share scanned at diameter 0
@@ -134,10 +137,22 @@ def predict_family_costs(probes: GraphProbes,
 
 
 def plan(probes: GraphProbes,
-         machine: MachineSpec = SKYLAKEX) -> RoutePlan:
-    """Route from already-measured probes (the registry's cached ones)."""
+         machine: MachineSpec = SKYLAKEX, *,
+         single_node_edge_budget: int | None = None) -> RoutePlan:
+    """Route from already-measured probes (the registry's cached ones).
+
+    ``single_node_edge_budget`` is the capacity cliff: a graph whose
+    edge count exceeds it does not fit one node's memory/bandwidth
+    envelope, so the planner routes it to the sharded tier
+    (``"distributed"``) regardless of the LP-vs-UF cost race.  ``None``
+    (the default) means "one node always suffices" — the shared-memory
+    crossover decides alone.
+    """
     lp_ms, uf_ms = predict_family_costs(probes, machine)
-    if lp_ms <= uf_ms:
+    if (single_node_edge_budget is not None
+            and probes.num_edges > single_node_edge_budget):
+        method, family = DISTRIBUTED_METHOD, "distributed"
+    elif lp_ms <= uf_ms:
         method, family = LP_METHOD, "lp"
     else:
         method, family = UF_METHOD, "uf"
@@ -147,11 +162,14 @@ def plan(probes: GraphProbes,
 
 
 def plan_for_graph(graph: CSRGraph, *,
-                   machine: MachineSpec = SKYLAKEX) -> RoutePlan:
+                   machine: MachineSpec = SKYLAKEX,
+                   single_node_edge_budget: int | None = None
+                   ) -> RoutePlan:
     """Probe an unregistered graph and route it.
 
     One-shot convenience for ``connected_components(method="auto")``;
     services with repeat traffic should register graphs and route via
     the cached :attr:`GraphEntry.probes` instead.
     """
-    return plan(probe_graph(graph), machine)
+    return plan(probe_graph(graph), machine,
+                single_node_edge_budget=single_node_edge_budget)

@@ -18,7 +18,8 @@ class TestDispatch:
     def test_all_methods_registered(self):
         assert set(ALGORITHMS) == {"thrifty", "dolp", "unified", "sv",
                                    "fastsv", "jt", "afforest", "bfs",
-                                   "kla", "connectit", "lp-shortcut"}
+                                   "kla", "connectit", "lp-shortcut",
+                                   "distributed"}
 
     @pytest.mark.parametrize("method", sorted(ALGORITHMS))
     def test_every_method_correct(self, method, small_skewed):

@@ -80,6 +80,16 @@ class TestCommands:
                      "--scale", "0.1", "--opt", "threshold=0.05"]) == 0
         assert "components" in capsys.readouterr().out
 
+    def test_run_distributed(self, capsys):
+        assert main(["run", "Pkc", "--method", "distributed",
+                     "--scale", "0.1", "--opt", "num_ranks=4",
+                     "--opt", "partition=degree_balanced"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm          : distributed-lp" in out
+        assert "ranks              : 4" in out
+        assert "supersteps" in out and "modeled bytes" in out
+        assert "distributed time" in out
+
     def test_unknown_opt_field_exits(self):
         with pytest.raises(SystemExit, match="valid options"):
             main(["run", "Pkc", "--method", "thrifty",
@@ -102,6 +112,12 @@ class TestServeCommand:
     def test_serve_unknown_dataset_exits(self):
         with pytest.raises(SystemExit, match="unknown dataset"):
             main(["serve", "NotADataset"])
+
+    def test_serve_edge_budget_routes_distributed(self, capsys):
+        assert main(["serve", "Pkc", "--scale", "0.05",
+                     "--edge-budget", "1", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "distributed" in out
 
 
 class TestTrialsCommand:

@@ -6,7 +6,7 @@ import numpy as np
 
 import repro
 from repro import connected_components
-from repro.distributed import DistributedLPOptions, distributed_cc
+from repro.distributed import DistributedOptions, distributed_cc
 from repro.options import options_for
 from repro.graph import rmat_graph
 
@@ -30,12 +30,13 @@ class TestBitReproducibility:
             assert a.counters().as_dict() == b.counters().as_dict()
 
     def test_distributed_comm_stats_reproducible(self, small_skewed):
-        opts = DistributedLPOptions(num_ranks=4)
-        a = distributed_cc(small_skewed, opts)
-        b = distributed_cc(small_skewed, opts)
-        assert a.comm.messages == b.comm.messages
-        assert a.comm.bytes == b.comm.bytes
-        assert np.array_equal(a.labels, b.labels)
+        for algorithm in ("lp", "fastsv"):
+            opts = DistributedOptions(num_ranks=4, algorithm=algorithm)
+            a = distributed_cc(small_skewed, opts)
+            b = distributed_cc(small_skewed, opts)
+            assert (a.extras["comm"].as_dict()
+                    == b.extras["comm"].as_dict())
+            assert np.array_equal(a.labels, b.labels)
 
     def test_generators_reproducible(self):
         a = rmat_graph(9, 8, seed=42)

@@ -81,6 +81,8 @@ class TestRoundTrip:
         ("lp-shortcut", {"shortcut_depth": 3}),
         ("kla", {"k": 2}),
         ("connectit", {"sampling": "kout", "seed": 1}),
+        ("distributed", {"num_ranks": 3, "partition": "degree_balanced",
+                         "combining": False}),
     ])
     def test_legacy_and_typed_bit_identical(self, method, legacy,
                                             small_skewed):

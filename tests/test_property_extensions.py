@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 from repro.analysis import random_relabel, relabel
 from repro.connectit import connectit_cc
 from repro.core import KLAOptions, kla_cc
-from repro.distributed import DistributedLPOptions, distributed_cc
+from repro.distributed import DistributedOptions, distributed_cc
 from repro.graph import build_graph, from_pairs
 from repro.graph.properties import component_labels_reference
 from repro.validate import same_partition
@@ -23,19 +23,41 @@ def graphs(draw, max_vertices=20, max_edges=50):
 
 
 @settings(max_examples=30, deadline=None)
-@given(graphs(), st.integers(1, 6))
-def test_distributed_matches_oracle_any_rank_count(g, ranks):
-    r = distributed_cc(g, DistributedLPOptions(num_ranks=ranks))
+@given(graphs(), st.integers(1, 6),
+       st.sampled_from(["lp", "fastsv"]),
+       st.sampled_from(["block", "degree_balanced"]))
+def test_distributed_matches_oracle_any_rank_count(g, ranks, algorithm,
+                                                   partition):
+    r = distributed_cc(g, DistributedOptions(
+        num_ranks=ranks, algorithm=algorithm, partition=partition))
     assert same_partition(r.labels, component_labels_reference(g))
 
 
 @settings(max_examples=30, deadline=None)
 @given(graphs(), st.booleans(), st.booleans(), st.booleans())
 def test_distributed_flags_never_break_correctness(g, zp, zc, dd):
-    opts = DistributedLPOptions(num_ranks=3, zero_planting=zp,
-                                zero_convergence=zc, dedup_sends=dd)
+    opts = DistributedOptions(num_ranks=3, zero_planting=zp,
+                              zero_convergence=zc, dedup_sends=dd)
     r = distributed_cc(g, opts)
     assert same_partition(r.labels, component_labels_reference(g))
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(), st.integers(1, 6),
+       st.sampled_from(["lp", "fastsv"]))
+def test_combining_identical_labels_never_more_traffic(g, ranks,
+                                                       algorithm):
+    """Sender-side combining is a pure wire optimization: bit-identical
+    labels, never more messages, never more modeled bytes."""
+    naive = distributed_cc(g, DistributedOptions(
+        num_ranks=ranks, algorithm=algorithm, combining=False))
+    comb = distributed_cc(g, DistributedOptions(
+        num_ranks=ranks, algorithm=algorithm, combining=True))
+    assert np.array_equal(naive.labels, comb.labels)
+    ns, cs = naive.extras["comm"], comb.extras["comm"]
+    assert cs.messages <= ns.messages
+    assert cs.modeled_bytes <= ns.modeled_bytes
+    assert cs.updates <= ns.updates
 
 
 @settings(max_examples=30, deadline=None)

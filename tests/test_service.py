@@ -5,7 +5,8 @@ import pytest
 
 from repro.graph import rmat_graph
 from repro.graph.datasets import load_dataset
-from repro.options import AfforestOptions, ThriftyOptions
+from repro.options import (AfforestOptions, DistributedOptions,
+                           ThriftyOptions)
 from repro.service import (
     CCRequest,
     CCService,
@@ -227,3 +228,73 @@ class TestPlanner:
         assert plan.family == "uf" and plan.method == "afforest"
         assert plan.predicted_uf_ms < plan.predicted_lp_ms
         assert plan.margin > 1.0
+
+    def test_edge_budget_routes_distributed(self, skewed):
+        plan = plan_for_graph(skewed, single_node_edge_budget=1)
+        assert plan.method == "distributed"
+        assert plan.family == "distributed"
+
+    def test_edge_budget_not_exceeded_keeps_crossover(self, skewed):
+        plan = plan_for_graph(
+            skewed, single_node_edge_budget=10 * skewed.num_edges)
+        assert plan.method == "thrifty"
+
+
+class TestDistributedServing:
+    def test_explicit_method_runs_and_caches(self, skewed):
+        svc = CCService()
+        opts = DistributedOptions(num_ranks=4)
+        r1 = svc.connected_components(skewed, method="distributed",
+                                      options=opts)
+        assert not r1.cache_hit
+        assert r1.simulated_ms > 0
+        assert "comm" in r1.result.extras
+        validate_against_reference(skewed, r1.result)
+        r2 = svc.connected_components(skewed, method="distributed",
+                                      options=opts)
+        assert r2.cache_hit
+
+    def test_distinct_distributed_options_distinct_entries(self, skewed):
+        svc = CCService()
+        a = svc.connected_components(
+            skewed, method="distributed",
+            options=DistributedOptions(num_ranks=2))
+        b = svc.connected_components(
+            skewed, method="distributed",
+            options=DistributedOptions(num_ranks=4))
+        assert not a.cache_hit and not b.cache_hit
+        assert np.array_equal(a.result.labels, b.result.labels)
+
+    def test_auto_with_multirank_options_routes_distributed(self, skewed):
+        svc = CCService()
+        resp = svc.connected_components(
+            skewed, options=DistributedOptions(num_ranks=4))
+        assert resp.method == "distributed"
+        assert resp.result.extras["num_ranks"] == 4
+        validate_against_reference(skewed, resp.result)
+
+    def test_auto_with_single_rank_options_rejected(self, skewed):
+        svc = CCService()
+        with pytest.raises(ValueError, match="num_ranks > 1"):
+            svc.connected_components(
+                skewed, options=DistributedOptions(num_ranks=1))
+
+    def test_auto_edge_budget_routes_distributed(self, skewed):
+        svc = CCService(single_node_edge_budget=1)
+        resp = svc.connected_components(skewed)
+        assert resp.method == "distributed"
+        assert resp.plan is not None
+        assert resp.plan.family == "distributed"
+        validate_against_reference(skewed, resp.result)
+
+    def test_distributed_priced_with_network(self, skewed):
+        # More ranks on the same graph must pay more per-superstep
+        # latency than a single rank (which pays none).
+        svc = CCService()
+        one = svc.connected_components(
+            skewed, method="distributed",
+            options=DistributedOptions(num_ranks=1))
+        eight = svc.connected_components(
+            skewed, method="distributed",
+            options=DistributedOptions(num_ranks=8))
+        assert one.simulated_ms > 0 and eight.simulated_ms > 0
