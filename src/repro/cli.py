@@ -177,6 +177,24 @@ def build_parser() -> argparse.ArgumentParser:
                      help="single-node edge capacity; auto-routed "
                           "graphs with more edges go to the "
                           "distributed tier")
+    srv.add_argument("--concurrency", type=int, default=1,
+                     help="simulated workers computing at once")
+    srv.add_argument("--max-queue-ms", type=float, default=None,
+                     help="admission control: cap on the predicted "
+                          "simulated-ms backlog in the queue")
+    srv.add_argument("--max-queue-depth", type=int, default=None,
+                     help="admission control: cap on queued requests")
+    srv.add_argument("--tenant-quota-ms", type=float, default=None,
+                     help="per-tenant cap on outstanding predicted ms")
+    srv.add_argument("--tenants", type=int, default=1,
+                     help="spread requests round-robin over N "
+                          "synthetic tenants")
+    srv.add_argument("--lanes", type=int, default=2,
+                     help="number of strict-priority lanes")
+    srv.add_argument("--window-ms", type=float, default=None,
+                     help="spread arrivals uniformly over this "
+                          "simulated window and run the async "
+                          "scheduler (default: sequential submits)")
 
     rep = sub.add_parser("report",
                          help="regenerate all artifacts into markdown")
@@ -273,25 +291,52 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from .options import ServiceOptions
     from .service import CCRequest, CCService
 
+    try:
+        service_options = ServiceOptions(
+            concurrency=args.concurrency,
+            max_queue_ms=args.max_queue_ms,
+            max_queue_depth=args.max_queue_depth,
+            tenant_quota_ms=args.tenant_quota_ms,
+            num_lanes=args.lanes)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
     service = CCService(machine=MACHINES[args.machine],
                         cache_capacity=args.cache_size,
-                        single_node_edge_budget=args.edge_budget)
+                        single_node_edge_budget=args.edge_budget,
+                        service_options=service_options)
     requests = []
     for _ in range(args.repeats):
         for name in args.datasets:
             if name not in DATASETS:
                 raise SystemExit(f"unknown dataset {name!r}; see "
                                  f"`repro datasets`")
+            tenant = f"tenant-{len(requests) % max(args.tenants, 1)}"
             requests.append(CCRequest(graph=load_dataset(name, args.scale),
                                       name=name, method=args.method,
-                                      budget_ms=args.budget_ms))
-    responses = service.submit_batch(requests)
+                                      budget_ms=args.budget_ms,
+                                      tenant=tenant))
+    if args.window_ms is not None:
+        # Timestamped trace through the async scheduler: uniform
+        # arrivals over the window, coalescing/admission active.
+        step = args.window_ms / max(len(requests) - 1, 1)
+        for i, req in enumerate(requests):
+            req.arrival_ms = i * step
+        responses = service.run_trace(requests)
+    else:
+        responses = service.submit_batch(requests)
     rows = []
     for resp in responses:
-        rows.append([resp.request.name, resp.method,
-                     "hit" if resp.cache_hit else "miss",
+        if resp.status == "rejected":
+            rows.append([resp.request.name, resp.method,
+                         f"rejected:{resp.reject_reason}", "no", "-",
+                         "-"])
+            continue
+        cache = "hit" if resp.cache_hit else (
+            "coalesced" if resp.coalesced else "miss")
+        rows.append([resp.request.name, resp.method, cache,
                      "yes" if resp.fallback else "no",
                      resp.num_components,
                      f"{resp.simulated_ms:.3f}"])
@@ -302,10 +347,20 @@ def _cmd_serve(args) -> int:
     print(f"\nrequests={snap['requests']} hit_rate={snap['hit_rate']:.2f} "
           f"fallbacks={snap['fallbacks']} "
           f"auto_routed={snap['auto_routed']}")
+    print(f"coalesced={snap['coalesced']} rejected={snap['rejected']} "
+          f"flag_replays={snap['flag_replays']}")
     print("per-method counts:", snap["per_method"])
+    if snap["fallback_per_method"]:
+        print("fallback runs by method:", snap["fallback_per_method"])
+    if args.tenants > 1:
+        print("per-tenant counts:", snap["per_tenant"])
     lat = snap["latency"]
     print(f"simulated latency: mean={lat['mean_ms']:.3f}ms "
           f"p50={lat['p50_ms']:.3f}ms p99={lat['p99_ms']:.3f}ms")
+    qd = snap["queue_delay"]
+    if qd["count"]:
+        print(f"queue delay: mean={qd['mean_ms']:.3f}ms "
+              f"p50={qd['p50_ms']:.3f}ms p99={qd['p99_ms']:.3f}ms")
     return 0
 
 

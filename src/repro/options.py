@@ -54,6 +54,7 @@ __all__ = [
     "KLAOptions",
     "ConnectItOptions",
     "DistributedOptions",
+    "ServiceOptions",
     "OPTION_TYPES",
     "options_for",
     "resolve_options",
@@ -189,6 +190,44 @@ class DistributedOptions:
                 "pick 'block' or 'degree_balanced'")
         if self.max_supersteps < 1:
             raise ValueError("max_supersteps must be >= 1")
+
+
+@dataclass(frozen=True)
+class ServiceOptions:
+    """Scheduler configuration of the async serving executor.
+
+    Not an algorithm options class (it never enters a result-cache
+    key): it shapes *how* :class:`repro.service.CCService` schedules
+    work on its simulated clock, not what any run computes.
+
+    ``concurrency`` is the number of simulated workers that may
+    compute at once.  ``max_queue_ms`` caps the planner-predicted
+    simulated-ms backlog admitted into the queue; ``max_queue_depth``
+    caps the queued request count (``None`` disables either check —
+    the default service never rejects).  ``tenant_quota_ms`` caps one
+    tenant's outstanding (queued + running) predicted ms, so a heavy
+    tenant is rejected before it can starve the rest.  ``num_lanes``
+    is the number of strict-priority lanes; a request's ``priority``
+    is clamped into ``[0, num_lanes)``, lane 0 drains first.
+    """
+
+    concurrency: int = 1
+    max_queue_ms: float | None = None
+    max_queue_depth: int | None = None
+    tenant_quota_ms: float | None = None
+    num_lanes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if self.num_lanes < 1:
+            raise ValueError("num_lanes must be >= 1")
+        if self.max_queue_ms is not None and self.max_queue_ms < 0:
+            raise ValueError("max_queue_ms must be >= 0")
+        if self.max_queue_depth is not None and self.max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0")
+        if self.tenant_quota_ms is not None and self.tenant_quota_ms <= 0:
+            raise ValueError("tenant_quota_ms must be > 0")
 
 
 @dataclass(frozen=True)

@@ -18,17 +18,27 @@ Entry points:
   graph store with cached structural probes.
 """
 
+from ..options import ServiceOptions
 from .cache import ResultCache, result_cache_key
-from .executor import CCRequest, CCResponse, CCService
+from .executor import (
+    REJECT_QUEUE_DEPTH,
+    REJECT_QUEUE_FULL,
+    REJECT_TENANT_QUOTA,
+    CCRequest,
+    CCResponse,
+    CCService,
+)
 from .fingerprint import graph_fingerprint
 from .metrics import ServiceMetrics
 from .planner import (
+    DISTRIBUTED_METHOD,
     LP_METHOD,
     UF_METHOD,
     RoutePlan,
     plan,
     plan_for_graph,
     predict_family_costs,
+    predicted_method_ms,
 )
 from .registry import GraphEntry, GraphProbes, GraphRegistry, probe_graph
 
@@ -36,18 +46,24 @@ __all__ = [
     "CCRequest",
     "CCResponse",
     "CCService",
+    "DISTRIBUTED_METHOD",
     "GraphEntry",
     "GraphProbes",
     "GraphRegistry",
     "LP_METHOD",
+    "REJECT_QUEUE_DEPTH",
+    "REJECT_QUEUE_FULL",
+    "REJECT_TENANT_QUOTA",
     "UF_METHOD",
     "ResultCache",
     "RoutePlan",
     "ServiceMetrics",
+    "ServiceOptions",
     "graph_fingerprint",
     "plan",
     "plan_for_graph",
     "predict_family_costs",
+    "predicted_method_ms",
     "probe_graph",
     "result_cache_key",
 ]

@@ -64,6 +64,10 @@ class ResultCache:
             self._store.popitem(last=False)
             self.evictions += 1
 
+    def invalidate(self, key: tuple) -> bool:
+        """Drop one entry (e.g. after a graph mutation); True if present."""
+        return self._store.pop(key, None) is not None
+
     def __len__(self) -> int:
         return len(self._store)
 

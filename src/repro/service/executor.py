@@ -1,13 +1,39 @@
-"""The request executor: CCService and its request/response types.
+"""The request executor: CCService and its async scheduler.
 
-This is the serving loop the ROADMAP's production framing asks for:
-clients submit (graph, method, options, budget) requests — singly or
-in batches — and the service registers the graph, routes ``auto``
-through the structure-aware planner, consults the LRU result cache,
-runs the algorithm only on a miss, enforces per-request simulated-time
-budgets with a Thrifty→Afforest fallback, and keeps dashboard metrics
-(hit rate, per-method counts, latency histograms, cumulative
-algorithm-work counters).
+This is the serving loop the ROADMAP's production framing asks for,
+rebuilt around an event-loop scheduler on a *simulated clock*:
+
+* Requests arrive with timestamps (``CCRequest.arrival_ms``) and are
+  scheduled onto a pool of ``ServiceOptions.concurrency`` simulated
+  workers; every request is registered, ``auto``-routed through the
+  structure-aware planner (one plan per fingerprint, memoized), and
+  checked against the LRU result cache before anything runs.
+* **Coalescing** — identical in-flight requests (same canonical cache
+  key *and* budget) share one compute: the first becomes the job's
+  primary, later arrivals attach as waiters and all of them observe
+  the same :class:`CCResult` object at the job's completion.
+* **Admission control + backpressure** — when all workers are busy, a
+  new job's planner-predicted simulated-ms is charged against
+  ``max_queue_ms`` / ``max_queue_depth``; over-capacity requests are
+  *rejected* (``status="rejected"``) instead of growing the queue
+  without bound.  Per-tenant ``tenant_quota_ms`` caps one tenant's
+  outstanding predicted work so a heavy tenant cannot starve the rest.
+* **Priority lanes + fair tenants** — queued jobs sit in strict
+  priority lanes (``CCRequest.priority``, clamped to
+  ``ServiceOptions.num_lanes``); within a lane the scheduler picks the
+  tenant with the least served predicted-ms (deficit-style weighted
+  fairness), FIFO per tenant.
+* **Budgets** — per-request simulated-time budgets with the
+  Thrifty→Afforest fallback, with *honest accounting*: the budget
+  outcome of every executed run is recorded alongside its cache
+  entry, so a later cache hit replays the recorded
+  ``budget_exceeded``/``fallback`` flags (and the fallback's cached
+  result) instead of silently reporting the blown primary as healthy.
+
+The synchronous API is a thin wrapper: ``submit`` schedules one
+arrival at the current clock and drains the loop, which reduces to
+exactly the old route→cache→run→fallback sequence — results, flags
+and metrics on that path are unchanged (bit-identical labels).
 
 Time here is *simulated* milliseconds from the repo's CostModel —
 the serving layer inherits the cost semantics every benchmark in this
@@ -17,24 +43,39 @@ service trace as in Table IV.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import heapq
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
 
 from ..api import ALGORITHMS, AUTO_METHOD
 from ..core.result import CCResult
 from ..distributed import simulate_distributed_time
 from ..graph.csr import CSRGraph
 from ..instrument.costmodel import simulate_run_time
-from ..options import DistributedOptions, resolve_options, to_call_kwargs
+from ..instrument.counters import OpCounters
+from ..options import (DistributedOptions, ServiceOptions,
+                       resolve_options, to_call_kwargs)
 from ..parallel.machine import SKYLAKEX, MachineSpec
 from .cache import ResultCache, result_cache_key
 from .metrics import ServiceMetrics
-from .planner import DISTRIBUTED_METHOD, UF_METHOD, RoutePlan, plan
+from .planner import (DISTRIBUTED_METHOD, UF_METHOD, RoutePlan, plan,
+                      predicted_method_ms)
 from .registry import GraphEntry, GraphRegistry
 
-__all__ = ["CCRequest", "CCResponse", "CCService"]
+__all__ = ["CCRequest", "CCResponse", "CCService",
+           "REJECT_QUEUE_FULL", "REJECT_QUEUE_DEPTH",
+           "REJECT_TENANT_QUOTA"]
+
+#: Admission-control rejection reasons (``CCResponse.reject_reason``).
+REJECT_QUEUE_FULL = "queue-full"
+REJECT_QUEUE_DEPTH = "queue-depth"
+REJECT_TENANT_QUOTA = "tenant-quota"
+
+_ARRIVE = 0
+_FINISH = 1
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class CCRequest:
     """One unit of service work.
 
@@ -42,9 +83,18 @@ class CCRequest:
     name or fingerprint of an already-registered graph).  ``method``
     defaults to ``"auto"`` — the planner picks; ``budget_ms`` caps the
     request's simulated time, triggering the union-find fallback when
-    the primary run exceeds it.  ``eq=False``: requests are identities
-    (the embedded ndarray-bearing graph makes value equality
-    ill-defined and useless here).
+    the primary run exceeds it.
+
+    Scheduling fields (all optional; the defaults reproduce the
+    synchronous behaviour): ``tenant`` attributes the request for
+    quotas and per-tenant metrics; ``priority`` selects the strict
+    lane (0 drains first, clamped to the service's ``num_lanes``);
+    ``arrival_ms`` places the request on the simulated clock (``None``
+    = the service's current clock, i.e. "now").
+
+    ``eq=False``: requests are identities (the embedded
+    ndarray-bearing graph makes value equality ill-defined and
+    useless here).
     """
 
     graph: CSRGraph | None = None
@@ -53,38 +103,116 @@ class CCRequest:
     options: object = None
     budget_ms: float | None = None
     name: str = ""          # alias to register the graph under
+    tenant: str = "default"
+    priority: int = 0
+    arrival_ms: float | None = None
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class CCResponse:
-    """What the service returns for one request."""
+    """What the service returns for one request.
+
+    ``simulated_ms`` is the *charged compute* that produced the result
+    (0 for cache hits; primary + fallback for blown budgets; shared
+    verbatim by coalesced waiters — the work ran once).  The request's
+    end-to-end simulated latency is ``finish_ms - arrival_ms``
+    (= ``queue_delay_ms`` + charged compute for the job's primary).
+    Check ``status`` before touching ``result``: an admission-control
+    rejection carries ``status="rejected"``, a ``reject_reason``, and
+    no result.
+    """
 
     request: CCRequest
     fingerprint: str
     method: str                   # resolved concrete algorithm that ran
-    result: CCResult
+    result: CCResult | None
     simulated_ms: float           # total charged time (incl. fallback)
     cache_hit: bool
     fallback: bool = False        # budget blown -> Afforest finished it
     budget_exceeded: bool = False
     plan: RoutePlan | None = None  # set when method was "auto"
+    status: str = "ok"            # "ok" | "rejected"
+    reject_reason: str = ""
+    coalesced: bool = False       # rode along on another compute
+    queue_delay_ms: float = 0.0
+    arrival_ms: float = 0.0
+    start_ms: float = 0.0
+    finish_ms: float = 0.0
+    tenant: str = "default"
 
     @property
     def num_components(self) -> int:
+        if self.result is None:
+            raise ValueError(
+                f"request was {self.status} ({self.reject_reason}); "
+                "no result to read")
         return self.result.num_components
+
+
+@dataclass(eq=False, slots=True)
+class _Member:
+    """One request riding on a job (index 0 = primary, rest waiters)."""
+
+    request: CCRequest
+    slot: int
+    responses: list
+    arrival_ms: float
+    route: RoutePlan | None
+    auto_routed: bool
+
+
+@dataclass(eq=False, slots=True)
+class _Job:
+    """One scheduled compute: a primary request plus coalesced waiters."""
+
+    entry: GraphEntry
+    method: str                   # method that runs as the primary
+    options: object
+    cache_key: tuple
+    coalesce_key: tuple
+    budget_ms: float | None
+    tenant: str
+    lane: int
+    predicted_ms: float
+    members: list[_Member]
+    # A cache hit whose recorded run blew this request's budget, with
+    # the fallback result evicted: the job runs the fallback only,
+    # with the outcome flags preset (the primary is known-blown).
+    preset_exceeded: bool = False
+    preset_fallback: bool = False
+    primary_method: str = ""      # routed method, for metrics attribution
+    # Filled by _execute / scheduling:
+    start_ms: float = 0.0
+    total_ms: float = 0.0
+    final_method: str = ""
+    final_result: CCResult | None = None
+    fallback: bool = False
+    exceeded: bool = False
+    work: OpCounters = field(default_factory=OpCounters)
+    # (cache_key, result, run_ms) inserts deferred to the FINISH
+    # event: on the simulated clock the result does not exist until
+    # the job completes, so caching at execute time would serve
+    # anachronistic hits to requests arriving mid-flight (they must
+    # coalesce instead).
+    cache_puts: list = field(default_factory=list)
 
 
 class CCService:
     """Connected-components serving front end.
 
-    One service instance owns a graph registry, a result cache, and a
-    metrics aggregator, all scoped to one target machine model.
+    One service instance owns a graph registry, a result cache, a
+    metrics aggregator, and an event-loop scheduler on a simulated
+    clock, all scoped to one target machine model.  ``submit`` /
+    ``submit_batch`` are synchronous wrappers over the scheduler;
+    ``run_trace`` drives a timestamped multi-tenant workload through
+    it (coalescing, admission control, priority lanes).
     """
 
     def __init__(self, *, machine: MachineSpec = SKYLAKEX,
                  cache_capacity: int = 128,
                  registry: GraphRegistry | None = None,
-                 single_node_edge_budget: int | None = None) -> None:
+                 single_node_edge_budget: int | None = None,
+                 service_options: ServiceOptions | None = None) -> None:
         self.machine = machine
         self.registry = registry if registry is not None else GraphRegistry()
         self.cache = ResultCache(cache_capacity)
@@ -92,6 +220,29 @@ class CCService:
         # Graphs whose probed edge count exceeds this route to the
         # sharded tier under method="auto" (None: never).
         self.single_node_edge_budget = single_node_edge_budget
+        self.options = (service_options if service_options is not None
+                        else ServiceOptions())
+        # -- scheduler state (simulated clock) ------------------------
+        self.clock_ms = 0.0
+        self._events: list[tuple[float, int, int, object]] = []
+        self._seq = 0
+        self._running = 0
+        self._lanes: list[dict[str, deque[_Job]]] = [
+            {} for _ in range(self.options.num_lanes)]
+        self._queued_depth = 0
+        self._queued_pred_ms = 0.0
+        self._inflight: dict[tuple, _Job] = {}
+        self._outstanding_ms: dict[str, float] = {}
+        self._tenant_served_ms: dict[str, float] = {}
+        # Budget-outcome metadata parallel to the result cache: cache
+        # key -> simulated ms of the run that produced the entry, so a
+        # hit can replay the honest budget/fallback flags.  Bounded
+        # LRU (cache evictions are not observable from here).
+        self._run_meta: OrderedDict[tuple, float] = OrderedDict()
+        # One routing decision per fingerprint: probes are immutable,
+        # so repeat auto requests reuse the plan instead of re-pricing
+        # the cost model per request.
+        self._plan_memo: dict[str, RoutePlan] = {}
 
     # -- graph management ---------------------------------------------
 
@@ -102,7 +253,82 @@ class CCService:
     # -- request execution --------------------------------------------
 
     def submit(self, request: CCRequest) -> CCResponse:
-        """Execute one request through registry, planner, and cache."""
+        """Execute one request through registry, planner, and cache.
+
+        Synchronous wrapper over the scheduler: the request arrives at
+        the current simulated clock and the loop drains before
+        returning, which reduces to the classic route → cache → run →
+        fallback sequence (a lone request never queues or coalesces).
+        """
+        return self.run_trace([request])[0]
+
+    def submit_batch(self, requests: list[CCRequest]) -> list[CCResponse]:
+        """Execute a batch in order; later requests see earlier caching."""
+        return [self.submit(r) for r in requests]
+
+    def run_trace(self, requests: list[CCRequest]) -> list[CCResponse]:
+        """Drive a timestamped request trace through the scheduler.
+
+        Arrivals happen at each request's ``arrival_ms`` (clamped to
+        the current clock; ``None`` means "now"); the loop runs until
+        every request has completed or been rejected, and responses
+        are returned in input order.  Requests should be valid — a
+        resolution error (unknown method, missing graph) propagates
+        and aborts the remainder of the trace.
+        """
+        responses: list = [None] * len(requests)
+        base = self.clock_ms
+        for slot, req in enumerate(requests):
+            arrival = base if req.arrival_ms is None \
+                else max(req.arrival_ms, base)
+            self._push(arrival, _ARRIVE, (req, slot, responses))
+        try:
+            self._drain()
+        except BaseException:
+            self._reset_scheduler()
+            raise
+        return responses
+
+    def connected_components(self, graph: CSRGraph, *,
+                             method: str = AUTO_METHOD,
+                             options: object = None,
+                             budget_ms: float | None = None,
+                             name: str = "") -> CCResponse:
+        """One-call convenience wrapper around :meth:`submit`."""
+        return self.submit(CCRequest(graph=graph, method=method,
+                                     options=options,
+                                     budget_ms=budget_ms, name=name))
+
+    # -- event loop ---------------------------------------------------
+
+    def _push(self, time_ms: float, kind: int, payload: object) -> None:
+        self._seq += 1
+        heapq.heappush(self._events, (time_ms, self._seq, kind, payload))
+
+    def _drain(self) -> None:
+        while self._events:
+            time_ms, _, kind, payload = heapq.heappop(self._events)
+            self.clock_ms = max(self.clock_ms, time_ms)
+            if kind == _ARRIVE:
+                req, slot, responses = payload
+                self._on_arrive(req, slot, responses, self.clock_ms)
+            else:
+                self._on_finish(payload, self.clock_ms)
+
+    def _reset_scheduler(self) -> None:
+        """Discard pending scheduler state after a trace error."""
+        self._events.clear()
+        self._lanes = [{} for _ in range(self.options.num_lanes)]
+        self._queued_depth = 0
+        self._queued_pred_ms = 0.0
+        self._inflight.clear()
+        self._outstanding_ms.clear()
+        self._running = 0
+
+    # -- arrival ------------------------------------------------------
+
+    def _on_arrive(self, request: CCRequest, slot: int, responses: list,
+                   now: float) -> None:
         entry = self._resolve_entry(request)
         route: RoutePlan | None = None
         method = request.method
@@ -123,80 +349,323 @@ class CCService:
                     "method='auto' picks the algorithm itself and "
                     "takes no options")
             else:
-                route = plan(
-                    entry.probes, self.machine,
-                    single_node_edge_budget=self.single_node_edge_budget)
+                route = self._plan_for(entry)
                 method = route.method
         elif method not in ALGORITHMS:
             known = sorted([*ALGORITHMS, AUTO_METHOD])
             raise ValueError(f"unknown method {method!r}; known: {known}")
         options = resolve_options(method, request.options, {})
-
         cache_key = result_cache_key(entry.fingerprint, method,
                                      self.machine.name, options)
+        member = _Member(request=request, slot=slot, responses=responses,
+                         arrival_ms=now, route=route,
+                         auto_routed=route is not None)
+
         cached = self.cache.get(cache_key)
+        preset_fb = False
         if cached is not None:
-            self.metrics.record_request(
-                method, 0.0, cache_hit=True,
-                auto_routed=route is not None)
-            return CCResponse(request=request,
-                              fingerprint=entry.fingerprint,
-                              method=method, result=cached,
-                              simulated_ms=0.0, cache_hit=True,
-                              plan=route)
+            hit = self._replay_hit(member, entry, method, cache_key,
+                                   cached, now, queue_delay_ms=None)
+            if hit:
+                return
+            # Recorded run blew this budget and the fallback result
+            # is gone from the cache: run the fallback as a job with
+            # the outcome flags preset.
+            preset_fb = True
+            primary_method = method
+            method = UF_METHOD
+            options = resolve_options(UF_METHOD, None, {})
+            cache_key = result_cache_key(entry.fingerprint, UF_METHOD,
+                                         self.machine.name, options)
+            coalesce_key = (cache_key, "replay")
+        else:
+            primary_method = method
+            coalesce_key = (cache_key, request.budget_ms)
 
-        result, simulated_ms = self._run(entry, method, options)
-        work = result.trace.total_counters()
-        self.cache.put(cache_key, result)
+        inflight = self._inflight.get(coalesce_key)
+        if inflight is not None:
+            inflight.members.append(member)
+            return
 
-        fallback = False
-        budget_exceeded = False
-        total_ms = simulated_ms
-        if (request.budget_ms is not None
-                and simulated_ms > request.budget_ms):
-            budget_exceeded = True
-            if method != UF_METHOD:
+        opts = self.options
+        admission = (opts.max_queue_ms is not None
+                     or opts.max_queue_depth is not None
+                     or opts.tenant_quota_ms is not None)
+        if route is not None:
+            predicted = route.predicted_ms
+        elif admission:
+            predicted = predicted_method_ms(entry.probes, method,
+                                            self.machine)
+        else:
+            # Fairness-only weight; explicit-method requests are not
+            # probed unless admission control needs the prediction.
+            predicted = 1.0
+        tenant = request.tenant
+        if (opts.tenant_quota_ms is not None
+                and self._outstanding_ms.get(tenant, 0.0) + predicted
+                > opts.tenant_quota_ms):
+            self._reject(member, entry, method, REJECT_TENANT_QUOTA)
+            return
+        idle = self._running < opts.concurrency and self._queued_depth == 0
+        if not idle:
+            if (opts.max_queue_depth is not None
+                    and self._queued_depth >= opts.max_queue_depth):
+                self._reject(member, entry, method, REJECT_QUEUE_DEPTH)
+                return
+            if (opts.max_queue_ms is not None
+                    and self._queued_pred_ms + predicted
+                    > opts.max_queue_ms):
+                self._reject(member, entry, method, REJECT_QUEUE_FULL)
+                return
+
+        lane = min(max(request.priority, 0), opts.num_lanes - 1)
+        job = _Job(entry=entry, method=method, options=options,
+                   cache_key=cache_key, coalesce_key=coalesce_key,
+                   budget_ms=None if preset_fb else request.budget_ms,
+                   tenant=tenant, lane=lane, predicted_ms=predicted,
+                   members=[member], preset_exceeded=preset_fb,
+                   preset_fallback=preset_fb,
+                   primary_method=primary_method)
+        self._inflight[coalesce_key] = job
+        self._outstanding_ms[tenant] = \
+            self._outstanding_ms.get(tenant, 0.0) + predicted
+        self._lanes[lane].setdefault(tenant, deque()).append(job)
+        self._queued_depth += 1
+        self._queued_pred_ms += predicted
+        self._dispatch(now)
+
+    # -- dispatch / execution -----------------------------------------
+
+    def _pick_next(self) -> _Job | None:
+        """Next queued job: strict lanes, least-served tenant, FIFO."""
+        for lane in self._lanes:
+            if not lane:
+                continue
+            tenant = min(lane, key=lambda t:
+                         (self._tenant_served_ms.get(t, 0.0), t))
+            queue = lane[tenant]
+            job = queue.popleft()
+            if not queue:
+                del lane[tenant]
+            return job
+        return None
+
+    def _dispatch(self, now: float) -> None:
+        while self._running < self.options.concurrency:
+            job = self._pick_next()
+            if job is None:
+                return
+            self._queued_depth -= 1
+            self._queued_pred_ms = max(
+                0.0, self._queued_pred_ms - job.predicted_ms)
+            self._tenant_served_ms[job.tenant] = \
+                self._tenant_served_ms.get(job.tenant, 0.0) \
+                + job.predicted_ms
+            if self._start_job(job, now):
+                continue  # served from cache at dequeue; worker free
+
+    def _start_job(self, job: _Job, now: float) -> bool:
+        """Start one dequeued job; True if it resolved without a worker.
+
+        A queued job's key may have been computed by an earlier job
+        while this one waited — re-check the cache at dequeue time so
+        duplicates that missed the coalescing window (e.g. a
+        different ``budget_ms``) still cost zero algorithm work.
+        """
+        cached = self.cache.get(job.cache_key)
+        if cached is not None and not job.preset_fallback:
+            self._inflight.pop(job.coalesce_key, None)
+            self._release_outstanding(job)
+            for member in job.members:
+                served = self._replay_hit(
+                    member, job.entry, job.method, job.cache_key,
+                    cached, now, queue_delay_ms=now - member.arrival_ms)
+                if not served:  # pragma: no cover - needs mid-queue
+                    # eviction of the fallback entry; re-run for safety
+                    self._run_fallback_inline(member, job, now)
+            return True
+        job.start_ms = now
+        self._running += 1
+        self._execute(job)
+        self._push(now + job.total_ms, _FINISH, job)
+        return False
+
+    def _execute(self, job: _Job) -> None:
+        """Run the job's algorithm(s) and price its simulated duration."""
+        result, sim_ms = self._run(job.entry, job.method, job.options)
+        job.work = result.trace.total_counters()
+        job.cache_puts.append((job.cache_key, result, sim_ms))
+        job.total_ms = sim_ms
+        job.final_method, job.final_result = job.method, result
+        job.exceeded = job.preset_exceeded
+        job.fallback = job.preset_fallback
+        if (job.budget_ms is not None and sim_ms > job.budget_ms
+                and not job.preset_exceeded):
+            job.exceeded = True
+            if job.method != UF_METHOD:
                 # The budget is already blown; finish with the
                 # strongest union-find baseline and charge for both
                 # runs — the honest cost of a mispredicted route.
                 fb_options = resolve_options(UF_METHOD, None, {})
-                fb_result, fb_ms = self._run(entry, UF_METHOD,
+                fb_result, fb_ms = self._run(job.entry, UF_METHOD,
                                              fb_options)
-                work += fb_result.trace.total_counters()
-                self.cache.put(
-                    result_cache_key(entry.fingerprint, UF_METHOD,
-                                     self.machine.name, fb_options),
-                    fb_result)
-                result = fb_result
-                method = UF_METHOD
-                total_ms = simulated_ms + fb_ms
+                job.work += fb_result.trace.total_counters()
+                fb_key = result_cache_key(
+                    job.entry.fingerprint, UF_METHOD,
+                    self.machine.name, fb_options)
+                job.cache_puts.append((fb_key, fb_result, fb_ms))
+                job.final_method, job.final_result = UF_METHOD, fb_result
+                job.total_ms = sim_ms + fb_ms
+                job.fallback = True
+
+    def _run_fallback_inline(self, member: _Member, job: _Job,
+                             now: float) -> None:  # pragma: no cover
+        """Degenerate dequeue path: replay needs a fallback re-run."""
+        fb_job = _Job(entry=job.entry, method=UF_METHOD,
+                      options=resolve_options(UF_METHOD, None, {}),
+                      cache_key=result_cache_key(
+                          job.entry.fingerprint, UF_METHOD,
+                          self.machine.name,
+                          resolve_options(UF_METHOD, None, {})),
+                      coalesce_key=(job.cache_key, "replay"),
+                      budget_ms=None, tenant=member.request.tenant,
+                      lane=job.lane, predicted_ms=job.predicted_ms,
+                      members=[member], preset_exceeded=True,
+                      preset_fallback=True, primary_method=job.method)
+        fb_job.start_ms = now
+        self._running += 1
+        self._execute(fb_job)
+        self._push(now + fb_job.total_ms, _FINISH, fb_job)
+
+    # -- completion ---------------------------------------------------
+
+    def _on_finish(self, job: _Job, now: float) -> None:
+        self._running -= 1
+        self._inflight.pop(job.coalesce_key, None)
+        self._release_outstanding(job)
+        # The result exists as of *now* on the simulated clock.
+        for key, result, run_ms in job.cache_puts:
+            self.cache.put(key, result)
+            self._remember_run(key, run_ms)
+        for index, member in enumerate(job.members):
+            primary = index == 0
+            # A waiter that arrived after the compute started waited
+            # zero: it rode along on an already-running job.
+            queue_delay = max(0.0, job.start_ms - member.arrival_ms)
+            latency = now - member.arrival_ms
+            request = member.request
+            response = CCResponse(
+                request=request, fingerprint=job.entry.fingerprint,
+                method=job.final_method, result=job.final_result,
+                simulated_ms=job.total_ms, cache_hit=False,
+                fallback=job.fallback, budget_exceeded=job.exceeded,
+                plan=member.route, coalesced=not primary,
+                queue_delay_ms=queue_delay,
+                arrival_ms=member.arrival_ms, start_ms=job.start_ms,
+                finish_ms=now, tenant=request.tenant)
+            if primary:
+                self.metrics.record_request(
+                    job.primary_method, latency, cache_hit=False,
+                    auto_routed=member.auto_routed,
+                    fallback=job.fallback,
+                    fallback_method=(job.final_method if job.fallback
+                                     else None),
+                    tenant=request.tenant, queue_delay_ms=queue_delay,
+                    work=job.work)
+            else:
+                self.metrics.record_request(
+                    job.primary_method, latency, cache_hit=False,
+                    auto_routed=member.auto_routed, coalesced=True,
+                    tenant=request.tenant, queue_delay_ms=queue_delay)
+            member.responses[member.slot] = response
+        self._dispatch(now)
+
+    # -- cache-hit / rejection paths ----------------------------------
+
+    def _replay_hit(self, member: _Member, entry: GraphEntry,
+                    method: str, cache_key: tuple, cached: CCResult,
+                    now: float,
+                    queue_delay_ms: float | None) -> bool:
+        """Serve one request from the cache, replaying the recorded
+        budget outcome of the run that produced the entry.
+
+        Returns False in exactly one case: the recorded run blew this
+        request's budget, the contract promises the union-find
+        fallback, and the fallback's cached result has been evicted —
+        the caller must then schedule a fallback run.
+        """
+        request = member.request
+        final_method, final_result = method, cached
+        exceeded = False
+        fallback = False
+        replayed = False
+        run_ms = self._run_meta.get(cache_key)
+        if (request.budget_ms is not None and run_ms is not None
+                and run_ms > request.budget_ms):
+            exceeded = True
+            replayed = True
+            if method != UF_METHOD:
+                fb_options = resolve_options(UF_METHOD, None, {})
+                fb_key = result_cache_key(entry.fingerprint, UF_METHOD,
+                                          self.machine.name, fb_options)
+                fb_cached = self.cache.get(fb_key)
+                if fb_cached is None:
+                    return False
+                final_method, final_result = UF_METHOD, fb_cached
                 fallback = True
-
+        latency = 0.0 if queue_delay_ms is None else queue_delay_ms
+        response = CCResponse(
+            request=request, fingerprint=entry.fingerprint,
+            method=final_method, result=final_result,
+            simulated_ms=0.0, cache_hit=True, fallback=fallback,
+            budget_exceeded=exceeded, plan=member.route,
+            queue_delay_ms=latency, arrival_ms=member.arrival_ms,
+            start_ms=now, finish_ms=now, tenant=request.tenant)
         self.metrics.record_request(
-            method, total_ms, cache_hit=False,
-            auto_routed=route is not None, fallback=fallback,
-            work=work)
-        return CCResponse(request=request, fingerprint=entry.fingerprint,
-                          method=method, result=result,
-                          simulated_ms=total_ms, cache_hit=False,
-                          fallback=fallback,
-                          budget_exceeded=budget_exceeded, plan=route)
+            method, latency, cache_hit=True,
+            auto_routed=member.auto_routed, flag_replay=replayed,
+            tenant=request.tenant, queue_delay_ms=queue_delay_ms)
+        member.responses[member.slot] = response
+        return True
 
-    def submit_batch(self, requests: list[CCRequest]) -> list[CCResponse]:
-        """Execute a batch in order; later requests see earlier caching."""
-        return [self.submit(r) for r in requests]
-
-    def connected_components(self, graph: CSRGraph, *,
-                             method: str = AUTO_METHOD,
-                             options: object = None,
-                             budget_ms: float | None = None,
-                             name: str = "") -> CCResponse:
-        """One-call convenience wrapper around :meth:`submit`."""
-        return self.submit(CCRequest(graph=graph, method=method,
-                                     options=options,
-                                     budget_ms=budget_ms, name=name))
+    def _reject(self, member: _Member, entry: GraphEntry, method: str,
+                reason: str) -> None:
+        request = member.request
+        member.responses[member.slot] = CCResponse(
+            request=request, fingerprint=entry.fingerprint,
+            method=method, result=None, simulated_ms=0.0,
+            cache_hit=False, plan=member.route, status="rejected",
+            reject_reason=reason, arrival_ms=member.arrival_ms,
+            start_ms=member.arrival_ms, finish_ms=member.arrival_ms,
+            tenant=request.tenant)
+        self.metrics.record_rejection(reason, tenant=request.tenant)
 
     # -- internals ----------------------------------------------------
+
+    def _plan_for(self, entry: GraphEntry) -> RoutePlan:
+        """Route once per fingerprint; probes are immutable."""
+        route = self._plan_memo.get(entry.fingerprint)
+        if route is None:
+            route = plan(
+                entry.probes, self.machine,
+                single_node_edge_budget=self.single_node_edge_budget)
+            self._plan_memo[entry.fingerprint] = route
+        return route
+
+    def _release_outstanding(self, job: _Job) -> None:
+        remaining = self._outstanding_ms.get(job.tenant, 0.0) \
+            - job.predicted_ms
+        if remaining <= 0.0:
+            self._outstanding_ms.pop(job.tenant, None)
+        else:
+            self._outstanding_ms[job.tenant] = remaining
+
+    def _remember_run(self, cache_key: tuple, run_ms: float) -> None:
+        """Record a run's cost alongside its cache entry (bounded LRU)."""
+        self._run_meta[cache_key] = run_ms
+        self._run_meta.move_to_end(cache_key)
+        while len(self._run_meta) > 4 * self.cache.capacity:
+            self._run_meta.popitem(last=False)
 
     def _resolve_entry(self, request: CCRequest) -> GraphEntry:
         if request.graph is not None:

@@ -2,11 +2,28 @@
 
 Everything a serving dashboard would scrape, built from the repo's
 instrumentation primitives: simulated latencies go into
-:class:`repro.instrument.LatencyHistogram` (overall and per method),
-and every *actual* algorithm execution folds its trace's
+:class:`repro.instrument.LatencyHistogram` (overall, per method, per
+tenant, plus a queue-delay histogram for scheduled requests), and
+every *actual* algorithm execution folds its trace's
 :class:`OpCounters` into a cumulative ``algorithm_work`` tally — which
 is how tests assert that cache hits perform literally zero algorithm
 work (the counter delta across a hit is exactly zero on every field).
+
+Accounting contract (the async executor feeds this):
+
+* ``cache_hits`` / ``cache_misses`` — a *miss* is a request whose
+  compute actually ran; a coalesced waiter is neither (its work ran
+  once, under the primary), it increments ``coalesced`` instead.
+* ``per_method`` attributes each request to the method the router
+  *chose* (its primary).  A blown-budget fallback run is counted
+  separately in ``fallback_per_method`` under the method that ran as
+  fallback — so routing mispredictions stay visible per method
+  instead of being silently re-attributed to union-find.
+* ``fallbacks`` counts executed fallback runs; ``flag_replays``
+  counts cache hits that replayed a recorded over-budget outcome
+  (honest flags, zero work).
+* ``rejected`` / ``rejected_by_reason`` count admission-control
+  refusals (queue capacity, queue depth, tenant quota).
 """
 
 from __future__ import annotations
@@ -25,40 +42,91 @@ class ServiceMetrics:
         self.cache_hits = 0
         self.cache_misses = 0
         self.fallbacks = 0
+        self.flag_replays = 0
+        self.coalesced = 0
+        self.rejected = 0
         self.auto_routed = 0
         self.per_method: dict[str, int] = {}
+        self.fallback_per_method: dict[str, int] = {}
+        self.rejected_by_reason: dict[str, int] = {}
+        self.per_tenant: dict[str, int] = {}
         self.latency = LatencyHistogram()
+        self.queue_delay = LatencyHistogram()
         self.per_method_latency: dict[str, LatencyHistogram] = {}
+        self.per_tenant_latency: dict[str, LatencyHistogram] = {}
         # Sum of OpCounters over every actually-executed run (cache
-        # hits contribute nothing, by definition).
+        # hits and coalesced waiters contribute nothing, by definition).
         self.algorithm_work = OpCounters()
 
     def record_request(self, method: str, simulated_ms: float, *,
                        cache_hit: bool, auto_routed: bool = False,
                        fallback: bool = False,
+                       fallback_method: str | None = None,
+                       flag_replay: bool = False,
+                       coalesced: bool = False,
+                       tenant: str = "default",
+                       queue_delay_ms: float | None = None,
                        work: OpCounters | None = None) -> None:
-        """Record one served request under its resolved method."""
+        """Record one served request under its *routed* method.
+
+        ``simulated_ms`` is the request's latency on the simulated
+        clock (queue delay + charged compute; 0 for cache hits).
+        ``fallback_method`` names the method that ran as the budget
+        fallback, counted in :attr:`fallback_per_method`.
+        """
         self.requests += 1
         if cache_hit:
             self.cache_hits += 1
+        elif coalesced:
+            self.coalesced += 1
         else:
             self.cache_misses += 1
         if auto_routed:
             self.auto_routed += 1
         if fallback:
             self.fallbacks += 1
+            key = fallback_method if fallback_method is not None else method
+            self.fallback_per_method[key] = \
+                self.fallback_per_method.get(key, 0) + 1
+        if flag_replay:
+            self.flag_replays += 1
         self.per_method[method] = self.per_method.get(method, 0) + 1
+        self.per_tenant[tenant] = self.per_tenant.get(tenant, 0) + 1
         self.latency.observe(simulated_ms)
         hist = self.per_method_latency.get(method)
         if hist is None:
             hist = self.per_method_latency[method] = LatencyHistogram()
         hist.observe(simulated_ms)
+        thist = self.per_tenant_latency.get(tenant)
+        if thist is None:
+            thist = self.per_tenant_latency[tenant] = LatencyHistogram()
+        thist.observe(simulated_ms)
+        if queue_delay_ms is not None:
+            self.queue_delay.observe(queue_delay_ms)
         if work is not None:
             self.algorithm_work += work
+
+    def record_rejection(self, reason: str, *,
+                         tenant: str = "default") -> None:
+        """Record one admission-control refusal (no latency observed)."""
+        self.requests += 1
+        self.rejected += 1
+        self.rejected_by_reason[reason] = \
+            self.rejected_by_reason.get(reason, 0) + 1
+        self.per_tenant[tenant] = self.per_tenant.get(tenant, 0) + 1
 
     @property
     def hit_rate(self) -> float:
         return self.cache_hits / self.requests if self.requests else 0.0
+
+    @property
+    def effective_hit_rate(self) -> float:
+        """Share of requests served without running anything new:
+        cache hits plus coalesced waiters (whose compute ran once,
+        under another request)."""
+        if not self.requests:
+            return 0.0
+        return (self.cache_hits + self.coalesced) / self.requests
 
     def work_snapshot(self) -> OpCounters:
         """Copy of the cumulative algorithm-work counters.
@@ -75,12 +143,25 @@ class ServiceMetrics:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "hit_rate": self.hit_rate,
+            "effective_hit_rate": self.effective_hit_rate,
+            "coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "rejected_by_reason": dict(sorted(
+                self.rejected_by_reason.items())),
             "fallbacks": self.fallbacks,
+            "flag_replays": self.flag_replays,
+            "fallback_per_method": dict(sorted(
+                self.fallback_per_method.items())),
             "auto_routed": self.auto_routed,
             "per_method": dict(sorted(self.per_method.items())),
+            "per_tenant": dict(sorted(self.per_tenant.items())),
             "latency": self.latency.summary(),
+            "queue_delay": self.queue_delay.summary(),
             "per_method_latency": {
                 m: h.summary()
                 for m, h in sorted(self.per_method_latency.items())},
+            "per_tenant_latency": {
+                t: h.summary()
+                for t, h in sorted(self.per_tenant_latency.items())},
             "algorithm_work": self.algorithm_work.as_dict(),
         }

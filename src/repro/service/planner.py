@@ -45,7 +45,8 @@ from ..instrument.counters import OpCounters
 from ..parallel.machine import SKYLAKEX, MachineSpec
 from .registry import GraphProbes, probe_graph
 
-__all__ = ["RoutePlan", "predict_family_costs", "plan", "plan_for_graph",
+__all__ = ["RoutePlan", "predict_family_costs", "predicted_method_ms",
+           "plan", "plan_for_graph",
            "LP_METHOD", "UF_METHOD", "DISTRIBUTED_METHOD"]
 
 # Concrete algorithm each family resolves to: the best member of each
@@ -55,6 +56,13 @@ UF_METHOD = "afforest"
 # Routed to when the graph exceeds the single-node edge budget: the
 # sharded tier (Section VII), distributed Thrifty on the fabric.
 DISTRIBUTED_METHOD = "distributed"
+
+# Which cost predictor each concrete method prices under for admission
+# control.  The union-find/traversal family shares the parent-chase
+# predictor; everything label-propagation-shaped (including the
+# sharded tier, whose per-rank compute is LP) uses the LP predictor.
+_UF_FAMILY_METHODS = frozenset(
+    {"sv", "jt", "afforest", "fastsv", "connectit", "bfs"})
 
 # Calibrated predictor constants (see module docstring).
 _LP_EDGE_FRACTION_BASE = 0.04      # edge share scanned at diameter 0
@@ -85,6 +93,19 @@ class RoutePlan:
         lo = min(self.predicted_lp_ms, self.predicted_uf_ms)
         hi = max(self.predicted_lp_ms, self.predicted_uf_ms)
         return hi / lo if lo > 0 else float("inf")
+
+    @property
+    def predicted_ms(self) -> float:
+        """Predicted cost of the routed method — what admission control
+        charges against the service's queue capacity before anything
+        runs.  The distributed tier prices under the cheaper family
+        (its per-node compute is LP-shaped, but the fabric is priced
+        only after the run)."""
+        if self.family == "lp":
+            return self.predicted_lp_ms
+        if self.family == "uf":
+            return self.predicted_uf_ms
+        return min(self.predicted_lp_ms, self.predicted_uf_ms)
 
 
 def _lp_cost_ms(probes: GraphProbes, model: CostModel) -> float:
@@ -134,6 +155,19 @@ def predict_family_costs(probes: GraphProbes,
     """(predicted LP ms, predicted union-find ms) for one graph."""
     model = CostModel(machine, probes.num_vertices)
     return _lp_cost_ms(probes, model), _uf_cost_ms(probes, model)
+
+
+def predicted_method_ms(probes: GraphProbes, method: str,
+                        machine: MachineSpec = SKYLAKEX) -> float:
+    """Predicted simulated-ms of running ``method`` on this graph.
+
+    This is the admission-control yardstick: an explicitly-requested
+    method is priced by its family's synthetic-counter predictor (the
+    same one ``method="auto"`` routes on), so queueing decisions and
+    routing decisions share one notion of cost.
+    """
+    lp_ms, uf_ms = predict_family_costs(probes, machine)
+    return uf_ms if method in _UF_FAMILY_METHODS else lp_ms
 
 
 def plan(probes: GraphProbes,

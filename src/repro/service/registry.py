@@ -9,6 +9,7 @@ and serves them from the entry afterwards.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..graph import properties
@@ -89,14 +90,29 @@ class GraphRegistry:
     probes — and any cached results keyed by the fingerprint — are
     reused.  A per-instance ``id()`` memo skips re-hashing the arrays
     when the *same object* is submitted repeatedly; it is only
-    consulted for objects the registry still holds strongly, so id
-    reuse after garbage collection cannot alias.
+    consulted for objects the registry holds strongly, so id reuse
+    after garbage collection cannot alias.  Two tiers of memo exist:
+    the permanent one for each entry's own graph object, and a bounded
+    LRU of recently-seen *equal copies* — a client that constructs a
+    fresh-but-equal graph object and then resubmits that same object
+    per request pays the full array hash only on first sight, not on
+    every request.  The copy memo keeps a strong reference to each
+    memoized object for as long as its id is memoized, preserving the
+    id-reuse safety argument.
     """
+
+    #: Bound on the recently-seen equal-copy memo (strong refs held).
+    COPY_MEMO_CAPACITY = 64
 
     def __init__(self) -> None:
         self._by_fingerprint: dict[str, GraphEntry] = {}
         self._by_name: dict[str, str] = {}
         self._id_memo: dict[int, str] = {}
+        self._copy_memo: OrderedDict[int, tuple[CSRGraph, str]] = \
+            OrderedDict()
+        #: Full array hashes actually computed (testable: copies are
+        #: hashed once, not once per request).
+        self.fingerprint_computations = 0
 
     def register(self, graph: CSRGraph, *, name: str = "") -> GraphEntry:
         """Add a graph (idempotent); returns its entry.
@@ -123,13 +139,29 @@ class GraphRegistry:
         return entry
 
     def fingerprint_of(self, graph: CSRGraph) -> str:
-        """Content fingerprint, memoized for already-registered objects."""
+        """Content fingerprint, memoized for recently-seen objects.
+
+        Permanent memo for each entry's own graph; bounded LRU memo
+        for equal copies.  Both are consulted only while the registry
+        holds the object strongly, so a recycled ``id()`` can never
+        alias to a dead graph's fingerprint.
+        """
         fp = self._id_memo.get(id(graph))
         if fp is not None:
             held = self._by_fingerprint.get(fp)
             if held is not None and held.graph is graph:
                 return fp
-        return graph_fingerprint(graph)
+        memo = self._copy_memo.get(id(graph))
+        if memo is not None and memo[0] is graph:
+            self._copy_memo.move_to_end(id(graph))
+            return memo[1]
+        fp = graph_fingerprint(graph)
+        self.fingerprint_computations += 1
+        self._copy_memo[id(graph)] = (graph, fp)
+        self._copy_memo.move_to_end(id(graph))
+        while len(self._copy_memo) > self.COPY_MEMO_CAPACITY:
+            self._copy_memo.popitem(last=False)
+        return fp
 
     def get(self, key: str) -> GraphEntry:
         """Look up by name or fingerprint; KeyError when absent."""

@@ -298,3 +298,120 @@ class TestDistributedServing:
             skewed, method="distributed",
             options=DistributedOptions(num_ranks=8))
         assert one.simulated_ms > 0 and eight.simulated_ms > 0
+
+
+class TestBudgetAccounting:
+    """Budget edges + the honest-flags contract (cache hits replay the
+    recorded budget outcome of the run that produced the entry)."""
+
+    def test_budget_exactly_equal_is_not_exceeded(self, skewed):
+        cost = CCService().connected_components(
+            skewed, method="thrifty").simulated_ms
+        resp = CCService().connected_components(
+            skewed, method="thrifty", budget_ms=cost)
+        assert not resp.budget_exceeded and not resp.fallback
+        assert resp.method == "thrifty"
+
+    def test_hit_after_blown_run_replays_flags(self, skewed):
+        svc = CCService()
+        r1 = svc.connected_components(skewed, method="thrifty",
+                                      budget_ms=1e-12)
+        r2 = svc.connected_components(skewed, method="thrifty",
+                                      budget_ms=1e-12)
+        assert r1.budget_exceeded and r1.fallback
+        assert r2.cache_hit and r2.simulated_ms == 0.0
+        # the hit replays the recorded outcome, not a clean bill
+        assert r2.budget_exceeded and r2.fallback
+        assert r2.method == "afforest"
+        assert r2.result is r1.result
+        assert svc.metrics.flag_replays == 1
+        # only the executed fallback run counts as a fallback
+        assert svc.metrics.fallbacks == 1
+
+    def test_hit_with_affordable_budget_stays_clean(self, skewed):
+        svc = CCService()
+        svc.connected_components(skewed, method="thrifty",
+                                 budget_ms=1e-12)
+        clean = svc.connected_components(skewed, method="thrifty")
+        roomy = svc.connected_components(skewed, method="thrifty",
+                                         budget_ms=1e9)
+        for resp in (clean, roomy):
+            assert resp.cache_hit
+            assert not resp.budget_exceeded and not resp.fallback
+            assert resp.method == "thrifty"
+        assert svc.metrics.flag_replays == 0
+
+    def test_blown_uf_primary_hit_replays_exceeded_only(self, skewed):
+        # afforest is its own fallback: exceeded, but no second run —
+        # and the replayed hit must agree.
+        svc = CCService()
+        r1 = svc.connected_components(skewed, method="afforest",
+                                      budget_ms=1e-12)
+        r2 = svc.connected_components(skewed, method="afforest",
+                                      budget_ms=1e-12)
+        assert r1.budget_exceeded and not r1.fallback
+        assert r2.cache_hit and r2.budget_exceeded and not r2.fallback
+        assert r2.result is r1.result
+        assert svc.metrics.fallbacks == 0
+        assert svc.metrics.flag_replays == 1
+
+    def test_evicted_fallback_reruns_fallback_only(self, skewed):
+        svc = CCService()
+        r1 = svc.connected_components(skewed, method="thrifty",
+                                      budget_ms=1e-12)
+        # evict the fallback's entry; the thrifty entry stays
+        fp = r1.fingerprint
+        fb_key = result_cache_key(fp, "afforest", svc.machine.name,
+                                  AfforestOptions())
+        assert svc.cache.invalidate(fb_key)
+        r2 = svc.connected_components(skewed, method="thrifty",
+                                      budget_ms=1e-12)
+        # the contract still promises the fallback result: only the
+        # union-find run re-executes (cheaper than primary+fallback)
+        assert r2.budget_exceeded and r2.fallback
+        assert r2.method == "afforest"
+        assert not r2.cache_hit
+        assert 0.0 < r2.simulated_ms < r1.simulated_ms
+        assert np.array_equal(r1.result.labels, r2.result.labels)
+        assert svc.metrics.fallbacks == 2
+
+    def test_fallback_attributed_to_routed_method(self, skewed):
+        # regression: the blown primary used to be recorded under
+        # union-find, hiding the routing misprediction
+        svc = CCService()
+        svc.connected_components(skewed, method="thrifty",
+                                 budget_ms=1e-12)
+        assert svc.metrics.per_method == {"thrifty": 1}
+        assert svc.metrics.fallback_per_method == {"afforest": 1}
+        snap = svc.metrics.snapshot()
+        assert snap["fallback_per_method"] == {"afforest": 1}
+
+
+class TestRegistryCopyMemo:
+    """Equal copies are hashed once each, via a bounded strong-ref memo
+    (regression: only the first-registered object was memoized, so a
+    client resubmitting its own copy re-hashed per request)."""
+
+    def test_repeat_copy_object_hashes_once(self):
+        reg = GraphRegistry()
+        original = rmat_graph(7, 8, seed=3)
+        copy = rmat_graph(7, 8, seed=3)
+        assert reg.register(original) is reg.register(copy)
+        assert reg.fingerprint_computations == 2
+        for _ in range(5):
+            reg.register(copy)
+            reg.register(original)
+        assert reg.fingerprint_computations == 2
+
+    def test_copy_memo_is_bounded_lru(self):
+        reg = GraphRegistry()
+        reg.COPY_MEMO_CAPACITY = 2
+        reg.register(rmat_graph(7, 8, seed=3))   # the entry's own graph
+        copies = [rmat_graph(7, 8, seed=3) for _ in range(3)]
+        for g in copies:
+            reg.register(g)
+        assert reg.fingerprint_computations == 4
+        reg.register(copies[2])            # still memoized
+        assert reg.fingerprint_computations == 4
+        reg.register(copies[0])            # evicted -> re-hash
+        assert reg.fingerprint_computations == 5
