@@ -1,0 +1,178 @@
+"""Extension experiment — incremental CC serving under a mutating graph.
+
+A Zipf query trace over a working set of skewed + road surrogates is
+interleaved with batched edge insertions (one 64-edge batch every 10
+requests, applied to the dataset the next request targets).  Two
+services consume the identical trace and the identical mutation
+stream:
+
+* **delta** — ``ServiceOptions()`` default: a post-mutation request is
+  served by decoding the predecessor's cached labels into a union-find
+  forest and unioning just the inserted batch (touched-set work,
+  priced by the same CostModel as full runs);
+* **recompute** — ``ServiceOptions(delta_serving=False)``: every
+  mutation invalidates and the next request pays a from-scratch run.
+
+Both sides finish with bit-identical labels on every dataset — the
+speedup (assert floor 5x at full scale) is pure redundant-work
+elimination, not approximation.  The report (makespans, trace
+requests/s, delta-hit counts, per-side hit rates) is merged into
+``BENCH_baselines.json`` under the ``incremental`` key.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import BENCH_PATH, SCALE, STRICT, run_once, write_baseline
+
+from repro.experiments import format_table
+from repro.graph.datasets import load_dataset
+from repro.service import CCRequest, CCService, ServiceOptions
+
+#: Query-trace length; long enough that the Zipf tail re-touches every
+#: dataset between mutations.
+NUM_REQUESTS = 4000
+#: One insertion batch lands every this-many requests.
+MUTATION_EVERY = 10
+#: Undirected edges per insertion batch.
+MUTATION_BATCH = 64
+#: Zipf popularity skew over the working set.
+ZIPF_S = 1.1
+#: Working set: three skewed graphs plus one road network, so both
+#: router families see mutations.
+TRACE_DATASETS = ("Pkc", "WWiki", "LJLnks", "GBRd")
+#: Explicit delta-eligible method (identity labels: no hub caveat).
+METHOD = "afforest"
+
+
+def _build_trace(rng):
+    ranks = np.arange(1, len(TRACE_DATASETS) + 1, dtype=np.float64)
+    popularity = ranks ** -ZIPF_S
+    popularity /= popularity.sum()
+    return rng.choice(len(TRACE_DATASETS), size=NUM_REQUESTS,
+                      p=popularity)
+
+
+def _mutation_schedule(trace, sizes, rng):
+    """(request index -> (dataset, src, dst)): shared by both sides.
+
+    Each batch targets the dataset of the request that follows it, so
+    every mutation is immediately observed by a query.
+    """
+    schedule = {}
+    for i in range(MUTATION_EVERY, NUM_REQUESTS, MUTATION_EVERY):
+        name = TRACE_DATASETS[trace[i]]
+        n = sizes[name]
+        schedule[i] = (name, rng.integers(0, n, MUTATION_BATCH),
+                       rng.integers(0, n, MUTATION_BATCH))
+    return schedule
+
+
+def _run_side(graphs, trace, schedule, *, delta_serving):
+    svc = CCService(service_options=ServiceOptions(
+        delta_serving=delta_serving))
+    for name, graph in graphs.items():
+        svc.register(graph, name=name)
+    t0 = time.perf_counter()
+    for i in range(NUM_REQUESTS):
+        mutation = schedule.get(i)
+        if mutation is not None:
+            name, src, dst = mutation
+            svc.mutate(name, insert=(src, dst))
+        svc.submit(CCRequest(key=TRACE_DATASETS[trace[i]],
+                             method=METHOD))
+    wall = time.perf_counter() - t0
+    return svc, svc.clock_ms, wall
+
+
+def _generate():
+    graphs = {name: load_dataset(name, SCALE) for name in TRACE_DATASETS}
+    sizes = {name: g.num_vertices for name, g in graphs.items()}
+    rng = np.random.default_rng(17)
+    trace = _build_trace(rng)
+    schedule = _mutation_schedule(trace, sizes, rng)
+
+    base_svc, base_makespan, base_wall = _run_side(
+        graphs, trace, schedule, delta_serving=False)
+    delta_svc, delta_makespan, delta_wall = _run_side(
+        graphs, trace, schedule, delta_serving=True)
+
+    # Identical final labels on every dataset: the delta path is an
+    # optimization, not an approximation.
+    for name in TRACE_DATASETS:
+        d = delta_svc.submit(CCRequest(key=name, method=METHOD))
+        b = base_svc.submit(CCRequest(key=name, method=METHOD))
+        assert d.fingerprint == b.fingerprint, name
+        assert np.array_equal(d.result.labels, b.result.labels), name
+
+    delta_snap = delta_svc.metrics.snapshot()
+    base_snap = base_svc.metrics.snapshot()
+    assert delta_snap["delta_hits"] > 0
+    assert base_snap["delta_hits"] == 0
+    # Mutations land identically on both sides; only the serving
+    # strategy differs, so request mixes agree.
+    assert delta_snap["requests"] == base_snap["requests"]
+
+    report = {
+        "bench_scale": SCALE,
+        "requests": NUM_REQUESTS,
+        "zipf_s": ZIPF_S,
+        "method": METHOD,
+        "datasets": list(TRACE_DATASETS),
+        "mutation_every": MUTATION_EVERY,
+        "mutation_batch": MUTATION_BATCH,
+        "mutations": len(_mutation_schedule(trace, sizes,
+                                            np.random.default_rng(17))),
+        "recompute": {
+            "makespan_ms": base_makespan,
+            "rps": NUM_REQUESTS / (base_makespan * 1e-3),
+            "hit_rate": base_snap["hit_rate"],
+            "cache_misses": base_snap["cache_misses"],
+            "invalidations": base_snap["invalidations"],
+            "wall_seconds": base_wall,
+        },
+        "delta": {
+            "makespan_ms": delta_makespan,
+            "rps": NUM_REQUESTS / (delta_makespan * 1e-3),
+            "hit_rate": delta_snap["hit_rate"],
+            "effective_hit_rate": delta_snap["effective_hit_rate"],
+            "delta_hits": delta_snap["delta_hits"],
+            "cache_misses": delta_snap["cache_misses"],
+            "invalidations": delta_snap["invalidations"],
+            "wall_seconds": delta_wall,
+        },
+        "speedup": base_makespan / delta_makespan,
+    }
+    write_baseline("incremental", report)
+    return report
+
+
+def test_incremental_serving_throughput(benchmark):
+    report = run_once(benchmark, _generate)
+
+    base, delta = report["recompute"], report["delta"]
+    print()
+    print(format_table(
+        ["metric", "recompute", "delta serving"],
+        [["makespan_ms", f"{base['makespan_ms']:.3f}",
+          f"{delta['makespan_ms']:.3f}"],
+         ["requests/s", f"{base['rps']:.3e}", f"{delta['rps']:.3e}"],
+         ["cache misses", str(base["cache_misses"]),
+          str(delta["cache_misses"])],
+         ["delta hits", "0", str(delta["delta_hits"])],
+         ["hit rate", f"{base['hit_rate']:.4f}",
+          f"{delta['effective_hit_rate']:.4f} (eff.)"]],
+        title=f"Incremental serving — {report['requests']} Zipf "
+              f"requests, {report['mutations']} x "
+              f"{report['mutation_batch']}-edge batches "
+              f"(speedup {report['speedup']:.2f}x)"))
+    print(f"(written to {BENCH_PATH.name})")
+
+    assert BENCH_PATH.exists()
+    # Most mutations must actually be delta-served, not recomputed.
+    assert delta["delta_hits"] >= report["mutations"] * 0.8
+    if STRICT:
+        assert report["speedup"] >= 5.0
+    else:
+        assert report["speedup"] >= 2.5

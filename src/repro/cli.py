@@ -195,6 +195,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="spread arrivals uniformly over this "
                           "simulated window and run the async "
                           "scheduler (default: sequential submits)")
+    srv.add_argument("--mutation-rate", type=int, default=None,
+                     help="insert a random edge batch into the "
+                          "requested dataset every N requests "
+                          "(delta-served repeats; sequential mode only)")
+    srv.add_argument("--mutation-batch", type=int, default=64,
+                     help="edges per insertion batch "
+                          "(with --mutation-rate)")
 
     rep = sub.add_parser("report",
                          help="regenerate all artifacts into markdown")
@@ -290,6 +297,36 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _serve_mutating(service, args, request_cls) -> list:
+    """Sequential request stream with interleaved edge insertions.
+
+    Datasets are registered once by name and requested by key, so each
+    mutation's successor graph (same name, new fingerprint) is what
+    subsequent requests resolve — the delta-serving path end to end.
+    """
+    import numpy as np
+
+    sizes = {}
+    for name in args.datasets:
+        graph = load_dataset(name, args.scale)
+        service.register(graph, name=name)
+        sizes[name] = graph.num_vertices
+    rng = np.random.default_rng(0)
+    responses = []
+    for _ in range(args.repeats):
+        for name in args.datasets:
+            if responses and len(responses) % args.mutation_rate == 0:
+                n = sizes[name]
+                service.mutate(name, insert=(
+                    rng.integers(0, n, args.mutation_batch),
+                    rng.integers(0, n, args.mutation_batch)))
+            tenant = f"tenant-{len(responses) % max(args.tenants, 1)}"
+            responses.append(service.submit(
+                request_cls(key=name, name=name, method=args.method,
+                            budget_ms=args.budget_ms, tenant=tenant)))
+    return responses
+
+
 def _cmd_serve(args) -> int:
     from .options import ServiceOptions
     from .service import CCRequest, CCService
@@ -307,26 +344,36 @@ def _cmd_serve(args) -> int:
                         cache_capacity=args.cache_size,
                         single_node_edge_budget=args.edge_budget,
                         service_options=service_options)
-    requests = []
-    for _ in range(args.repeats):
-        for name in args.datasets:
-            if name not in DATASETS:
-                raise SystemExit(f"unknown dataset {name!r}; see "
-                                 f"`repro datasets`")
-            tenant = f"tenant-{len(requests) % max(args.tenants, 1)}"
-            requests.append(CCRequest(graph=load_dataset(name, args.scale),
-                                      name=name, method=args.method,
-                                      budget_ms=args.budget_ms,
-                                      tenant=tenant))
-    if args.window_ms is not None:
-        # Timestamped trace through the async scheduler: uniform
-        # arrivals over the window, coalescing/admission active.
-        step = args.window_ms / max(len(requests) - 1, 1)
-        for i, req in enumerate(requests):
-            req.arrival_ms = i * step
-        responses = service.run_trace(requests)
+    for name in args.datasets:
+        if name not in DATASETS:
+            raise SystemExit(f"unknown dataset {name!r}; see "
+                             f"`repro datasets`")
+    if args.mutation_rate is not None:
+        if args.window_ms is not None:
+            raise SystemExit("--mutation-rate interleaves mutations "
+                             "with sequential submits; it cannot be "
+                             "combined with --window-ms")
+        if args.mutation_rate < 1:
+            raise SystemExit("--mutation-rate must be >= 1")
+        responses = _serve_mutating(service, args, CCRequest)
     else:
-        responses = service.submit_batch(requests)
+        requests = []
+        for _ in range(args.repeats):
+            for name in args.datasets:
+                tenant = f"tenant-{len(requests) % max(args.tenants, 1)}"
+                requests.append(
+                    CCRequest(graph=load_dataset(name, args.scale),
+                              name=name, method=args.method,
+                              budget_ms=args.budget_ms, tenant=tenant))
+        if args.window_ms is not None:
+            # Timestamped trace through the async scheduler: uniform
+            # arrivals over the window, coalescing/admission active.
+            step = args.window_ms / max(len(requests) - 1, 1)
+            for i, req in enumerate(requests):
+                req.arrival_ms = i * step
+            responses = service.run_trace(requests)
+        else:
+            responses = service.submit_batch(requests)
     rows = []
     for resp in responses:
         if resp.status == "rejected":
@@ -335,7 +382,8 @@ def _cmd_serve(args) -> int:
                          "-"])
             continue
         cache = "hit" if resp.cache_hit else (
-            "coalesced" if resp.coalesced else "miss")
+            "coalesced" if resp.coalesced else
+            "delta" if resp.delta_hit else "miss")
         rows.append([resp.request.name, resp.method, cache,
                      "yes" if resp.fallback else "no",
                      resp.num_components,
@@ -345,9 +393,12 @@ def _cmd_serve(args) -> int:
          "sim ms"], rows))
     snap = service.metrics.snapshot()
     print(f"\nrequests={snap['requests']} hit_rate={snap['hit_rate']:.2f} "
+          f"effective_hit_rate={snap['effective_hit_rate']:.2f} "
           f"fallbacks={snap['fallbacks']} "
           f"auto_routed={snap['auto_routed']}")
-    print(f"coalesced={snap['coalesced']} rejected={snap['rejected']} "
+    print(f"coalesced={snap['coalesced']} delta_hits={snap['delta_hits']} "
+          f"invalidations={snap['invalidations']} "
+          f"rejected={snap['rejected']} "
           f"flag_replays={snap['flag_replays']}")
     print("per-method counts:", snap["per_method"])
     if snap["fallback_per_method"]:

@@ -1,0 +1,122 @@
+"""Graph mutation helpers: batched edge insertion / removal on CSR.
+
+:class:`~repro.graph.csr.CSRGraph` is immutable by design — every
+consumer (kernels, caches, fingerprints) relies on the arrays never
+changing under it.  Mutation therefore means *building a new graph*:
+these helpers take a graph plus an undirected edge batch and return
+the successor graph, along with the canonical batch that actually
+changed the structure (deduplicated, self-loops dropped, already-
+present edges filtered out).  The canonical batch is what the
+incremental CC tier records as delta lineage: replaying exactly those
+edges on the predecessor's labels reproduces the successor's
+components.
+
+Cost shape: one merge-sort-style rebuild over ``O(m + b log b)`` for a
+batch of ``b`` undirected pairs — no per-edge Python work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coo import EdgeList, _edge_keys
+from .csr import CSRGraph
+
+__all__ = ["canonical_edge_batch", "insert_edges", "remove_edges"]
+
+
+def canonical_edge_batch(src, dst) -> tuple[np.ndarray, np.ndarray]:
+    """Normalize an undirected edge batch to sorted unique (lo, hi) pairs.
+
+    Drops self-loops and duplicate pairs (in either orientation).
+    Returns int64 arrays with ``src < dst``, sorted lexicographically —
+    a canonical form, so equal batches compare equal element-wise.
+    """
+    src = np.asarray(src, dtype=np.int64).ravel()
+    dst = np.asarray(dst, dtype=np.int64).ravel()
+    if src.shape != dst.shape:
+        raise ValueError("edge batch src/dst lengths differ")
+    lo = np.minimum(src, dst)
+    hi = np.maximum(src, dst)
+    keep = lo != hi
+    lo, hi = lo[keep], hi[keep]
+    if lo.size == 0:
+        return lo, hi
+    span = int(hi.max()) + 1
+    keys = np.unique(lo * span + hi)
+    return keys // span, keys % span
+
+
+def _edge_key_set(graph: CSRGraph) -> np.ndarray:
+    """Sorted directed-edge keys of the graph (for membership tests)."""
+    src = graph.edge_sources()
+    return _edge_keys(src, graph.indices.astype(np.int64),
+                      graph.num_vertices)
+
+
+def insert_edges(graph: CSRGraph, src, dst
+                 ) -> tuple[CSRGraph, np.ndarray, np.ndarray]:
+    """Insert an undirected edge batch; returns the successor graph.
+
+    Returns ``(new_graph, ins_src, ins_dst)`` where the two arrays are
+    the canonical batch of edges that were genuinely new (absent from
+    ``graph``); edges already present are filtered out.  Vertex ids
+    must be in range — mutation never grows the vertex set.  When
+    nothing is new, the *same* graph object is returned with empty
+    batch arrays.
+    """
+    n = graph.num_vertices
+    lo, hi = canonical_edge_batch(src, dst)
+    if lo.size and (int(lo.min()) < 0 or int(hi.max()) >= n):
+        raise ValueError("edge endpoint out of range for "
+                         f"num_vertices={n}")
+    if lo.size:
+        # Filter pairs already present (adjacency lists are sorted, so
+        # one membership probe over the directed keys suffices).
+        existing = _edge_keys(graph.edge_sources(),
+                              graph.indices.astype(np.int64), n)
+        probe = _edge_keys(lo, hi, n)
+        pos = np.searchsorted(existing, probe)
+        pos = np.minimum(pos, existing.size - 1) if existing.size \
+            else np.zeros_like(pos)
+        present = existing.size > 0
+        if present:
+            found = existing[pos] == probe
+            lo, hi = lo[~found], hi[~found]
+    if lo.size == 0:
+        return graph, lo, hi
+    add_src = np.concatenate((lo, hi))
+    add_dst = np.concatenate((hi, lo))
+    merged = EdgeList(
+        np.concatenate((graph.edge_sources(), add_src)),
+        np.concatenate((graph.indices.astype(np.int64), add_dst)), n)
+    return CSRGraph.from_edge_list(merged), lo, hi
+
+
+def remove_edges(graph: CSRGraph, src, dst) -> CSRGraph:
+    """Remove an undirected edge batch; returns the successor graph.
+
+    Edges not present are ignored.  Removal can split components, so
+    the incremental tier records no delta lineage for it — successors
+    built here are served by full recompute (the planner's fallback).
+    """
+    n = graph.num_vertices
+    lo, hi = canonical_edge_batch(src, dst)
+    if lo.size == 0:
+        return graph
+    if int(lo.min()) < 0 or int(hi.max()) >= n:
+        raise ValueError(f"edge endpoint out of range for num_vertices={n}")
+    drop = np.concatenate((_edge_keys(lo, hi, n), _edge_keys(hi, lo, n)))
+    drop.sort()
+    keys = _edge_key_set(graph)
+    pos = np.searchsorted(drop, keys)
+    pos = np.minimum(pos, drop.size - 1)
+    keep = drop[pos] != keys
+    if bool(keep.all()):
+        return graph
+    kept = EdgeList(graph.edge_sources()[keep],
+                    graph.indices.astype(np.int64)[keep], n)
+    counts = np.bincount(kept.src, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRGraph(indptr, kept.dst)

@@ -1,0 +1,32 @@
+"""Dynamic CC tier: batched edge mutations with delta maintenance.
+
+Converged labels decode into a depth-<=1 union-find forest; inserted
+edges union over the touched set (the PR 3 worklist-local substrate);
+the merge results fold back into labels bit-identical to a
+from-scratch rerun.  See :mod:`repro.incremental.engine` for the
+eligibility and accounting contracts, and
+:class:`repro.service.CCService.mutate` for the serving integration.
+"""
+
+from .delta import DeltaResult, MergeDelta
+from .engine import (
+    DELTA_METHODS,
+    PLANTED_METHODS,
+    DeltaIneligible,
+    IncrementalCC,
+    decode_parent,
+    delta_update,
+    hub_stable,
+)
+
+__all__ = [
+    "DELTA_METHODS",
+    "PLANTED_METHODS",
+    "DeltaIneligible",
+    "DeltaResult",
+    "IncrementalCC",
+    "MergeDelta",
+    "decode_parent",
+    "delta_update",
+    "hub_stable",
+]

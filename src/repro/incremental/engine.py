@@ -1,0 +1,273 @@
+"""Incremental connected components over the touched set.
+
+A converged CC labels array *is* a depth-<=1 union-find forest in
+disguise: under the LP minimum convention every final label is the
+minimum initial label of its component, and that minimum is carried by
+a recoverable representative vertex.  Decoding labels into a parent
+array, unioning just the inserted edges with the worklist-local
+substrate from PR 3 (:func:`resolve_roots_local` under
+:func:`union_edge_batch`), and folding the merge results back into the
+labels reproduces — bit for bit — what a from-scratch run of the same
+method on the successor graph would return, while touching only the
+batch endpoints, their root chains, and (when anything merged) one
+vectorized relabel pass.
+
+Method eligibility (:data:`DELTA_METHODS`)
+------------------------------------------
+
+* **Identity-initialized methods** (``dolp``, ``unified``, ``sv``,
+  ``fastsv``, ``afforest``, ``bfs``): final labels are per-component
+  minimum vertex ids.  The representative of label ``L`` is vertex
+  ``L`` itself; merges link to the smaller root id.
+* **Zero-Planted methods** (``thrifty``): initial labels are
+  ``v + 1`` with ``0`` planted on the hub (lowest-id max-degree
+  vertex), so the representative of label ``L`` is vertex ``L - 1``
+  — except label ``0``, whose representative is the hub.  Merges link
+  by the *initial-assignment* priority.  Validity requires the
+  successor graph's hub to equal the seed's: insertions change
+  degrees, and a moved hub changes the fresh run's initial assignment.
+  Callers check :func:`hub_stable` and fall back to recompute.
+* **Excluded**: ``jt`` (randomized link priorities make labels
+  order-dependent), ``kla``/``lp-shortcut``/``connectit`` (shortcut
+  depth / strategy-dependent labels), ``distributed`` (rank-local
+  label conventions).
+
+Deletions are not delta-maintainable in a union-find frame (splits
+need re-traversal); :func:`repro.graph.mutate.remove_edges` successors
+are served by full recompute.
+
+Accounting: every union charge goes through the shared
+:func:`charge_union`/:func:`charge_finds` recipe with
+``endpoint_reads=2`` (both endpoints gathered from the batch), and the
+relabel pass is charged as one sequential scan — so delta costs price
+under the same :class:`~repro.instrument.costmodel.CostModel` contract
+as full runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..api import ALGORITHMS
+from ..baselines.disjoint_set import (charge_finds, charge_union,
+                                      resolve_roots_local,
+                                      union_edge_batch)
+from ..core.labels import LABEL_DTYPE
+from ..graph.csr import CSRGraph
+from ..graph.mutate import insert_edges, remove_edges
+from ..instrument.counters import OpCounters
+from ..parallel.machine import SKYLAKEX, MachineSpec
+from .delta import DeltaResult, MergeDelta
+
+__all__ = ["DELTA_METHODS", "PLANTED_METHODS", "DeltaIneligible",
+           "decode_parent", "delta_update", "hub_stable",
+           "IncrementalCC"]
+
+#: Methods whose final labels the delta path reproduces bit-identically.
+DELTA_METHODS = frozenset(
+    {"thrifty", "dolp", "unified", "sv", "fastsv", "afforest", "bfs"})
+
+#: The subset whose initial assignment depends on the hub vertex.
+PLANTED_METHODS = frozenset({"thrifty"})
+
+
+class DeltaIneligible(ValueError):
+    """The labels cannot be delta-maintained for this method/graph."""
+
+
+def hub_stable(graph: CSRGraph, hub: int) -> bool:
+    """True if ``graph``'s Zero-Planting hub is still ``hub``.
+
+    The cheap precondition for planted methods: a fresh run on
+    ``graph`` plants at ``graph.max_degree_vertex()``; the delta path
+    reproduces labels planted at the seed's hub.
+    """
+    return graph.num_vertices > 0 and graph.max_degree_vertex() == hub
+
+
+def _seed_priority(n: int, method: str, hub: int | None) -> np.ndarray | None:
+    """Per-vertex link priority = the method's initial label assignment.
+
+    ``None`` for identity methods (link-to-smaller-id, the cheap path
+    in :func:`link_roots`, is exactly min-initial-label for them).
+    """
+    if method not in PLANTED_METHODS:
+        return None
+    prio = np.arange(1, n + 1, dtype=LABEL_DTYPE)
+    prio[hub] = 0
+    return prio
+
+
+def _label_of_roots(roots: np.ndarray, method: str,
+                    hub: int | None) -> np.ndarray:
+    """Final label carried by each representative (root) vertex."""
+    if method not in PLANTED_METHODS:
+        return roots.astype(LABEL_DTYPE)
+    out = roots.astype(LABEL_DTYPE) + 1
+    out[roots == hub] = 0
+    return out
+
+
+def decode_parent(labels: np.ndarray, method: str, *,
+                  hub: int | None = None) -> np.ndarray:
+    """Decode converged labels into a depth-<=1 parent forest.
+
+    Raises :class:`DeltaIneligible` when the method is not
+    delta-eligible or the labels are not a fixpoint of the method's
+    convention (e.g. they came from a different graph or a planted run
+    with a different hub).
+    """
+    if method not in DELTA_METHODS:
+        raise DeltaIneligible(
+            f"method {method!r} is not delta-maintainable; "
+            f"eligible: {sorted(DELTA_METHODS)}")
+    n = labels.size
+    if method in PLANTED_METHODS:
+        if hub is None:
+            raise DeltaIneligible(
+                f"planted method {method!r} needs the seed hub vertex")
+        parent = labels.astype(np.int64) - 1
+        parent[labels == 0] = hub
+    else:
+        parent = labels.astype(np.int64, copy=True)
+    if n and (int(parent.min()) < 0 or int(parent.max()) >= n):
+        raise DeltaIneligible(
+            f"labels are not a valid {method!r} fixpoint "
+            "(representative out of range)")
+    if not np.array_equal(labels[parent], labels):
+        raise DeltaIneligible(
+            f"labels are not a converged {method!r} fixpoint "
+            "(representative carries a different label)")
+    return parent
+
+
+def delta_update(labels: np.ndarray, src, dst, *, method: str = "afforest",
+                 hub: int | None = None,
+                 counters: OpCounters | None = None) -> DeltaResult:
+    """Apply an insertion batch to converged labels; touched-set work.
+
+    ``labels`` must be the converged output of ``method`` on the seed
+    graph; ``src``/``dst`` the undirected edges inserted (the
+    canonical batch from :func:`repro.graph.mutate.insert_edges`).
+    Returns labels bit-identical to a fresh run of ``method`` on the
+    successor graph (for planted methods, provided
+    :func:`hub_stable` held — callers enforce it).
+
+    When the batch merges nothing, the input labels object is returned
+    unchanged (results are immutable by convention, so sharing is
+    safe).
+    """
+    counters = counters if counters is not None else OpCounters()
+    eu = np.asarray(src, dtype=np.int64).ravel()
+    ev = np.asarray(dst, dtype=np.int64).ravel()
+    n = labels.size
+    empty = np.empty(0, dtype=LABEL_DTYPE)
+    if eu.size == 0:
+        return DeltaResult(labels, MergeDelta(empty, empty, 0, 0, 0, 0),
+                           counters)
+    parent = decode_parent(labels, method, hub=hub)
+    priority = _seed_priority(n, method, hub)
+    # Representatives whose components the batch touches: parent is
+    # depth <= 1 here, so one gather resolves the pre-union roots.
+    old_roots = np.unique(parent[np.concatenate((eu, ev))])
+    charge_finds(counters, 2 * eu.size)
+    links, hops = union_edge_batch(parent, eu, ev, priority=priority)
+    charge_union(counters, int(eu.size), links, hops, endpoint_reads=2)
+    if links == 0:
+        return DeltaResult(labels,
+                           MergeDelta(empty, empty, int(eu.size), 0,
+                                      hops, 0), counters)
+    final_roots, find_hops = resolve_roots_local(parent, old_roots)
+    charge_finds(counters, find_hops)
+    moved = final_roots != old_roots
+    absorbed = _label_of_roots(old_roots[moved], method, hub)
+    into = _label_of_roots(final_roots[moved], method, hub)
+    # One vectorized relabel pass: labels live in [0, n] across all
+    # eligible conventions, so an (n+1)-sized map covers the domain.
+    remap = np.arange(n + 1, dtype=LABEL_DTYPE)
+    remap[absorbed] = into
+    new_labels = remap[labels]
+    relabeled = int(np.count_nonzero(new_labels != labels))
+    counters.sequential_accesses += 2 * n   # label gather + map read
+    counters.label_reads += n
+    counters.label_writes += relabeled
+    counters.branches += n
+    delta = MergeDelta(absorbed, into, int(eu.size), links, hops,
+                       relabeled)
+    return DeltaResult(new_labels, delta, counters)
+
+
+class IncrementalCC:
+    """Standalone dynamic CC tier: a graph plus live component labels.
+
+    Maintains ``labels`` under batched edge insertions with
+    :func:`delta_update`; deletions (and planted-hub moves) fall back
+    to a full recompute of the underlying method.  The serving layer
+    integrates the same functional core through the result cache
+    instead (see :class:`repro.service.CCService`); this class is the
+    direct-use front door for a single mutating graph.
+
+    ``counters`` accumulates all incremental work (union charges plus
+    relabel passes) across batches; ``recomputes`` counts the
+    fallback full runs taken.
+    """
+
+    def __init__(self, graph: CSRGraph, *, method: str = "afforest",
+                 machine: MachineSpec = SKYLAKEX,
+                 dataset: str = "") -> None:
+        if method not in DELTA_METHODS:
+            raise DeltaIneligible(
+                f"method {method!r} is not delta-maintainable; "
+                f"eligible: {sorted(DELTA_METHODS)}")
+        self.method = method
+        self.machine = machine
+        self.dataset = dataset
+        self.graph = graph
+        self.counters = OpCounters()
+        self.recomputes = 0
+        self.deltas_applied = 0
+        self.labels = self._recompute()
+
+    def _recompute(self) -> np.ndarray:
+        self.recomputes += 1
+        fn = ALGORITHMS[self.method]
+        result = fn(self.graph, machine=self.machine,
+                    dataset=self.dataset)
+        self._hub = (self.graph.max_degree_vertex()
+                     if self.method in PLANTED_METHODS
+                     and self.graph.num_vertices else None)
+        return result.labels
+
+    def insert(self, src, dst) -> MergeDelta | None:
+        """Insert an undirected edge batch; returns the merge delta.
+
+        Returns ``None`` when the update forced a full recompute (a
+        planted method whose hub moved) — labels are correct either
+        way.
+        """
+        new_graph, lo, hi = insert_edges(self.graph, src, dst)
+        if new_graph is self.graph:
+            e = np.empty(0, dtype=LABEL_DTYPE)
+            return MergeDelta(e, e, 0, 0, 0, 0)
+        self.graph = new_graph
+        if (self.method in PLANTED_METHODS
+                and not hub_stable(new_graph, self._hub)):
+            self.labels = self._recompute()
+            return None
+        outcome = delta_update(self.labels, lo, hi, method=self.method,
+                               hub=self._hub, counters=self.counters)
+        self.labels = outcome.labels
+        self.deltas_applied += 1
+        return outcome.delta
+
+    def remove(self, src, dst) -> None:
+        """Remove an undirected edge batch; always recomputes."""
+        new_graph = remove_edges(self.graph, src, dst)
+        if new_graph is self.graph:
+            return
+        self.graph = new_graph
+        self.labels = self._recompute()
+
+    @property
+    def num_components(self) -> int:
+        return int(np.unique(self.labels).size)

@@ -209,6 +209,14 @@ class ServiceOptions:
     tenant is rejected before it can starve the rest.  ``num_lanes``
     is the number of strict-priority lanes; a request's ``priority``
     is clamped into ``[0, num_lanes)``, lane 0 drains first.
+
+    ``delta_serving`` enables the incremental tier: a cache miss on a
+    mutated graph may be served by delta-updating a predecessor's
+    cached labels instead of recomputing (bit-identical labels, see
+    :mod:`repro.incremental`).  ``max_delta_chain`` bounds how many
+    lineage steps the executor walks looking for a cached seed — a
+    longer chain replays more batched edges, and past the bound a
+    recompute is predicted cheaper anyway.
     """
 
     concurrency: int = 1
@@ -216,12 +224,16 @@ class ServiceOptions:
     max_queue_depth: int | None = None
     tenant_quota_ms: float | None = None
     num_lanes: int = 2
+    delta_serving: bool = True
+    max_delta_chain: int = 8
 
     def __post_init__(self) -> None:
         if self.concurrency < 1:
             raise ValueError("concurrency must be >= 1")
         if self.num_lanes < 1:
             raise ValueError("num_lanes must be >= 1")
+        if self.max_delta_chain < 1:
+            raise ValueError("max_delta_chain must be >= 1")
         if self.max_queue_ms is not None and self.max_queue_ms < 0:
             raise ValueError("max_queue_ms must be >= 0")
         if self.max_queue_depth is not None and self.max_queue_depth < 0:

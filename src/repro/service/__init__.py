@@ -37,10 +37,17 @@ from .planner import (
     RoutePlan,
     plan,
     plan_for_graph,
+    predict_delta_ms,
     predict_family_costs,
     predicted_method_ms,
 )
-from .registry import GraphEntry, GraphProbes, GraphRegistry, probe_graph
+from .registry import (
+    GraphEntry,
+    GraphProbes,
+    GraphRegistry,
+    probe_graph,
+    version_token,
+)
 
 __all__ = [
     "CCRequest",
@@ -62,8 +69,10 @@ __all__ = [
     "graph_fingerprint",
     "plan",
     "plan_for_graph",
+    "predict_delta_ms",
     "predict_family_costs",
     "predicted_method_ms",
     "probe_graph",
     "result_cache_key",
+    "version_token",
 ]

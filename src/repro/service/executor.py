@@ -47,19 +47,24 @@ import heapq
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..api import ALGORITHMS, AUTO_METHOD
 from ..core.result import CCResult
 from ..distributed import simulate_distributed_time
 from ..graph.csr import CSRGraph
-from ..instrument.costmodel import simulate_run_time
+from ..incremental import (DELTA_METHODS, PLANTED_METHODS,
+                           DeltaIneligible, delta_update, hub_stable)
+from ..instrument.costmodel import CostModel, simulate_run_time
 from ..instrument.counters import OpCounters
+from ..instrument.trace import RunTrace
 from ..options import (DistributedOptions, ServiceOptions,
                        resolve_options, to_call_kwargs)
 from ..parallel.machine import SKYLAKEX, MachineSpec
 from .cache import ResultCache, result_cache_key
 from .metrics import ServiceMetrics
 from .planner import (DISTRIBUTED_METHOD, UF_METHOD, RoutePlan, plan,
-                      predicted_method_ms)
+                      predict_delta_ms, predicted_method_ms)
 from .registry import GraphEntry, GraphRegistry
 
 __all__ = ["CCRequest", "CCResponse", "CCService",
@@ -134,6 +139,9 @@ class CCResponse:
     status: str = "ok"            # "ok" | "rejected"
     reject_reason: str = ""
     coalesced: bool = False       # rode along on another compute
+    # Served by delta-updating a predecessor's cached labels instead
+    # of recomputing (bit-identical result, touched-set work only).
+    delta_hit: bool = False
     queue_delay_ms: float = 0.0
     arrival_ms: float = 0.0
     start_ms: float = 0.0
@@ -162,6 +170,26 @@ class _Member:
 
 
 @dataclass(eq=False, slots=True)
+class _DeltaPlan:
+    """A resolved delta-serving opportunity for one cache miss.
+
+    ``seed`` is a cached result of the same (method, machine, options)
+    on the ancestor ``seed_fingerprint``; ``src``/``dst`` concatenate
+    the lineage batches from that ancestor down to the requested
+    graph (``chain`` mutation steps); ``hub`` is the seed's planting
+    hub for planted methods (``None`` otherwise).
+    """
+
+    seed: CCResult
+    seed_fingerprint: str
+    src: np.ndarray
+    dst: np.ndarray
+    chain: int
+    hub: int | None
+    predicted_ms: float
+
+
+@dataclass(eq=False, slots=True)
 class _Job:
     """One scheduled compute: a primary request plus coalesced waiters."""
 
@@ -181,6 +209,9 @@ class _Job:
     preset_exceeded: bool = False
     preset_fallback: bool = False
     primary_method: str = ""      # routed method, for metrics attribution
+    # Serve this job by delta-updating the plan's cached seed labels
+    # instead of a from-scratch run (cleared if the update bails).
+    delta: _DeltaPlan | None = None
     # Filled by _execute / scheduling:
     start_ms: float = 0.0
     total_ms: float = 0.0
@@ -248,7 +279,42 @@ class CCService:
 
     def register(self, graph: CSRGraph, *, name: str = "") -> GraphEntry:
         """Pre-register a graph (optional; submit registers implicitly)."""
-        return self.registry.register(graph, name=name)
+        entry = self.registry.register(graph, name=name)
+        self._sweep_stale()
+        return entry
+
+    def mutate(self, key: str, *, insert=None, remove=None,
+               name: str | None = None) -> GraphEntry:
+        """Apply an edge mutation to a registered graph.
+
+        The sanctioned mutation path: delegates to
+        :meth:`GraphRegistry.mutate` (successor entry under a new
+        fingerprint, name re-pointed, insertion lineage recorded) and
+        sweeps any quarantined fingerprints out of the result cache.
+        Subsequent key-based requests see the successor; with
+        ``ServiceOptions.delta_serving`` they are served by
+        delta-updating the predecessor's cached labels when that is
+        predicted cheaper than recomputing.
+        """
+        entry = self.registry.mutate(key, insert=insert, remove=remove,
+                                     name=name)
+        self._sweep_stale()
+        return entry
+
+    def _sweep_stale(self) -> None:
+        """Purge cached state keyed by quarantined fingerprints.
+
+        The registry quarantines a fingerprint when it detects that a
+        registered graph's arrays were mutated in place (the unsanctioned
+        path): every cached result, memoized plan and run record for
+        that fingerprint describes content that no longer exists.
+        """
+        for fp in self.registry.drain_stale():
+            dropped = self.cache.invalidate_fingerprint(fp)
+            self.metrics.record_invalidations(dropped)
+            self._plan_memo.pop(fp, None)
+            for key in [k for k in self._run_meta if k[0] == fp]:
+                del self._run_meta[key]
 
     # -- request execution --------------------------------------------
 
@@ -387,11 +453,18 @@ class CCService:
             inflight.members.append(member)
             return
 
+        delta_plan = None if preset_fb else self._plan_delta(
+            entry, method, options, route)
+
         opts = self.options
         admission = (opts.max_queue_ms is not None
                      or opts.max_queue_depth is not None
                      or opts.tenant_quota_ms is not None)
-        if route is not None:
+        if delta_plan is not None:
+            # A delta job's honest admission weight is the touched-set
+            # estimate, not the full-run prediction it avoids.
+            predicted = delta_plan.predicted_ms
+        elif route is not None:
             predicted = route.predicted_ms
         elif admission:
             predicted = predicted_method_ms(entry.probes, method,
@@ -425,7 +498,7 @@ class CCService:
                    tenant=tenant, lane=lane, predicted_ms=predicted,
                    members=[member], preset_exceeded=preset_fb,
                    preset_fallback=preset_fb,
-                   primary_method=primary_method)
+                   primary_method=primary_method, delta=delta_plan)
         self._inflight[coalesce_key] = job
         self._outstanding_ms[tenant] = \
             self._outstanding_ms.get(tenant, 0.0) + predicted
@@ -470,10 +543,14 @@ class CCService:
         A queued job's key may have been computed by an earlier job
         while this one waited — re-check the cache at dequeue time so
         duplicates that missed the coalescing window (e.g. a
-        different ``budget_ms``) still cost zero algorithm work.
+        different ``budget_ms``) still cost zero algorithm work.  The
+        re-check is an internal probe, not a client lookup: it goes
+        through ``peek`` so it cannot inflate the cache hit rate (the
+        members' arrival-time lookups already counted their misses).
         """
-        cached = self.cache.get(job.cache_key)
+        cached = self.cache.peek(job.cache_key)
         if cached is not None and not job.preset_fallback:
+            self.cache.touch(job.cache_key)
             self._inflight.pop(job.coalesce_key, None)
             self._release_outstanding(job)
             for member in job.members:
@@ -492,7 +569,17 @@ class CCService:
 
     def _execute(self, job: _Job) -> None:
         """Run the job's algorithm(s) and price its simulated duration."""
-        result, sim_ms = self._run(job.entry, job.method, job.options)
+        result = None
+        if job.delta is not None:
+            try:
+                result, sim_ms = self._run_delta(job)
+            except DeltaIneligible:
+                # The cached seed turned out not to decode (defensive:
+                # planning already checked eligibility); fall back to
+                # the from-scratch run.
+                job.delta = None
+        if result is None:
+            result, sim_ms = self._run(job.entry, job.method, job.options)
         job.work = result.trace.total_counters()
         job.cache_puts.append((job.cache_key, result, sim_ms))
         job.total_ms = sim_ms
@@ -560,6 +647,7 @@ class CCService:
                 simulated_ms=job.total_ms, cache_hit=False,
                 fallback=job.fallback, budget_exceeded=job.exceeded,
                 plan=member.route, coalesced=not primary,
+                delta_hit=job.delta is not None,
                 queue_delay_ms=queue_delay,
                 arrival_ms=member.arrival_ms, start_ms=job.start_ms,
                 finish_ms=now, tenant=request.tenant)
@@ -570,6 +658,7 @@ class CCService:
                     fallback=job.fallback,
                     fallback_method=(job.final_method if job.fallback
                                      else None),
+                    delta_hit=job.delta is not None,
                     tenant=request.tenant, queue_delay_ms=queue_delay,
                     work=job.work)
             else:
@@ -608,9 +697,12 @@ class CCService:
                 fb_options = resolve_options(UF_METHOD, None, {})
                 fb_key = result_cache_key(entry.fingerprint, UF_METHOD,
                                           self.machine.name, fb_options)
-                fb_cached = self.cache.get(fb_key)
+                # Internal probe for the replay contract, not a client
+                # lookup — stat-neutral, recency refreshed on serve.
+                fb_cached = self.cache.peek(fb_key)
                 if fb_cached is None:
                     return False
+                self.cache.touch(fb_key)
                 final_method, final_result = UF_METHOD, fb_cached
                 fallback = True
         latency = 0.0 if queue_delay_ms is None else queue_delay_ms
@@ -652,6 +744,95 @@ class CCService:
             self._plan_memo[entry.fingerprint] = route
         return route
 
+    def _plan_delta(self, entry: GraphEntry, method: str,
+                    options: object,
+                    route: RoutePlan | None) -> _DeltaPlan | None:
+        """Find a delta-serving opportunity for a cache miss.
+
+        Walks the entry's mutation lineage (at most
+        ``ServiceOptions.max_delta_chain`` steps) looking for an
+        ancestor with a cached result under the identical (method,
+        machine, options) key.  Returns ``None`` — full compute —
+        when delta serving is off, the method is not delta-eligible,
+        the lineage breaks (a removal, an unregistered ancestor, the
+        chain bound), a planted method's hub moved, or the touched-set
+        cost estimate does not beat the predicted full run.
+        """
+        opts = self.options
+        if not opts.delta_serving or method not in DELTA_METHODS:
+            return None
+        if entry.parent_fingerprint is None:
+            return None
+        srcs: list[np.ndarray] = []
+        dsts: list[np.ndarray] = []
+        cur = entry
+        seed = None
+        seed_entry = None
+        seed_key = None
+        for _ in range(opts.max_delta_chain):
+            if cur.parent_fingerprint is None or cur.delta_src is None:
+                return None
+            try:
+                parent = self.registry.get(cur.parent_fingerprint)
+            except KeyError:
+                return None
+            srcs.append(cur.delta_src)
+            dsts.append(cur.delta_dst)
+            seed_key = result_cache_key(parent.fingerprint, method,
+                                        self.machine.name, options)
+            seed = self.cache.peek(seed_key)
+            if seed is not None:
+                seed_entry = parent
+                break
+            cur = parent
+        if seed is None:
+            return None
+        hub = None
+        if method in PLANTED_METHODS:
+            # The seed's labels are planted at the seed graph's hub; a
+            # fresh run on the successor would plant at its own.  Only
+            # identical hubs reproduce bit-identical labels.
+            hub = seed_entry.graph.max_degree_vertex()
+            if not hub_stable(entry.graph, hub):
+                return None
+        src = srcs[0] if len(srcs) == 1 else np.concatenate(srcs[::-1])
+        dst = dsts[0] if len(dsts) == 1 else np.concatenate(dsts[::-1])
+        predicted = predict_delta_ms(entry.graph.num_vertices,
+                                     int(src.size), self.machine)
+        full_ms = route.predicted_ms if route is not None \
+            else predicted_method_ms(entry.probes, method, self.machine)
+        if predicted >= full_ms:
+            return None
+        self.cache.touch(seed_key)
+        return _DeltaPlan(seed=seed,
+                          seed_fingerprint=seed_entry.fingerprint,
+                          src=src, dst=dst, chain=len(srcs), hub=hub,
+                          predicted_ms=predicted)
+
+    def _run_delta(self, job: _Job) -> tuple[CCResult, float]:
+        """Delta-update the seed's cached labels; price the touched set.
+
+        The produced labels are bit-identical to a from-scratch run of
+        ``job.method`` on ``job.entry.graph`` (the
+        :mod:`repro.incremental` contract), so the result is cached
+        under the same key a full run would fill.
+        """
+        plan_ = job.delta
+        entry = job.entry
+        counters = OpCounters()
+        outcome = delta_update(plan_.seed.labels, plan_.src, plan_.dst,
+                               method=job.method, hub=plan_.hub,
+                               counters=counters)
+        trace = RunTrace(algorithm=f"{job.method}+delta",
+                         dataset=entry.name or entry.fingerprint,
+                         setup_counters=counters)
+        result = CCResult(labels=outcome.labels, trace=trace,
+                          extras={"delta": outcome.delta.as_dict(),
+                                  "delta_base": plan_.seed_fingerprint,
+                                  "delta_chain": plan_.chain})
+        model = CostModel(self.machine, entry.graph.num_vertices)
+        return result, model.iteration_ms(counters)
+
     def _release_outstanding(self, job: _Job) -> None:
         remaining = self._outstanding_ms.get(job.tenant, 0.0) \
             - job.predicted_ms
@@ -669,8 +850,10 @@ class CCService:
 
     def _resolve_entry(self, request: CCRequest) -> GraphEntry:
         if request.graph is not None:
-            return self.registry.register(request.graph,
-                                          name=request.name)
+            # Registration fingerprints the graph, which may detect an
+            # in-place mutation and quarantine the old fingerprint —
+            # go through `register` so the sweep runs.
+            return self.register(request.graph, name=request.name)
         if request.key is not None:
             return self.registry.get(request.key)
         raise ValueError("request needs a graph or a registry key")

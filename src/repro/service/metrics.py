@@ -12,8 +12,11 @@ work (the counter delta across a hit is exactly zero on every field).
 Accounting contract (the async executor feeds this):
 
 * ``cache_hits`` / ``cache_misses`` — a *miss* is a request whose
-  compute actually ran; a coalesced waiter is neither (its work ran
-  once, under the primary), it increments ``coalesced`` instead.
+  compute ran from scratch; a coalesced waiter is neither (its work
+  ran once, under the primary), it increments ``coalesced`` instead;
+  a request served by delta-updating a predecessor's cached labels is
+  neither hit nor miss — it increments ``delta_hits`` (touched-set
+  work ran, full algorithm work did not).
 * ``per_method`` attributes each request to the method the router
   *chose* (its primary).  A blown-budget fallback run is counted
   separately in ``fallback_per_method`` under the method that ran as
@@ -24,6 +27,9 @@ Accounting contract (the async executor feeds this):
   (honest flags, zero work).
 * ``rejected`` / ``rejected_by_reason`` count admission-control
   refusals (queue capacity, queue depth, tenant quota).
+* ``invalidations`` counts result-cache entries dropped (explicit
+  invalidation plus quarantined-fingerprint sweeps), fed by
+  :meth:`ServiceMetrics.record_invalidations`.
 """
 
 from __future__ import annotations
@@ -41,10 +47,12 @@ class ServiceMetrics:
         self.requests = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.delta_hits = 0
         self.fallbacks = 0
         self.flag_replays = 0
         self.coalesced = 0
         self.rejected = 0
+        self.invalidations = 0
         self.auto_routed = 0
         self.per_method: dict[str, int] = {}
         self.fallback_per_method: dict[str, int] = {}
@@ -64,6 +72,7 @@ class ServiceMetrics:
                        fallback_method: str | None = None,
                        flag_replay: bool = False,
                        coalesced: bool = False,
+                       delta_hit: bool = False,
                        tenant: str = "default",
                        queue_delay_ms: float | None = None,
                        work: OpCounters | None = None) -> None:
@@ -79,6 +88,8 @@ class ServiceMetrics:
             self.cache_hits += 1
         elif coalesced:
             self.coalesced += 1
+        elif delta_hit:
+            self.delta_hits += 1
         else:
             self.cache_misses += 1
         if auto_routed:
@@ -115,18 +126,24 @@ class ServiceMetrics:
             self.rejected_by_reason.get(reason, 0) + 1
         self.per_tenant[tenant] = self.per_tenant.get(tenant, 0) + 1
 
+    def record_invalidations(self, count: int = 1) -> None:
+        """Record dropped result-cache entries (mutation / quarantine)."""
+        self.invalidations += count
+
     @property
     def hit_rate(self) -> float:
         return self.cache_hits / self.requests if self.requests else 0.0
 
     @property
     def effective_hit_rate(self) -> float:
-        """Share of requests served without running anything new:
-        cache hits plus coalesced waiters (whose compute ran once,
-        under another request)."""
+        """Share of requests served without a from-scratch compute:
+        cache hits, coalesced waiters (whose compute ran once, under
+        another request), and delta hits (touched-set update of a
+        predecessor's cached labels)."""
         if not self.requests:
             return 0.0
-        return (self.cache_hits + self.coalesced) / self.requests
+        return (self.cache_hits + self.coalesced
+                + self.delta_hits) / self.requests
 
     def work_snapshot(self) -> OpCounters:
         """Copy of the cumulative algorithm-work counters.
@@ -145,6 +162,8 @@ class ServiceMetrics:
             "hit_rate": self.hit_rate,
             "effective_hit_rate": self.effective_hit_rate,
             "coalesced": self.coalesced,
+            "delta_hits": self.delta_hits,
+            "invalidations": self.invalidations,
             "rejected": self.rejected,
             "rejected_by_reason": dict(sorted(
                 self.rejected_by_reason.items())),

@@ -46,7 +46,7 @@ from ..parallel.machine import SKYLAKEX, MachineSpec
 from .registry import GraphProbes, probe_graph
 
 __all__ = ["RoutePlan", "predict_family_costs", "predicted_method_ms",
-           "plan", "plan_for_graph",
+           "predict_delta_ms", "plan", "plan_for_graph",
            "LP_METHOD", "UF_METHOD", "DISTRIBUTED_METHOD"]
 
 # Concrete algorithm each family resolves to: the best member of each
@@ -74,6 +74,11 @@ _LP_WORK_DECAY = 0.9               # geometric per-iteration work ratio
 _UF_DEP_PER_VERTEX = 8.0           # parent chases per vertex
 _UF_DEP_PER_NONGIANT_EDGE = 2.0
 _UF_PHASE_SPLIT = (0.5, 0.25, 0.25)
+# Delta-update predictor: per inserted edge, a short dependent root
+# chase on a depth-<=1 forest (decode keeps trees shallow), plus one
+# vectorized relabel pass over the labels array when anything merged.
+_DELTA_DEP_PER_EDGE = 6.0          # find hops per batch edge (both ends)
+_DELTA_SEQ_PER_VERTEX = 2.0        # relabel gather + map read
 
 
 @dataclass(frozen=True)
@@ -168,6 +173,33 @@ def predicted_method_ms(probes: GraphProbes, method: str,
     """
     lp_ms, uf_ms = predict_family_costs(probes, machine)
     return uf_ms if method in _UF_FAMILY_METHODS else lp_ms
+
+
+def predict_delta_ms(num_vertices: int, batch_edges: int,
+                     machine: MachineSpec = SKYLAKEX) -> float:
+    """Predicted simulated-ms of delta-updating cached labels.
+
+    The touched-set cost estimate the planner weighs against a full
+    recompute (``predicted_method_ms`` / ``RoutePlan.predicted_ms``):
+    synthetic :class:`OpCounters` shaped like one
+    :func:`repro.incremental.delta_update` call — union charges for
+    ``batch_edges`` inserted edges plus the O(n) relabel pass — priced
+    by the same :class:`CostModel` full runs are priced by.
+    ``batch_edges`` is the *total* lineage batch (summed over a delta
+    chain when several mutations are replayed at once).
+    """
+    n, b = num_vertices, batch_edges
+    model = CostModel(machine, n)
+    counters = OpCounters()
+    counters.edges_processed = b
+    counters.random_accesses = 2 * b
+    counters.dependent_accesses = int(_DELTA_DEP_PER_EDGE * b)
+    counters.label_reads = n + int(_DELTA_DEP_PER_EDGE * b) + 2 * b
+    counters.sequential_accesses = int(_DELTA_SEQ_PER_VERTEX * n)
+    counters.label_writes = b
+    counters.branches = n + b
+    counters.cas_attempts = b
+    return model.iteration_ms(counters)
 
 
 def plan(probes: GraphProbes,

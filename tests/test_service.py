@@ -415,3 +415,156 @@ class TestRegistryCopyMemo:
         assert reg.fingerprint_computations == 4
         reg.register(copies[0])            # evicted -> re-hash
         assert reg.fingerprint_computations == 5
+
+
+class TestCacheAccounting:
+    def test_peek_is_stat_neutral(self):
+        cache = ResultCache(capacity=2)
+        key = result_cache_key("fp", "thrifty", "SkylakeX",
+                               ThriftyOptions())
+        cache.put(key, object())
+        assert cache.peek(key) is not None
+        missing = result_cache_key("fpX", "thrifty", "SkylakeX",
+                                   ThriftyOptions())
+        assert cache.peek(missing) is None
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_peek_does_not_refresh_recency(self):
+        cache = ResultCache(capacity=2)
+        keys = [result_cache_key(f"fp{i}", "thrifty", "SkylakeX",
+                                 ThriftyOptions()) for i in range(3)]
+        cache.put(keys[0], object())
+        cache.put(keys[1], object())
+        cache.peek(keys[0])                  # must NOT save it
+        cache.put(keys[2], object())
+        assert keys[0] not in cache          # still the LRU victim
+
+    def test_touch_refreshes_recency_without_stats(self):
+        cache = ResultCache(capacity=2)
+        keys = [result_cache_key(f"fp{i}", "thrifty", "SkylakeX",
+                                 ThriftyOptions()) for i in range(3)]
+        cache.put(keys[0], object())
+        cache.put(keys[1], object())
+        cache.touch(keys[0])
+        cache.put(keys[2], object())
+        assert keys[0] in cache and keys[1] not in cache
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_put_existing_key_at_capacity_never_evicts(self):
+        cache = ResultCache(capacity=2)
+        keys = [result_cache_key(f"fp{i}", "thrifty", "SkylakeX",
+                                 ThriftyOptions()) for i in range(2)]
+        cache.put(keys[0], object())
+        cache.put(keys[1], object())
+        replacement = object()
+        cache.put(keys[0], replacement)      # replace, not grow
+        assert len(cache) == 2
+        assert cache.evictions == 0
+        assert cache.peek(keys[0]) is replacement
+
+    def test_invalidate_counts(self):
+        cache = ResultCache(capacity=4)
+        key = result_cache_key("fp", "thrifty", "SkylakeX",
+                               ThriftyOptions())
+        assert not cache.invalidate(key)     # absent: not counted
+        assert cache.invalidations == 0
+        cache.put(key, object())
+        assert cache.invalidate(key)
+        assert cache.invalidations == 1
+        assert key not in cache
+
+    def test_invalidate_fingerprint_drops_all_entries(self):
+        cache = ResultCache(capacity=8)
+        for method in ("thrifty", "afforest"):
+            cache.put(result_cache_key("fpA", method, "SkylakeX", None),
+                      object())
+        cache.put(result_cache_key("fpB", "thrifty", "SkylakeX", None),
+                  object())
+        assert cache.invalidate_fingerprint("fpA") == 2
+        assert cache.invalidations == 2
+        assert len(cache) == 1
+
+
+class TestMutationStaleness:
+    """Regression: an in-place mutation must never serve a stale
+    fingerprint from the id memo (the pre-fix bug)."""
+
+    def _thaw(self, graph):
+        for arr in (graph.indptr, graph.indices):
+            arr.flags.writeable = True
+
+    def test_registered_arrays_are_frozen(self):
+        g = rmat_graph(7, 6, seed=31)
+        GraphRegistry().register(g)
+        with pytest.raises(ValueError):
+            g.indices[0] = g.indices[0]
+
+    def test_inplace_mutation_is_detected_not_memoized(self):
+        g = rmat_graph(7, 6, seed=32)
+        reg = GraphRegistry()
+        entry = reg.register(g, name="g")
+        fp0 = entry.fingerprint
+        assert reg.fingerprint_of(g) == fp0   # clean memo hit
+        # Emulate a client writing through a pre-registration view.
+        self._thaw(g)
+        g.indices[:2] = g.indices[:2][::-1].copy()
+        fp1 = reg.fingerprint_of(g)
+        assert fp1 != fp0                     # stale memo NOT served
+        assert reg.stale_detections == 1
+        assert reg.drain_stale() == [fp0]
+        assert reg.drain_stale() == []        # drained once
+        with pytest.raises(KeyError):
+            reg.get(fp0)                      # quarantined
+        with pytest.raises(KeyError):
+            reg.get("g")                      # alias dropped too
+
+    def test_service_sweeps_quarantined_results(self):
+        g = rmat_graph(7, 6, seed=33)
+        svc = CCService()
+        resp = svc.submit(CCRequest(graph=g, method="afforest"))
+        assert len(svc.cache) == 1
+        self._thaw(g)
+        g.indices[:2] = g.indices[:2][::-1].copy()
+        resp2 = svc.submit(CCRequest(graph=g, method="afforest"))
+        assert resp2.fingerprint != resp.fingerprint
+        assert not resp2.cache_hit            # old result not served
+        assert svc.metrics.invalidations == 1
+        # Only the new fingerprint's entry remains cached.
+        assert all(k[0] == resp2.fingerprint
+                   for k in svc.cache._store)
+
+    def test_copy_memo_hit_verifies_token(self):
+        reg = GraphRegistry()
+        g = rmat_graph(7, 6, seed=34)
+        fp0 = reg.fingerprint_of(g)           # unregistered: copy memo
+        assert reg.fingerprint_of(g) == fp0
+        assert reg.fingerprint_computations == 1
+        g.indices[:2] = g.indices[:2][::-1].copy()
+        assert reg.fingerprint_of(g) != fp0
+        assert reg.fingerprint_computations == 2
+
+
+class TestDeltaMetrics:
+    def test_delta_hit_is_neither_hit_nor_miss(self):
+        from repro.service import ServiceMetrics
+        m = ServiceMetrics()
+        m.record_request("afforest", 1.0, cache_hit=False)
+        m.record_request("afforest", 0.1, cache_hit=False,
+                         delta_hit=True)
+        m.record_request("afforest", 0.0, cache_hit=True)
+        assert m.cache_misses == 1
+        assert m.delta_hits == 1
+        assert m.cache_hits == 1
+        assert m.hit_rate == pytest.approx(1 / 3)
+        assert m.effective_hit_rate == pytest.approx(2 / 3)
+        snap = m.snapshot()
+        assert snap["delta_hits"] == 1
+        assert snap["invalidations"] == 0
+
+    def test_record_invalidations_accumulates(self):
+        from repro.service import ServiceMetrics
+        m = ServiceMetrics()
+        m.record_invalidations(3)
+        m.record_invalidations()
+        assert m.invalidations == 4
+        assert m.snapshot()["invalidations"] == 4
