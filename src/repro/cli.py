@@ -54,6 +54,9 @@ _EXPERIMENTS = {
     "routing": lambda a: _print_rows(
         experiments.auto_routing_table(
             datasets=a.datasets or ALL_DATASET_NAMES)),
+    "regret": lambda a: _print_rows(
+        experiments.routing_regret_table(
+            datasets=a.datasets or None)),
 }
 
 
@@ -202,6 +205,20 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--mutation-batch", type=int, default=64,
                      help="edges per insertion batch "
                           "(with --mutation-rate)")
+    srv.add_argument("--feedback", default=True,
+                     action=argparse.BooleanOptionalAction,
+                     help="feed measured run costs back into routing "
+                          "(--no-feedback replays the static planner)")
+    srv.add_argument("--explore-margin", type=float, default=1.25,
+                     help="corrected-margin threshold below which a "
+                          "routing decision counts as near-margin and "
+                          "may explore the runner-up")
+    srv.add_argument("--explore-rate", type=float, default=0.0,
+                     help="epsilon of the seeded exploration policy "
+                          "(0 never explores)")
+    srv.add_argument("--explore-seed", type=int, default=0,
+                     help="seed of the deterministic exploration "
+                          "stream")
 
     rep = sub.add_parser("report",
                          help="regenerate all artifacts into markdown")
@@ -337,7 +354,11 @@ def _cmd_serve(args) -> int:
             max_queue_ms=args.max_queue_ms,
             max_queue_depth=args.max_queue_depth,
             tenant_quota_ms=args.tenant_quota_ms,
-            num_lanes=args.lanes)
+            num_lanes=args.lanes,
+            feedback=args.feedback,
+            explore_margin=args.explore_margin,
+            explore_rate=args.explore_rate,
+            explore_seed=args.explore_seed)
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
     service = CCService(machine=MACHINES[args.machine],
@@ -400,6 +421,10 @@ def _cmd_serve(args) -> int:
           f"invalidations={snap['invalidations']} "
           f"rejected={snap['rejected']} "
           f"flag_replays={snap['flag_replays']}")
+    print(f"predictions={snap['predictions']} "
+          f"mispredictions={snap['mispredictions']} "
+          f"route_flips={snap['route_flips']} "
+          f"explorations={snap['explorations']}")
     print("per-method counts:", snap["per_method"])
     if snap["fallback_per_method"]:
         print("fallback runs by method:", snap["fallback_per_method"])

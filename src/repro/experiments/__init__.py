@@ -15,7 +15,7 @@ from .paper import (
 )
 from .protocol import TrialStats, run_trials
 from .report import generate_report
-from .routing import auto_routing_table
+from .routing import auto_routing_table, routing_regret_table
 from .runner import ExperimentRun, clear_cache, timed_run
 from .tables import format_table
 
@@ -28,6 +28,7 @@ __all__ = [
     "run_trials",
     "generate_report",
     "auto_routing_table",
+    "routing_regret_table",
     "fig1_speedup_summary",
     "table1_giant_component",
     "table4_execution_times",

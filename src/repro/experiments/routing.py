@@ -6,19 +6,28 @@ makes that claim auditable: for every dataset surrogate it reports the
 probes, the planner's predicted family costs and decision, the
 *measured* best family (Thrifty vs the best of SV/JT/Afforest, from
 :func:`timed_run`), and whether they agree.
+
+:func:`routing_regret_table` evaluates the *feedback* router the same
+way: it deliberately poisons each dataset's probes (the diameter is
+underestimated, which makes LP look cheap) and replays a repeat
+workload three ways — static routing on the poisoned plan, feedback
+routing (measured costs folded into a :class:`RouterFeedback`
+posterior after every run), and the measured-winner oracle — reporting
+each policy's total simulated-ms and its regret over the oracle.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Sequence
 
 from ..graph.datasets import ALL_DATASET_NAMES, load_dataset
 from ..parallel.machine import MACHINES
-from ..service import plan
+from ..service import RouterFeedback, plan, replan
 from ..service.registry import probe_graph
 from .runner import timed_run
 
-__all__ = ["auto_routing_table", "UF_BASELINES"]
+__all__ = ["auto_routing_table", "routing_regret_table", "UF_BASELINES"]
 
 #: Union-find measured comparators: the best of these defines the
 #: "UF family" time a routing decision is judged against.
@@ -51,5 +60,68 @@ def auto_routing_table(machine: str = "SkylakeX",
             "measured_uf_ms": uf_ms,
             "measured_winner": measured,
             "agree": decision.family == measured,
+        })
+    return rows
+
+
+def routing_regret_table(machine: str = "SkylakeX",
+                         scale: float = 1.0,
+                         repeats: int = 8,
+                         diameter_scale: float = 0.25,
+                         datasets: Sequence[str] | None = None,
+                         ) -> list[dict]:
+    """Regret of static vs feedback routing under poisoned probes.
+
+    Every dataset's probed diameter is scaled down by
+    ``diameter_scale`` before planning — the exact misprediction shape
+    that hurts the static model most (an underestimated diameter makes
+    LP's wavefront look short, so road-network graphs route to Thrifty,
+    the measured loser).  The workload is ``repeats`` identical
+    requests per dataset with caching out of the picture: the static
+    policy pays its (possibly wrong) route every time, while the
+    feedback policy folds each run's measured cost into a
+    :class:`RouterFeedback` posterior and re-decides via
+    :func:`replan` — observations always against the uncorrected
+    static prediction, exactly as the executor feeds it.  ``regret``
+    columns are each policy's total simulated-ms over the
+    measured-winner oracle; ``converged_in`` counts the runs the
+    feedback policy needed before it first routed the measured winner.
+    """
+    spec = MACHINES[machine]
+    rows = []
+    for name in (datasets if datasets is not None else ALL_DATASET_NAMES):
+        lp_ms = timed_run(name, "thrifty", machine, scale=scale).total_ms
+        uf_ms = min(timed_run(name, m, machine, scale=scale).total_ms
+                    for m in UF_BASELINES)
+        measured = {"lp": lp_ms, "uf": uf_ms}
+        winner = "lp" if lp_ms <= uf_ms else "uf"
+        probes = probe_graph(load_dataset(name, scale))
+        poisoned = replace(
+            probes, diameter=max(1, int(probes.diameter * diameter_scale)))
+        base = plan(poisoned, spec)
+        static_ms = repeats * measured[base.family]
+        oracle_ms = repeats * measured[winner]
+        feedback = RouterFeedback()
+        feedback_ms = 0.0
+        converged_in = repeats
+        for t in range(repeats):
+            route = replan(base, feedback, name)
+            if route.family == winner and converged_in == repeats:
+                converged_in = t
+            feedback_ms += measured[route.family]
+            predicted = (base.predicted_lp_ms if route.family == "lp"
+                         else base.predicted_uf_ms)
+            feedback.observe(name, route.method, predicted,
+                             measured[route.family], machine=spec.name)
+        rows.append({
+            "dataset": name,
+            "poisoned_route": base.method,
+            "measured_winner": winner,
+            "static_ms": static_ms,
+            "feedback_ms": feedback_ms,
+            "oracle_ms": oracle_ms,
+            "static_regret_ms": static_ms - oracle_ms,
+            "feedback_regret_ms": feedback_ms - oracle_ms,
+            "converged_in": converged_in,
         })
     return rows

@@ -217,6 +217,22 @@ class ServiceOptions:
     lineage steps the executor walks looking for a cached seed — a
     longer chain replays more batched edges, and past the bound a
     recompute is predicted cheaper anyway.
+
+    ``feedback`` enables the measured-cost feedback loop: every
+    executed run feeds its measured simulated-ms back into the
+    registry's :class:`~repro.service.feedback.RouterFeedback`
+    posterior, and routing / admission / delta gating apply the
+    learned per-fingerprint corrections on top of the static cost
+    model.  With no observations the corrections are exactly 1.0, so
+    enabling feedback never changes cold-start routing.
+    ``explore_rate`` is the epsilon of the seeded epsilon-greedy
+    exploration policy: when the correction-adjusted
+    :attr:`~repro.service.planner.RoutePlan.margin` of an auto-routed
+    request falls below ``explore_margin``, the runner-up family is
+    deliberately run with probability ``explore_rate`` (deterministic
+    given ``explore_seed``), so a near-margin wrong prior gets the
+    measured observation that falsifies it.  The default rate of 0.0
+    never explores.
     """
 
     concurrency: int = 1
@@ -226,6 +242,10 @@ class ServiceOptions:
     num_lanes: int = 2
     delta_serving: bool = True
     max_delta_chain: int = 8
+    feedback: bool = True
+    explore_margin: float = 1.25
+    explore_rate: float = 0.0
+    explore_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.concurrency < 1:
@@ -240,6 +260,10 @@ class ServiceOptions:
             raise ValueError("max_queue_depth must be >= 0")
         if self.tenant_quota_ms is not None and self.tenant_quota_ms <= 0:
             raise ValueError("tenant_quota_ms must be > 0")
+        if self.explore_margin < 1.0:
+            raise ValueError("explore_margin must be >= 1.0")
+        if not 0.0 <= self.explore_rate <= 1.0:
+            raise ValueError("explore_rate must be in [0, 1]")
 
 
 @dataclass(frozen=True)

@@ -28,6 +28,7 @@ from .executor import (
     CCResponse,
     CCService,
 )
+from .feedback import RouterFeedback, delta_feedback_key
 from .fingerprint import graph_fingerprint
 from .metrics import ServiceMetrics
 from .planner import (
@@ -35,11 +36,14 @@ from .planner import (
     LP_METHOD,
     UF_METHOD,
     RoutePlan,
+    method_family,
     plan,
     plan_for_graph,
     predict_delta_ms,
     predict_family_costs,
     predicted_method_ms,
+    replan,
+    runner_up,
 )
 from .registry import (
     GraphEntry,
@@ -64,15 +68,20 @@ __all__ = [
     "UF_METHOD",
     "ResultCache",
     "RoutePlan",
+    "RouterFeedback",
     "ServiceMetrics",
     "ServiceOptions",
+    "delta_feedback_key",
     "graph_fingerprint",
+    "method_family",
     "plan",
     "plan_for_graph",
     "predict_delta_ms",
     "predict_family_costs",
     "predicted_method_ms",
     "probe_graph",
+    "replan",
     "result_cache_key",
+    "runner_up",
     "version_token",
 ]

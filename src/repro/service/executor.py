@@ -23,6 +23,19 @@ rebuilt around an event-loop scheduler on a *simulated clock*:
   ``ServiceOptions.num_lanes``); within a lane the scheduler picks the
   tenant with the least served predicted-ms (deficit-style weighted
   fairness), FIFO per tenant.
+* **Measured-cost feedback** — every executed run's measured
+  simulated-ms is fed back into the registry's
+  :class:`~repro.service.feedback.RouterFeedback` posterior (keyed by
+  fingerprint, method and machine, always against the *uncorrected*
+  static prediction), and auto routing re-decides each arrival on the
+  correction-adjusted family costs (:func:`~repro.service.planner.
+  replan` over the memoized static plan).  Corrections also price
+  admission control and delta gating.  Near-margin decisions are
+  occasionally sent to the runner-up family by a deterministic seeded
+  epsilon-greedy policy (``ServiceOptions.explore_rate`` /
+  ``explore_margin``), so a wrong prior gets the observation that
+  falsifies it.  With feedback empty (or disabled) routing is
+  bit-identical to the static planner.
 * **Budgets** — per-request simulated-time budgets with the
   Thrifty→Afforest fallback, with *honest accounting*: the budget
   outcome of every executed run is recorded alongside its cache
@@ -44,6 +57,7 @@ service trace as in Table IV.
 from __future__ import annotations
 
 import heapq
+import random
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 
@@ -62,9 +76,11 @@ from ..options import (DistributedOptions, ServiceOptions,
                        resolve_options, to_call_kwargs)
 from ..parallel.machine import SKYLAKEX, MachineSpec
 from .cache import ResultCache, result_cache_key
+from .feedback import RouterFeedback, delta_feedback_key
 from .metrics import ServiceMetrics
-from .planner import (DISTRIBUTED_METHOD, UF_METHOD, RoutePlan, plan,
-                      predict_delta_ms, predicted_method_ms)
+from .planner import (DISTRIBUTED_METHOD, UF_METHOD, RoutePlan,
+                      method_family, plan, predict_delta_ms,
+                      predicted_method_ms, replan, runner_up)
 from .registry import GraphEntry, GraphRegistry
 
 __all__ = ["CCRequest", "CCResponse", "CCService",
@@ -187,6 +203,10 @@ class _DeltaPlan:
     chain: int
     hub: int | None
     predicted_ms: float
+    # The *uncorrected* static delta prediction — what feedback
+    # observations are measured against (``predicted_ms`` may carry a
+    # learned correction, which must not compound onto itself).
+    base_predicted_ms: float = 0.0
 
 
 @dataclass(eq=False, slots=True)
@@ -253,6 +273,9 @@ class CCService:
         self.single_node_edge_budget = single_node_edge_budget
         self.options = (service_options if service_options is not None
                         else ServiceOptions())
+        # Deterministic exploration stream: same seed + same trace =>
+        # the same runner-up choices, replayable in tests.
+        self._explore_rng = random.Random(self.options.explore_seed)
         # -- scheduler state (simulated clock) ------------------------
         self.clock_ms = 0.0
         self._events: list[tuple[float, int, int, object]] = []
@@ -415,7 +438,7 @@ class CCService:
                     "method='auto' picks the algorithm itself and "
                     "takes no options")
             else:
-                route = self._plan_for(entry)
+                route = self._route(entry)
                 method = route.method
         elif method not in ALGORITHMS:
             known = sorted([*ALGORITHMS, AUTO_METHOD])
@@ -467,8 +490,9 @@ class CCService:
         elif route is not None:
             predicted = route.predicted_ms
         elif admission:
-            predicted = predicted_method_ms(entry.probes, method,
-                                            self.machine)
+            predicted = predicted_method_ms(
+                entry.probes, method, self.machine,
+                feedback=self._feedback(), fingerprint=entry.fingerprint)
         else:
             # Fairness-only weight; explicit-method requests are not
             # probed unless admission control needs the prediction.
@@ -580,6 +604,10 @@ class CCService:
                 job.delta = None
         if result is None:
             result, sim_ms = self._run(job.entry, job.method, job.options)
+            self._observe_run(job.entry, job.method, sim_ms)
+        else:
+            self._observe_run(job.entry, job.method, sim_ms,
+                              delta=job.delta)
         job.work = result.trace.total_counters()
         job.cache_puts.append((job.cache_key, result, sim_ms))
         job.total_ms = sim_ms
@@ -596,6 +624,7 @@ class CCService:
                 fb_options = resolve_options(UF_METHOD, None, {})
                 fb_result, fb_ms = self._run(job.entry, UF_METHOD,
                                              fb_options)
+                self._observe_run(job.entry, UF_METHOD, fb_ms)
                 job.work += fb_result.trace.total_counters()
                 fb_key = result_cache_key(
                     job.entry.fingerprint, UF_METHOD,
@@ -735,13 +764,41 @@ class CCService:
     # -- internals ----------------------------------------------------
 
     def _plan_for(self, entry: GraphEntry) -> RoutePlan:
-        """Route once per fingerprint; probes are immutable."""
+        """Static route once per fingerprint; probes are immutable."""
         route = self._plan_memo.get(entry.fingerprint)
         if route is None:
             route = plan(
                 entry.probes, self.machine,
                 single_node_edge_budget=self.single_node_edge_budget)
             self._plan_memo[entry.fingerprint] = route
+        return route
+
+    def _feedback(self) -> RouterFeedback | None:
+        """The registry's feedback store, or None when disabled."""
+        return self.registry.feedback if self.options.feedback else None
+
+    def _route(self, entry: GraphEntry) -> RoutePlan:
+        """Route one auto request: memoized static plan, re-decided
+        under the current measured-cost corrections, with seeded
+        epsilon-greedy exploration of near-margin decisions.
+
+        The expensive cost-model evaluation is memoized per
+        fingerprint (:meth:`_plan_for`); corrections change with every
+        observation, so the cheap :func:`replan` re-decision runs per
+        arrival.  With feedback disabled or empty this returns the
+        memoized plan object itself.
+        """
+        base = self._plan_for(entry)
+        route = replan(base, self._feedback(), entry.fingerprint)
+        if route.method != base.method:
+            self.metrics.record_route_flip()
+        opts = self.options
+        if (opts.explore_rate > 0.0
+                and route.family in ("lp", "uf")
+                and route.margin < opts.explore_margin
+                and self._explore_rng.random() < opts.explore_rate):
+            route = runner_up(route)
+            self.metrics.record_exploration()
         return route
 
     def _plan_delta(self, entry: GraphEntry, method: str,
@@ -797,17 +854,27 @@ class CCService:
                 return None
         src = srcs[0] if len(srcs) == 1 else np.concatenate(srcs[::-1])
         dst = dsts[0] if len(dsts) == 1 else np.concatenate(dsts[::-1])
-        predicted = predict_delta_ms(entry.graph.num_vertices,
-                                     int(src.size), self.machine)
+        base_predicted = predict_delta_ms(entry.graph.num_vertices,
+                                          int(src.size), self.machine)
+        # The delta-vs-recompute gate races *corrected* predictions on
+        # both sides: a delta path whose touched-set model has proven
+        # optimistic here stops beating a full run it cannot beat.
+        predicted = predict_delta_ms(
+            entry.graph.num_vertices, int(src.size), self.machine,
+            method=method, feedback=self._feedback(),
+            fingerprint=entry.fingerprint)
         full_ms = route.predicted_ms if route is not None \
-            else predicted_method_ms(entry.probes, method, self.machine)
+            else predicted_method_ms(
+                entry.probes, method, self.machine,
+                feedback=self._feedback(), fingerprint=entry.fingerprint)
         if predicted >= full_ms:
             return None
         self.cache.touch(seed_key)
         return _DeltaPlan(seed=seed,
                           seed_fingerprint=seed_entry.fingerprint,
                           src=src, dst=dst, chain=len(srcs), hub=hub,
-                          predicted_ms=predicted)
+                          predicted_ms=predicted,
+                          base_predicted_ms=base_predicted)
 
     def _run_delta(self, job: _Job) -> tuple[CCResult, float]:
         """Delta-update the seed's cached labels; price the touched set.
@@ -847,6 +914,49 @@ class CCService:
         self._run_meta.move_to_end(cache_key)
         while len(self._run_meta) > 4 * self.cache.capacity:
             self._run_meta.popitem(last=False)
+
+    def _base_predicted(self, entry: GraphEntry,
+                        method: str) -> float | None:
+        """Static (uncorrected) prediction for a full run, or None.
+
+        ``None`` — skip the observation — for the sharded tier (its
+        fabric cost has no single-node predictor to correct) and for
+        entries that were never probed: explicit-method traffic on an
+        unprobed graph must not start paying BFS probe sweeps just to
+        feed the posterior.
+        """
+        if method == DISTRIBUTED_METHOD or entry._probes is None:
+            return None
+        base = self._plan_for(entry)
+        return (base.predicted_uf_ms if method_family(method) == "uf"
+                else base.predicted_lp_ms)
+
+    def _observe_run(self, entry: GraphEntry, method: str,
+                     measured_ms: float, *,
+                     delta: _DeltaPlan | None = None) -> None:
+        """Fold one executed run's measured cost into the loop.
+
+        Feeds the registry's :class:`RouterFeedback` posterior (when
+        enabled) and the misprediction metrics — both against the
+        *uncorrected* static prediction, so the posterior estimates
+        the static model's error rather than compounding its own
+        correction, and the error histograms describe the cost model
+        itself.  Delta runs observe under their own
+        :func:`delta_feedback_key` posterior.
+        """
+        if delta is not None:
+            key_method = delta_feedback_key(method)
+            predicted = delta.base_predicted_ms
+        else:
+            key_method = method
+            predicted = self._base_predicted(entry, method)
+        if predicted is None or predicted <= 0.0:
+            return
+        self.metrics.record_prediction(key_method, predicted, measured_ms)
+        feedback = self._feedback()
+        if feedback is not None:
+            feedback.observe(entry.fingerprint, key_method, predicted,
+                             measured_ms, machine=self.machine.name)
 
     def _resolve_entry(self, request: CCRequest) -> GraphEntry:
         if request.graph is not None:

@@ -1,0 +1,175 @@
+"""Measured-cost feedback for the router: the self-tuning posterior.
+
+The planner's synthetic-counter cost model was calibrated *once*
+against Table IV winners; under real traffic a misprediction is
+invisible and repeats forever, because nothing ever compares
+``RoutePlan.predicted_ms`` against the measured simulated-ms the
+executor has in hand after every run.  This module closes that loop.
+
+:class:`RouterFeedback` keeps one cell per ``(fingerprint, method,
+machine)`` — an online posterior over the static model's error for
+that exact graph content, expressed as a log-space EWMA of the
+``measured / predicted`` ratio plus an observation count:
+
+* **log-space** because prediction error is multiplicative (a model
+  that is 4x optimistic one run and 4x pessimistic the next is *right*
+  on average, and averaging raw ratios would say 2.1x); the EWMA of
+  ``log(measured/predicted)`` starts at 0, i.e. the prior is "the
+  static model is correct", which is exactly what makes cold-start
+  routing bit-identical to the uncorrected planner.
+* **EWMA** rather than a plain mean so the posterior tracks drift
+  (cache pressure, mutation-shifted structure) instead of being
+  anchored to ancient observations; with the default ``alpha=0.5``
+  the correction reaches ``ratio**0.875`` of a persistent error after
+  three observations — fast enough that a badly mispredicted route
+  flips on the very next request.
+* **per-observation clamping** (``max_log_ratio``) so one pathological
+  run cannot slingshot the correction by orders of magnitude.
+
+The correction is *multiplicative*: :meth:`correction` returns
+``exp(ewma)``, and the planner multiplies it onto
+:func:`~repro.service.planner.predict_family_costs` before choosing a
+family (see :func:`repro.service.planner.replan`).  Corrections also
+flow into ``predicted_method_ms`` / ``predict_delta_ms``, so admission
+control and delta gating charge corrected costs instead of trusting
+stale predictions.
+
+Feedback is keyed by content fingerprint and therefore *dies with the
+fingerprint*: a :meth:`GraphRegistry.mutate` successor starts from the
+clean prior (its content is new; corrections learned for the
+predecessor do not follow), and a quarantined fingerprint's cells are
+purged outright.  The store is a bounded LRU so a service that sees
+millions of distinct graphs cannot grow it without bound.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+
+__all__ = ["RouterFeedback", "delta_feedback_key"]
+
+
+def delta_feedback_key(method: str) -> str:
+    """Feedback method key for delta-updating ``method``'s labels.
+
+    Delta updates have their own cost predictor
+    (:func:`~repro.service.planner.predict_delta_ms`) and their own
+    error behaviour, so their observations must not pollute the full
+    run posterior of the same method.  Matches the ``"<method>+delta"``
+    algorithm name the incremental tier stamps on its traces.
+    """
+    return f"{method}+delta"
+
+
+class _Cell:
+    """One (fingerprint, method, machine) posterior."""
+
+    __slots__ = ("log_ewma", "count", "last_ratio")
+
+    def __init__(self) -> None:
+        self.log_ewma = 0.0     # prior: the static model is correct
+        self.count = 0
+        self.last_ratio = 1.0
+
+
+class RouterFeedback:
+    """Bounded store of measured/predicted correction posteriors."""
+
+    def __init__(self, *, alpha: float = 0.5,
+                 max_log_ratio: float = math.log(64.0),
+                 capacity: int = 4096) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if max_log_ratio <= 0.0:
+            raise ValueError("max_log_ratio must be > 0")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.alpha = alpha
+        self.max_log_ratio = max_log_ratio
+        self.capacity = capacity
+        self._cells: OrderedDict[tuple[str, str, str], _Cell] = \
+            OrderedDict()
+        #: Totals over the store's lifetime (survive cell eviction).
+        self.total_observations = 0
+        self.invalidated_cells = 0
+
+    # -- writing -------------------------------------------------------
+
+    def observe(self, fingerprint: str, method: str,
+                predicted_ms: float, measured_ms: float, *,
+                machine: str = "") -> float:
+        """Fold one executed run into the posterior; returns the new
+        correction factor.
+
+        ``predicted_ms`` must be the *uncorrected* static prediction —
+        feeding corrected predictions back would compound the
+        correction onto itself instead of estimating the static
+        model's error.  Non-positive predictions (degenerate graphs)
+        are ignored; non-positive measurements clamp to the ratio
+        floor.
+        """
+        if predicted_ms <= 0.0:
+            return self.correction(fingerprint, method, machine=machine)
+        ratio = max(measured_ms, 1e-12) / predicted_ms
+        log_ratio = min(max(math.log(ratio), -self.max_log_ratio),
+                        self.max_log_ratio)
+        key = (fingerprint, method, machine)
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = self._cells[key] = _Cell()
+            while len(self._cells) > self.capacity:
+                self._cells.popitem(last=False)
+        cell.log_ewma = (self.alpha * log_ratio
+                         + (1.0 - self.alpha) * cell.log_ewma)
+        cell.count += 1
+        cell.last_ratio = ratio
+        self.total_observations += 1
+        self._cells.move_to_end(key)
+        return math.exp(cell.log_ewma)
+
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop every cell for one fingerprint; returns the count.
+
+        Called when the fingerprint's content is gone (in-place
+        mutation quarantine) or superseded (sanctioned
+        :meth:`GraphRegistry.mutate` lineage step): corrections
+        learned for content that no longer receives traffic must not
+        linger, and the successor fingerprint starts from the clean
+        prior by construction.
+        """
+        doomed = [k for k in self._cells if k[0] == fingerprint]
+        for key in doomed:
+            del self._cells[key]
+        self.invalidated_cells += len(doomed)
+        return len(doomed)
+
+    # -- reading -------------------------------------------------------
+
+    def correction(self, fingerprint: str, method: str, *,
+                   machine: str = "") -> float:
+        """Multiplicative correction for one prediction (1.0 = trust
+        the static model — the value for every unobserved key)."""
+        cell = self._cells.get((fingerprint, method, machine))
+        return math.exp(cell.log_ewma) if cell is not None else 1.0
+
+    def observations(self, fingerprint: str, method: str, *,
+                     machine: str = "") -> int:
+        """How many runs informed this key's posterior (0 = prior)."""
+        cell = self._cells.get((fingerprint, method, machine))
+        return cell.count if cell is not None else 0
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def snapshot(self) -> dict:
+        """Plain-dict dump for reports / the serve CLI."""
+        corrections = {
+            f"{fp[:12]}/{method}": round(math.exp(cell.log_ewma), 4)
+            for (fp, method, _machine), cell in self._cells.items()}
+        return {
+            "cells": len(self._cells),
+            "total_observations": self.total_observations,
+            "invalidated_cells": self.invalidated_cells,
+            "corrections": corrections,
+        }

@@ -26,10 +26,26 @@ Accounting contract (the async executor feeds this):
   counts cache hits that replayed a recorded over-budget outcome
   (honest flags, zero work).
 * ``rejected`` / ``rejected_by_reason`` count admission-control
-  refusals (queue capacity, queue depth, tenant quota).
+  refusals (queue capacity, queue depth, tenant quota).  Rejections
+  increment ``requests`` but NOT the hit/miss tallies, so both hit
+  rates are computed over ``served`` (= requests - rejected): an
+  overloaded service shedding half its traffic reports the hit rate
+  of the traffic it actually served, not a number deflated by the
+  shed half.
 * ``invalidations`` counts result-cache entries dropped (explicit
   invalidation plus quarantined-fingerprint sweeps), fed by
   :meth:`ServiceMetrics.record_invalidations`.
+* ``predictions`` / ``mispredictions`` + per-method
+  ``prediction_error`` histograms track the cost model's honesty:
+  every executed run feeds :meth:`ServiceMetrics.record_prediction`
+  with the static (uncorrected) prediction and the measured
+  simulated-ms; a run whose measured/predicted ratio falls outside
+  ``[1/MISPREDICTION_RATIO, MISPREDICTION_RATIO]`` counts as a
+  misprediction.  ``route_flips`` counts requests where the measured
+  -cost corrections overturned the static family choice, and
+  ``explorations`` counts deliberate runner-up runs (the seeded
+  epsilon-greedy policy) — together they say whether the feedback
+  loop is actively steering or merely confirming the prior.
 """
 
 from __future__ import annotations
@@ -37,7 +53,11 @@ from __future__ import annotations
 from ..instrument.counters import OpCounters
 from ..instrument.metrics import LatencyHistogram
 
-__all__ = ["ServiceMetrics"]
+__all__ = ["ServiceMetrics", "MISPREDICTION_RATIO"]
+
+#: A run counts as mispredicted when measured/predicted leaves
+#: ``[1/2, 2]`` — one doubling of error in either direction.
+MISPREDICTION_RATIO = 2.0
 
 
 class ServiceMetrics:
@@ -54,10 +74,15 @@ class ServiceMetrics:
         self.rejected = 0
         self.invalidations = 0
         self.auto_routed = 0
+        self.predictions = 0
+        self.mispredictions = 0
+        self.route_flips = 0
+        self.explorations = 0
         self.per_method: dict[str, int] = {}
         self.fallback_per_method: dict[str, int] = {}
         self.rejected_by_reason: dict[str, int] = {}
         self.per_tenant: dict[str, int] = {}
+        self.prediction_error: dict[str, LatencyHistogram] = {}
         self.latency = LatencyHistogram()
         self.queue_delay = LatencyHistogram()
         self.per_method_latency: dict[str, LatencyHistogram] = {}
@@ -130,20 +155,58 @@ class ServiceMetrics:
         """Record dropped result-cache entries (mutation / quarantine)."""
         self.invalidations += count
 
+    def record_prediction(self, method: str, predicted_ms: float,
+                          measured_ms: float) -> None:
+        """Record one executed run's predicted-vs-measured outcome.
+
+        ``predicted_ms`` is the *static* (uncorrected) prediction, so
+        the error histogram measures the cost model itself — not the
+        cost model after the feedback loop has papered over it.
+        Degenerate non-positive predictions are skipped.
+        """
+        if predicted_ms <= 0.0:
+            return
+        ratio = max(measured_ms, 0.0) / predicted_ms
+        self.predictions += 1
+        if ratio >= MISPREDICTION_RATIO or ratio <= 1.0 / MISPREDICTION_RATIO:
+            self.mispredictions += 1
+        hist = self.prediction_error.get(method)
+        if hist is None:
+            hist = self.prediction_error[method] = LatencyHistogram()
+        hist.observe(ratio)
+
+    def record_route_flip(self) -> None:
+        """Record a request whose measured-cost corrections overturned
+        the static planner's family choice."""
+        self.route_flips += 1
+
+    def record_exploration(self) -> None:
+        """Record a deliberate runner-up run (epsilon-greedy policy)."""
+        self.explorations += 1
+
+    @property
+    def served(self) -> int:
+        """Requests actually served (admitted): ``requests - rejected``."""
+        return self.requests - self.rejected
+
     @property
     def hit_rate(self) -> float:
-        return self.cache_hits / self.requests if self.requests else 0.0
+        served = self.served
+        return self.cache_hits / served if served else 0.0
 
     @property
     def effective_hit_rate(self) -> float:
-        """Share of requests served without a from-scratch compute:
-        cache hits, coalesced waiters (whose compute ran once, under
-        another request), and delta hits (touched-set update of a
-        predecessor's cached labels)."""
-        if not self.requests:
+        """Share of *served* requests answered without a from-scratch
+        compute: cache hits, coalesced waiters (whose compute ran once,
+        under another request), and delta hits (touched-set update of a
+        predecessor's cached labels).  Rejections are excluded from the
+        denominator — an overloaded service's rate describes the
+        traffic it served, not the traffic it shed."""
+        served = self.served
+        if not served:
             return 0.0
         return (self.cache_hits + self.coalesced
-                + self.delta_hits) / self.requests
+                + self.delta_hits) / served
 
     def work_snapshot(self) -> OpCounters:
         """Copy of the cumulative algorithm-work counters.
@@ -157,6 +220,7 @@ class ServiceMetrics:
         """Plain-dict dump for reports / JSON export."""
         return {
             "requests": self.requests,
+            "served": self.served,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "hit_rate": self.hit_rate,
@@ -172,6 +236,13 @@ class ServiceMetrics:
             "fallback_per_method": dict(sorted(
                 self.fallback_per_method.items())),
             "auto_routed": self.auto_routed,
+            "predictions": self.predictions,
+            "mispredictions": self.mispredictions,
+            "route_flips": self.route_flips,
+            "explorations": self.explorations,
+            "prediction_error": {
+                m: h.summary()
+                for m, h in sorted(self.prediction_error.items())},
             "per_method": dict(sorted(self.per_method.items())),
             "per_tenant": dict(sorted(self.per_tenant.items())),
             "latency": self.latency.summary(),

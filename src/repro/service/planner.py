@@ -33,20 +33,33 @@ on all 17 dataset surrogates at scales 0.2-1.0 (85/85 agreement on
 the LP-vs-UF family decision); ``tests/test_service_router.py`` and
 ``benchmarks/test_ext_service_throughput.py`` re-assert the agreement
 at their respective scales.
+
+A-priori calibration is also the model's weakness: on content the
+constants mis-describe, the same wrong decision repeats forever.  The
+serving layer therefore closes the loop with
+:class:`~repro.service.feedback.RouterFeedback` — a per-(fingerprint,
+method) posterior over the model's error, fed by the executor with
+every run's *measured* simulated-ms.  :func:`replan` applies those
+multiplicative corrections on top of :func:`predict_family_costs`
+before choosing a family; with an empty store every correction is 1.0
+and the decision is bit-identical to the static planner, so cold-start
+routing (and the 17/17 Table IV agreement) is preserved exactly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..graph.csr import CSRGraph
 from ..instrument.costmodel import CostModel
 from ..instrument.counters import OpCounters
 from ..parallel.machine import SKYLAKEX, MachineSpec
+from .feedback import RouterFeedback, delta_feedback_key
 from .registry import GraphProbes, probe_graph
 
 __all__ = ["RoutePlan", "predict_family_costs", "predicted_method_ms",
-           "predict_delta_ms", "plan", "plan_for_graph",
+           "predict_delta_ms", "plan", "plan_for_graph", "replan",
+           "runner_up", "method_family",
            "LP_METHOD", "UF_METHOD", "DISTRIBUTED_METHOD"]
 
 # Concrete algorithm each family resolves to: the best member of each
@@ -81,9 +94,23 @@ _DELTA_DEP_PER_EDGE = 6.0          # find hops per batch edge (both ends)
 _DELTA_SEQ_PER_VERTEX = 2.0        # relabel gather + map read
 
 
+def method_family(method: str) -> str:
+    """Cost-predictor family of a concrete method (``"lp"``/``"uf"``)."""
+    return "uf" if method in _UF_FAMILY_METHODS else "lp"
+
+
 @dataclass(frozen=True)
 class RoutePlan:
-    """A routing decision plus the evidence it was made on."""
+    """A routing decision plus the evidence it was made on.
+
+    ``predicted_lp_ms``/``predicted_uf_ms`` are always the *static*
+    model's predictions; ``correction_lp``/``correction_uf`` carry the
+    measured-cost feedback multipliers that were in force when the
+    decision was made (1.0 when feedback is off or unobserved — the
+    cold-start plan is field-for-field identical to the historical
+    one).  ``explored`` marks a deliberate runner-up run scheduled by
+    the epsilon-greedy exploration policy, not a cost-race winner.
+    """
 
     method: str                 # concrete algorithm ("thrifty"/"afforest")
     family: str                 # "lp" or "uf"
@@ -91,26 +118,40 @@ class RoutePlan:
     predicted_uf_ms: float
     machine: str
     probes: GraphProbes
+    correction_lp: float = 1.0  # feedback multiplier on the LP cost
+    correction_uf: float = 1.0  # feedback multiplier on the UF cost
+    explored: bool = False      # epsilon-greedy runner-up decision
+
+    @property
+    def corrected_lp_ms(self) -> float:
+        """LP prediction with the feedback correction applied."""
+        return self.predicted_lp_ms * self.correction_lp
+
+    @property
+    def corrected_uf_ms(self) -> float:
+        """Union-find prediction with the feedback correction applied."""
+        return self.predicted_uf_ms * self.correction_uf
 
     @property
     def margin(self) -> float:
-        """Predicted speedup of the chosen family over the other."""
-        lo = min(self.predicted_lp_ms, self.predicted_uf_ms)
-        hi = max(self.predicted_lp_ms, self.predicted_uf_ms)
+        """Correction-adjusted predicted speedup of the chosen family
+        over the other — the exploration policy's near-margin gate."""
+        lo = min(self.corrected_lp_ms, self.corrected_uf_ms)
+        hi = max(self.corrected_lp_ms, self.corrected_uf_ms)
         return hi / lo if lo > 0 else float("inf")
 
     @property
     def predicted_ms(self) -> float:
-        """Predicted cost of the routed method — what admission control
-        charges against the service's queue capacity before anything
-        runs.  The distributed tier prices under the cheaper family
-        (its per-node compute is LP-shaped, but the fabric is priced
-        only after the run)."""
+        """Correction-adjusted cost of the routed method — what
+        admission control charges against the service's queue capacity
+        before anything runs.  The distributed tier prices under the
+        cheaper family (its per-node compute is LP-shaped, but the
+        fabric is priced only after the run)."""
         if self.family == "lp":
-            return self.predicted_lp_ms
+            return self.corrected_lp_ms
         if self.family == "uf":
-            return self.predicted_uf_ms
-        return min(self.predicted_lp_ms, self.predicted_uf_ms)
+            return self.corrected_uf_ms
+        return min(self.corrected_lp_ms, self.corrected_uf_ms)
 
 
 def _lp_cost_ms(probes: GraphProbes, model: CostModel) -> float:
@@ -163,20 +204,33 @@ def predict_family_costs(probes: GraphProbes,
 
 
 def predicted_method_ms(probes: GraphProbes, method: str,
-                        machine: MachineSpec = SKYLAKEX) -> float:
+                        machine: MachineSpec = SKYLAKEX, *,
+                        feedback: RouterFeedback | None = None,
+                        fingerprint: str | None = None) -> float:
     """Predicted simulated-ms of running ``method`` on this graph.
 
     This is the admission-control yardstick: an explicitly-requested
     method is priced by its family's synthetic-counter predictor (the
     same one ``method="auto"`` routes on), so queueing decisions and
-    routing decisions share one notion of cost.
+    routing decisions share one notion of cost.  When ``feedback``
+    and ``fingerprint`` are given, the method's measured-cost
+    correction is applied on top, so admission control charges what
+    runs on this content have actually cost instead of trusting a
+    stale prediction.
     """
     lp_ms, uf_ms = predict_family_costs(probes, machine)
-    return uf_ms if method in _UF_FAMILY_METHODS else lp_ms
+    base = uf_ms if method in _UF_FAMILY_METHODS else lp_ms
+    if feedback is not None and fingerprint is not None:
+        base *= feedback.correction(fingerprint, method,
+                                    machine=machine.name)
+    return base
 
 
 def predict_delta_ms(num_vertices: int, batch_edges: int,
-                     machine: MachineSpec = SKYLAKEX) -> float:
+                     machine: MachineSpec = SKYLAKEX, *,
+                     method: str | None = None,
+                     feedback: RouterFeedback | None = None,
+                     fingerprint: str | None = None) -> float:
     """Predicted simulated-ms of delta-updating cached labels.
 
     The touched-set cost estimate the planner weighs against a full
@@ -187,6 +241,11 @@ def predict_delta_ms(num_vertices: int, batch_edges: int,
     by the same :class:`CostModel` full runs are priced by.
     ``batch_edges`` is the *total* lineage batch (summed over a delta
     chain when several mutations are replayed at once).
+
+    With ``method``/``feedback``/``fingerprint`` given, the delta
+    posterior (keyed :func:`delta_feedback_key`, separate from the
+    full-run posterior of the same method) corrects the estimate, so
+    the delta-vs-recompute gate compares two measured-informed costs.
     """
     n, b = num_vertices, batch_edges
     model = CostModel(machine, n)
@@ -199,12 +258,19 @@ def predict_delta_ms(num_vertices: int, batch_edges: int,
     counters.label_writes = b
     counters.branches = n + b
     counters.cas_attempts = b
-    return model.iteration_ms(counters)
+    ms = model.iteration_ms(counters)
+    if (feedback is not None and fingerprint is not None
+            and method is not None):
+        ms *= feedback.correction(fingerprint, delta_feedback_key(method),
+                                  machine=machine.name)
+    return ms
 
 
 def plan(probes: GraphProbes,
          machine: MachineSpec = SKYLAKEX, *,
-         single_node_edge_budget: int | None = None) -> RoutePlan:
+         single_node_edge_budget: int | None = None,
+         feedback: RouterFeedback | None = None,
+         fingerprint: str | None = None) -> RoutePlan:
     """Route from already-measured probes (the registry's cached ones).
 
     ``single_node_edge_budget`` is the capacity cliff: a graph whose
@@ -213,6 +279,11 @@ def plan(probes: GraphProbes,
     (``"distributed"``) regardless of the LP-vs-UF cost race.  ``None``
     (the default) means "one node always suffices" — the shared-memory
     crossover decides alone.
+
+    ``feedback``/``fingerprint`` apply the measured-cost corrections
+    learned for this exact content on top of the static predictions
+    (see :func:`replan`); with no feedback (or none observed) the
+    decision is the static planner's, bit for bit.
     """
     lp_ms, uf_ms = predict_family_costs(probes, machine)
     if (single_node_edge_budget is not None
@@ -222,9 +293,61 @@ def plan(probes: GraphProbes,
         method, family = LP_METHOD, "lp"
     else:
         method, family = UF_METHOD, "uf"
-    return RoutePlan(method=method, family=family,
+    base = RoutePlan(method=method, family=family,
                      predicted_lp_ms=lp_ms, predicted_uf_ms=uf_ms,
                      machine=machine.name, probes=probes)
+    return replan(base, feedback, fingerprint)
+
+
+def replan(base: RoutePlan, feedback: RouterFeedback | None,
+           fingerprint: str | None) -> RoutePlan:
+    """Re-decide a memoized base plan under measured-cost corrections.
+
+    The service memoizes one *static* plan per fingerprint (probes are
+    immutable, so the expensive cost-model evaluation happens once);
+    corrections change per run, so each request re-decides cheaply on
+    top of the memoized base.  Corrections multiply onto the family
+    costs and the LP-vs-UF race is re-run; the capacity cliff
+    (``"distributed"``) is a fit decision, not a cost race, so a
+    distributed base keeps its route (but still carries the
+    corrections for admission pricing).  With both corrections at 1.0
+    — the empty-feedback cold start — ``base`` is returned unchanged,
+    object-identical.
+    """
+    if feedback is None or fingerprint is None:
+        return base
+    c_lp = feedback.correction(fingerprint, LP_METHOD,
+                               machine=base.machine)
+    c_uf = feedback.correction(fingerprint, UF_METHOD,
+                               machine=base.machine)
+    if c_lp == 1.0 and c_uf == 1.0:
+        return base
+    if base.family == "distributed":
+        return replace(base, correction_lp=c_lp, correction_uf=c_uf)
+    if base.predicted_lp_ms * c_lp <= base.predicted_uf_ms * c_uf:
+        method, family = LP_METHOD, "lp"
+    else:
+        method, family = UF_METHOD, "uf"
+    return replace(base, method=method, family=family,
+                   correction_lp=c_lp, correction_uf=c_uf)
+
+
+def runner_up(route: RoutePlan) -> RoutePlan:
+    """The losing family's plan — what the exploration policy runs.
+
+    A near-margin decision under a wrong prior can stay wrong forever
+    if the runner-up is never measured (its prediction gets no
+    observations); deliberately running it occasionally is what lets
+    the feedback posterior falsify the prior.  Only meaningful for the
+    LP-vs-UF race; a distributed route is returned unchanged.
+    """
+    if route.family == "lp":
+        return replace(route, method=UF_METHOD, family="uf",
+                       explored=True)
+    if route.family == "uf":
+        return replace(route, method=LP_METHOD, family="lp",
+                       explored=True)
+    return route
 
 
 def plan_for_graph(graph: CSRGraph, *,

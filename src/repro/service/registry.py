@@ -37,6 +37,7 @@ import numpy as np
 from ..graph import properties
 from ..graph.csr import CSRGraph
 from ..graph.mutate import insert_edges, remove_edges
+from .feedback import RouterFeedback
 from .fingerprint import graph_fingerprint
 
 __all__ = ["GraphProbes", "GraphEntry", "GraphRegistry", "probe_graph",
@@ -212,6 +213,11 @@ class GraphRegistry:
         self._stale: list[str] = []
         #: In-place mutations detected over the registry's lifetime.
         self.stale_detections = 0
+        #: Measured-cost correction posteriors, keyed by fingerprint
+        #: like the cached probes — and invalidated with them: a
+        #: quarantined or superseded fingerprint's corrections describe
+        #: content that no longer receives traffic.
+        self.feedback = RouterFeedback()
 
     def register(self, graph: CSRGraph, *, name: str = "") -> GraphEntry:
         """Add a graph (idempotent); returns its entry.
@@ -298,6 +304,12 @@ class GraphRegistry:
                 successor._probes = replace(
                     entry._probes, num_edges=graph.num_edges,
                     mean_degree=graph.num_edges / max(n, 1))
+            # The successor's content starts from the clean feedback
+            # prior by construction (new fingerprint, no cells); the
+            # predecessor's corrections describe content the name no
+            # longer points at, so they are dropped with the lineage
+            # step rather than left to linger in the LRU.
+            self.feedback.invalidate_fingerprint(entry.fingerprint)
         alias = name if name is not None else entry.name
         if alias:
             self._by_name[alias] = fp
@@ -351,6 +363,7 @@ class GraphRegistry:
             del self._by_name[alias]
         self._stale.append(entry.fingerprint)
         self.stale_detections += 1
+        self.feedback.invalidate_fingerprint(entry.fingerprint)
 
     def drain_stale(self) -> list[str]:
         """Fingerprints quarantined since the last drain (then cleared).

@@ -110,3 +110,59 @@ class TestRelabel:
     def test_degree_preserved_under_perm(self, small_skewed):
         g2, perm = random_relabel(small_skewed, 3)
         assert np.array_equal(g2.degrees[perm], small_skewed.degrees)
+
+    @staticmethod
+    def _reference_relabel(graph, perm):
+        """The pre-vectorization per-vertex scatter loop, kept as the
+        semantic oracle for the lexsort implementation."""
+        from repro.graph import CSRGraph
+        n = graph.num_vertices
+        new_deg = np.zeros(n, dtype=np.int64)
+        new_deg[perm] = graph.degrees
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(new_deg, out=indptr[1:])
+        indices = np.empty(graph.num_edges, dtype=np.int64)
+        old_rows = np.argsort(perm)
+        cursor = 0
+        for new_id in range(n):
+            old = old_rows[new_id]
+            nbrs = np.sort(perm[graph.neighbors(int(old))])
+            indices[cursor:cursor + nbrs.size] = nbrs
+            cursor += nbrs.size
+        return CSRGraph(indptr, indices)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("scale", [7, 9])
+    def test_vectorized_matches_reference_loop(self, scale, seed):
+        g = rmat_graph(scale, 8, seed=seed)
+        perm = np.random.default_rng(seed).permutation(
+            g.num_vertices).astype(np.int64)
+        ref = self._reference_relabel(g, perm)
+        new, _ = relabel(g, perm)
+        assert np.array_equal(new.indptr, ref.indptr)
+        assert np.array_equal(new.indices, ref.indices)
+
+    def test_reference_match_with_isolated_vertices(self):
+        from repro.graph import CSRGraph
+        # Vertices 1 and 3 are isolated (degree 0).
+        g = CSRGraph(np.array([0, 1, 1, 2, 2], dtype=np.int64),
+                     np.array([2, 0], dtype=np.int64))
+        perm = np.array([3, 0, 1, 2], dtype=np.int64)
+        ref = self._reference_relabel(g, perm)
+        new, _ = relabel(g, perm)
+        assert np.array_equal(new.indptr, ref.indptr)
+        assert np.array_equal(new.indices, ref.indices)
+
+    def test_empty_graph(self):
+        from repro.graph import CSRGraph
+        g = CSRGraph(np.array([0], dtype=np.int64),
+                     np.empty(0, dtype=np.int64))
+        new, perm = relabel(g, np.empty(0, dtype=np.int64))
+        assert new.num_vertices == 0
+        assert new.num_edges == 0
+
+    def test_out_of_range_perm_rejected(self, triangle):
+        with pytest.raises(ValueError, match="permutation"):
+            relabel(triangle, np.array([0, 1, 3]))
+        with pytest.raises(ValueError, match="permutation"):
+            relabel(triangle, np.array([-1, 0, 1]))

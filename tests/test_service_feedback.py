@@ -1,0 +1,387 @@
+"""The measured-cost feedback loop: posterior, routing, recovery.
+
+Covers the RouterFeedback store itself (EWMA math, clamping, LRU
+bound, invalidation), cold-start bit-identity of the corrected
+planner, misprediction recovery through the full service (a poisoned
+probe converges to the measured winner within a handful of
+observations), feedback lifecycle across `GraphRegistry.mutate`, the
+deterministic exploration policy, and the rejection-invariant metrics
+rates (satellite regression for the `record_rejection` deflation bug).
+"""
+
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.graph import rmat_graph
+from repro.graph.datasets import load_dataset
+from repro.options import ServiceOptions
+from repro.service import (
+    LP_METHOD,
+    UF_METHOD,
+    CCRequest,
+    CCService,
+    GraphRegistry,
+    RouterFeedback,
+    ServiceMetrics,
+    delta_feedback_key,
+    method_family,
+    plan,
+    replan,
+    runner_up,
+)
+from repro.service.metrics import MISPREDICTION_RATIO
+
+
+@pytest.fixture(scope="module")
+def road():
+    return load_dataset("GBRd", 0.05)
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    return rmat_graph(9, 8, seed=11)
+
+
+def _poison_diameter(service, entry, diameter=3):
+    """Feed the planner a deliberately wrong probe: a short diameter
+    makes LP's wavefront look cheap, routing a road graph to Thrifty
+    (the measured loser)."""
+    entry._probes = replace(entry.probes, diameter=diameter)
+    service._plan_memo.pop(entry.fingerprint, None)
+
+
+class TestRouterFeedback:
+    def test_prior_correction_is_one(self):
+        fb = RouterFeedback()
+        assert fb.correction("fp", "thrifty") == 1.0
+        assert fb.observations("fp", "thrifty") == 0
+        assert len(fb) == 0
+
+    def test_ewma_converges_to_persistent_ratio(self):
+        fb = RouterFeedback(alpha=0.5)
+        for _ in range(12):
+            c = fb.observe("fp", "thrifty", 10.0, 40.0)
+        assert c == pytest.approx(4.0, rel=1e-3)
+        assert fb.correction("fp", "thrifty") == c
+        assert fb.observations("fp", "thrifty") == 12
+
+    def test_log_space_symmetry(self):
+        """4x-over then 4x-under is *right on average* in log space."""
+        fb = RouterFeedback(alpha=0.5)
+        fb.observe("fp", "m", 10.0, 40.0)
+        fb.observe("fp", "m", 10.0, 2.5)
+        # alpha=0.5: ewma = 0.5*log(1/4) + 0.25*log(4) -> exp < 1
+        # but a plain-ratio mean would sit at 2.125.
+        assert fb.correction("fp", "m") < 2.0
+
+    def test_observation_clamped(self):
+        fb = RouterFeedback(alpha=1.0, max_log_ratio=math.log(64.0))
+        c = fb.observe("fp", "m", 1.0, 1e9)
+        assert c == pytest.approx(64.0)
+        c = fb.observe("fp", "m", 1e9, 1e-9)
+        assert c == pytest.approx(1.0 / 64.0)
+
+    def test_nonpositive_prediction_ignored(self):
+        fb = RouterFeedback()
+        assert fb.observe("fp", "m", 0.0, 5.0) == 1.0
+        assert fb.total_observations == 0
+
+    def test_keys_are_independent(self):
+        fb = RouterFeedback(alpha=1.0)
+        fb.observe("fp", "thrifty", 1.0, 2.0)
+        fb.observe("fp", "afforest", 1.0, 8.0, machine="Epyc")
+        assert fb.correction("fp", "thrifty") == pytest.approx(2.0)
+        assert fb.correction("fp", "afforest") == 1.0  # machine differs
+        assert fb.correction("fp", "afforest",
+                             machine="Epyc") == pytest.approx(8.0)
+
+    def test_delta_key_separate_from_full_run(self):
+        fb = RouterFeedback(alpha=1.0)
+        fb.observe("fp", delta_feedback_key("thrifty"), 1.0, 4.0)
+        assert fb.correction("fp", "thrifty") == 1.0
+        assert fb.correction(
+            "fp", delta_feedback_key("thrifty")) == pytest.approx(4.0)
+
+    def test_lru_bounded(self):
+        fb = RouterFeedback(capacity=4)
+        for i in range(10):
+            fb.observe(f"fp{i}", "m", 1.0, 2.0)
+        assert len(fb) == 4
+        assert fb.correction("fp0", "m") == 1.0       # evicted
+        assert fb.correction("fp9", "m") != 1.0       # retained
+        assert fb.total_observations == 10            # lifetime counter
+
+    def test_invalidate_fingerprint(self):
+        fb = RouterFeedback(alpha=1.0)
+        fb.observe("a", "thrifty", 1.0, 2.0)
+        fb.observe("a", "afforest", 1.0, 2.0)
+        fb.observe("b", "thrifty", 1.0, 2.0)
+        assert fb.invalidate_fingerprint("a") == 2
+        assert fb.correction("a", "thrifty") == 1.0
+        assert fb.correction("b", "thrifty") != 1.0
+        assert fb.invalidated_cells == 2
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="alpha"):
+            RouterFeedback(alpha=0.0)
+        with pytest.raises(ValueError, match="max_log_ratio"):
+            RouterFeedback(max_log_ratio=0.0)
+        with pytest.raises(ValueError, match="capacity"):
+            RouterFeedback(capacity=0)
+
+    def test_snapshot(self):
+        fb = RouterFeedback(alpha=1.0)
+        fb.observe("abcdef0123456789", "thrifty", 1.0, 2.0)
+        snap = fb.snapshot()
+        assert snap["cells"] == 1
+        assert snap["total_observations"] == 1
+        assert snap["corrections"] == {"abcdef012345/thrifty": 2.0}
+
+
+class TestColdStartIdentity:
+    def test_replan_empty_feedback_returns_base_object(self, skewed):
+        reg = GraphRegistry()
+        entry = reg.register(skewed)
+        base = plan(entry.probes)
+        assert replan(base, RouterFeedback(), entry.fingerprint) is base
+        assert replan(base, None, entry.fingerprint) is base
+        assert replan(base, reg.feedback, None) is base
+
+    def test_cold_start_plan_fields_unchanged(self, skewed, road):
+        for g in (skewed, road):
+            reg = GraphRegistry()
+            entry = reg.register(g)
+            static = plan(entry.probes)
+            with_fb = plan(entry.probes, feedback=reg.feedback,
+                           fingerprint=entry.fingerprint)
+            assert with_fb == static
+            assert with_fb.correction_lp == 1.0
+            assert with_fb.correction_uf == 1.0
+            assert with_fb.margin == static.margin
+            assert with_fb.predicted_ms == static.predicted_ms
+
+    def test_fresh_service_routes_like_static_planner(self, skewed):
+        static = CCService(
+            service_options=ServiceOptions(feedback=False))
+        tuned = CCService()
+        r1 = static.submit(CCRequest(graph=skewed))
+        r2 = tuned.submit(CCRequest(graph=skewed))
+        assert r1.method == r2.method
+        assert np.array_equal(r1.result.labels, r2.result.labels)
+
+
+class TestMispredictionRecovery:
+    def test_poisoned_probe_converges_to_measured_winner(self, road):
+        """The tentpole scenario: a wrong probe routes the road graph
+        to Thrifty; one measured run later the posterior flips the
+        route to Afforest, and it stays flipped."""
+        svc = CCService(cache_capacity=1)
+        entry = svc.register(road, name="road")
+        _poison_diameter(svc, entry)
+        assert svc._plan_for(entry).method == LP_METHOD
+
+        svc.cache.invalidate_fingerprint(entry.fingerprint)
+        r1 = svc.submit(CCRequest(key="road"))
+        assert r1.method == LP_METHOD       # first run trusts the prior
+        assert svc.metrics.predictions == 1
+
+        methods = []
+        for _ in range(4):
+            svc.cache.invalidate_fingerprint(entry.fingerprint)
+            methods.append(svc.submit(CCRequest(key="road")).method)
+        # Converges within k=2 observations (the EWMA needs two runs
+        # to push the correction past this poisoning's 4.4x gap), and
+        # stays converged.
+        flip = methods.index(UF_METHOD)
+        assert flip <= 1
+        assert all(m == UF_METHOD for m in methods[flip:])
+        assert svc.metrics.route_flips >= len(methods) - flip
+        assert svc.metrics.mispredictions >= 1
+        correction = svc.registry.feedback.correction(
+            entry.fingerprint, LP_METHOD, machine=svc.machine.name)
+        assert correction > MISPREDICTION_RATIO
+
+    def test_feedback_disabled_never_flips(self, road):
+        svc = CCService(
+            cache_capacity=1,
+            service_options=ServiceOptions(feedback=False))
+        entry = svc.register(road, name="road")
+        _poison_diameter(svc, entry)
+        for _ in range(3):
+            svc.cache.invalidate_fingerprint(entry.fingerprint)
+            assert svc.submit(CCRequest(key="road")).method == LP_METHOD
+        assert len(svc.registry.feedback) == 0
+        assert svc.metrics.route_flips == 0
+
+    def test_corrections_price_admission(self, road):
+        """After the posterior learns Thrifty is slow here, the
+        explicit-method admission prediction carries the correction."""
+        from repro.service import predicted_method_ms
+        svc = CCService(cache_capacity=1)
+        entry = svc.register(road, name="road")
+        _poison_diameter(svc, entry)
+        svc.submit(CCRequest(key="road"))
+        base = predicted_method_ms(entry.probes, LP_METHOD, svc.machine)
+        corrected = predicted_method_ms(
+            entry.probes, LP_METHOD, svc.machine,
+            feedback=svc.registry.feedback,
+            fingerprint=entry.fingerprint)
+        assert corrected > base
+
+
+class TestFeedbackLifecycle:
+    def test_mutation_drops_feedback(self, road):
+        svc = CCService(cache_capacity=1)
+        entry = svc.register(road, name="road")
+        _poison_diameter(svc, entry)
+        svc.submit(CCRequest(key="road"))
+        fb = svc.registry.feedback
+        assert fb.observations(entry.fingerprint, LP_METHOD,
+                               machine=svc.machine.name) == 1
+
+        n = road.num_vertices
+        successor = svc.mutate("road", insert=(
+            np.array([0, 1], dtype=np.int64),
+            np.array([n - 1, n - 2], dtype=np.int64)))
+        assert successor.fingerprint != entry.fingerprint
+        # Predecessor cells purged with the lineage step; the
+        # successor starts from the clean prior.
+        assert fb.observations(entry.fingerprint, LP_METHOD,
+                               machine=svc.machine.name) == 0
+        assert fb.correction(successor.fingerprint, LP_METHOD,
+                             machine=svc.machine.name) == 1.0
+        assert fb.observations(successor.fingerprint, LP_METHOD,
+                               machine=svc.machine.name) == 0
+        assert fb.invalidated_cells >= 1
+
+    def test_quarantine_drops_feedback(self, skewed):
+        from repro.graph import CSRGraph
+        g = CSRGraph(skewed.indptr.copy(), skewed.indices.copy())
+        svc = CCService()
+        entry = svc.register(g)
+        svc.submit(CCRequest(graph=g))
+        fp = entry.fingerprint
+        fb = svc.registry.feedback
+        assert any(key[0] == fp for key in fb._cells)
+        # Unsanctioned in-place mutation -> quarantine on next sight.
+        g.indices.flags.writeable = True
+        g.indices[:] = g.indices[::-1].copy()
+        svc.register(g)
+        assert not any(key[0] == fp for key in fb._cells)
+
+
+class TestExploration:
+    def _near_margin_service(self, rate, seed=7):
+        svc = CCService(
+            cache_capacity=1,
+            service_options=ServiceOptions(
+                feedback=True, explore_rate=rate,
+                explore_margin=float("inf") if rate else 1.0,
+                explore_seed=seed))
+        return svc
+
+    def test_exploration_runs_runner_up(self, skewed):
+        svc = CCService(
+            cache_capacity=1,
+            service_options=ServiceOptions(
+                explore_rate=1.0, explore_margin=1e9, explore_seed=0))
+        entry = svc.register(skewed, name="sk")
+        static = svc._plan_for(entry).method
+        resp = svc.submit(CCRequest(key="sk"))
+        assert resp.method != static
+        assert resp.plan.explored
+        assert svc.metrics.explorations == 1
+
+    def test_margin_one_never_explores(self, skewed):
+        svc = CCService(
+            cache_capacity=1,
+            service_options=ServiceOptions(
+                explore_rate=1.0, explore_margin=1.0, explore_seed=0))
+        svc.register(skewed, name="sk")
+        for _ in range(3):
+            svc.cache.invalidate_fingerprint(
+                svc.registry.get("sk").fingerprint)
+            svc.submit(CCRequest(key="sk"))
+        assert svc.metrics.explorations == 0
+
+    def test_deterministic_given_seed(self, skewed):
+        def pattern(seed):
+            svc = CCService(
+                cache_capacity=1,
+                service_options=ServiceOptions(
+                    explore_rate=0.5, explore_margin=1e9,
+                    explore_seed=seed))
+            svc.register(skewed, name="sk")
+            out = []
+            for _ in range(8):
+                svc.cache.invalidate_fingerprint(
+                    svc.registry.get("sk").fingerprint)
+                out.append(svc.submit(CCRequest(key="sk")).method)
+            return out
+
+        assert pattern(3) == pattern(3)
+        # Not a vacuous determinism check: rate 0.5 mixes both arms.
+        assert len(set(pattern(3))) == 2
+
+    def test_runner_up_swaps_family(self, skewed):
+        reg = GraphRegistry()
+        entry = reg.register(skewed)
+        base = plan(entry.probes)
+        other = runner_up(base)
+        assert other.family != base.family
+        assert other.explored
+        assert method_family(other.method) == other.family
+
+
+class TestRejectionInvariantRates:
+    def test_hit_rate_ignores_rejections(self):
+        m = ServiceMetrics()
+        m.record_request("thrifty", 1.0, cache_hit=False)
+        m.record_request("thrifty", 0.0, cache_hit=True)
+        assert m.hit_rate == 0.5
+        assert m.effective_hit_rate == 0.5
+        for _ in range(10):
+            m.record_rejection("queue-full")
+        # The regression: rejections used to deflate both rates.
+        assert m.hit_rate == 0.5
+        assert m.effective_hit_rate == 0.5
+        snap = m.snapshot()
+        assert snap["requests"] == 12
+        assert snap["served"] == 2
+        assert snap["rejected"] == 10
+
+    def test_all_rejected_rates_zero(self):
+        m = ServiceMetrics()
+        m.record_rejection("queue-depth")
+        assert m.served == 0
+        assert m.hit_rate == 0.0
+        assert m.effective_hit_rate == 0.0
+
+
+class TestPredictionMetrics:
+    def test_misprediction_thresholds(self):
+        m = ServiceMetrics()
+        m.record_prediction("thrifty", 10.0, 10.0)    # exact
+        m.record_prediction("thrifty", 10.0, 19.9)    # within 2x
+        m.record_prediction("thrifty", 10.0, 20.0)    # boundary: miss
+        m.record_prediction("thrifty", 10.0, 5.0)     # boundary: miss
+        m.record_prediction("thrifty", 10.0, 100.0)   # gross miss
+        assert m.predictions == 5
+        assert m.mispredictions == 3
+        assert m.prediction_error["thrifty"].summary()["count"] == 5
+
+    def test_nonpositive_prediction_skipped(self):
+        m = ServiceMetrics()
+        m.record_prediction("thrifty", 0.0, 5.0)
+        assert m.predictions == 0
+
+    def test_executed_runs_feed_metrics(self, skewed):
+        svc = CCService()
+        svc.submit(CCRequest(graph=skewed))
+        assert svc.metrics.predictions == 1
+        snap = svc.metrics.snapshot()
+        assert set(snap["prediction_error"]) == {LP_METHOD} \
+            or set(snap["prediction_error"]) == {UF_METHOD}
