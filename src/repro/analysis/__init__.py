@@ -3,6 +3,7 @@
 from .reordering import (
     bfs_relabel,
     degree_sort_relabel,
+    hub_cluster_relabel,
     random_relabel,
     relabel,
 )
@@ -22,4 +23,5 @@ __all__ = [
     "degree_sort_relabel",
     "bfs_relabel",
     "random_relabel",
+    "hub_cluster_relabel",
 ]

@@ -24,6 +24,7 @@ __all__ = [
     "degree_sort_relabel",
     "bfs_relabel",
     "random_relabel",
+    "hub_cluster_relabel",
 ]
 
 
@@ -45,10 +46,17 @@ def relabel(graph: CSRGraph, perm: np.ndarray, *,
     if perm.shape != (n,):
         raise ValueError("perm must have one entry per vertex")
     if not assume_permutation and n:
+        # Negative ids get their own check and message: they are the
+        # signature of an inverted-argsort bug in the caller (a slot
+        # left at its -1 fill value), not a merely out-of-range id.
+        if perm.min() < 0:
+            raise ValueError(
+                f"perm contains negative ids (min {perm.min()}); "
+                "it must be a permutation of 0..n-1")
         # Bincount beats the old full np.sort: O(n) with no copy of
         # a sorted array, and it catches out-of-range ids before the
         # fancy-indexing below would.
-        if (perm.min() < 0 or perm.max() >= n
+        if (perm.max() >= n
                 or np.any(np.bincount(perm, minlength=n) != 1)):
             raise ValueError("perm must be a permutation of 0..n-1")
     # new indptr from permuted degrees.
@@ -104,6 +112,47 @@ def bfs_relabel(graph: CSRGraph, source: int | None = None
         seen[new] = True
         frontier = new.astype(np.int64)
     rest = np.flatnonzero(~seen)
+    order[pos:pos + rest.size] = rest
+    perm = np.empty(n, dtype=np.int64)
+    perm[order] = np.arange(n, dtype=np.int64)
+    return relabel(graph, perm, assume_permutation=True)
+
+
+def hub_cluster_relabel(graph: CSRGraph, *, num_hubs: int | None = None
+                        ) -> tuple[CSRGraph, np.ndarray]:
+    """Relabel with hubs first, each hub's neighbours clustered after it.
+
+    The skew-aware ordering for skewed-degree graphs: the top
+    ``num_hubs`` vertices by degree (default ``ceil(sqrt(n))``) get
+    the lowest ids in degree-descending order, and immediately after
+    each hub come its not-yet-placed neighbours (in ascending old-id
+    order, so the layout is deterministic).  Remaining vertices keep
+    their relative order at the tail.  Hub labels then flood their
+    clusters in a single in-order sweep, while the hub block itself
+    stays resident in cache — the combination the degree-only and
+    BFS orderings each get half of.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return graph, np.empty(0, dtype=np.int64)
+    if num_hubs is None:
+        num_hubs = int(np.ceil(np.sqrt(n)))
+    num_hubs = max(1, min(int(num_hubs), n))
+    by_degree = np.argsort(-graph.degrees, kind="stable")
+    hubs = by_degree[:num_hubs]
+    order = np.empty(n, dtype=np.int64)
+    placed = np.zeros(n, dtype=bool)
+    placed[hubs] = True
+    pos = 0
+    for hub in hubs:
+        order[pos] = hub
+        pos += 1
+        nbrs = np.unique(graph.neighbors(hub))
+        fresh = nbrs[~placed[nbrs]]
+        order[pos:pos + fresh.size] = fresh
+        placed[fresh] = True
+        pos += fresh.size
+    rest = np.flatnonzero(~placed)
     order[pos:pos + rest.size] = rest
     perm = np.empty(n, dtype=np.int64)
     perm[order] = np.arange(n, dtype=np.int64)

@@ -51,6 +51,7 @@ def _kla_adapter(graph: CSRGraph, *,
                  zero_planting: bool = True,
                  zero_convergence: bool = True,
                  max_supersteps: int = 1_000_000,
+                 backend: str | None = None,
                  dataset: str = "") -> CCResult:
     """Adapter exposing KLA through the keyword-style front door.
 
@@ -61,7 +62,8 @@ def _kla_adapter(graph: CSRGraph, *,
     return kla_cc(graph,
                   KLAOptions(k=k, zero_planting=zero_planting,
                              zero_convergence=zero_convergence,
-                             max_supersteps=max_supersteps),
+                             max_supersteps=max_supersteps,
+                             backend=backend),
                   dataset=dataset)
 
 
@@ -75,6 +77,7 @@ def _distributed_adapter(graph: CSRGraph, *,
                          zero_convergence: bool = True,
                          dedup_sends: bool = True,
                          max_supersteps: int = 100_000,
+                         backend: str | None = None,
                          dataset: str = "") -> CCResult:
     """Adapter exposing the sharded tier through the front door.
 
@@ -91,7 +94,8 @@ def _distributed_adapter(graph: CSRGraph, *,
                            zero_planting=zero_planting,
                            zero_convergence=zero_convergence,
                            dedup_sends=dedup_sends,
-                           max_supersteps=max_supersteps),
+                           max_supersteps=max_supersteps,
+                           backend=backend),
         dataset=dataset)
 
 

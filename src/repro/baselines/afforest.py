@@ -32,6 +32,7 @@ from ..core.result import CCResult
 from ..graph.csr import CSRGraph
 from ..instrument.counters import OpCounters
 from ..instrument.trace import Direction, IterationRecord, RunTrace
+from ..core.backends import get_backend
 from ..parallel.machine import SKYLAKEX, MachineSpec
 from .disjoint_set import (
     charge_finds,
@@ -48,13 +49,17 @@ __all__ = ["afforest_cc"]
 def afforest_cc(graph: CSRGraph, *, neighbor_rounds: int = 2,
                 sample_size: int = 1024, seed: int = 0,
                 machine: MachineSpec = SKYLAKEX,
-                dataset: str = "", local: bool = True) -> CCResult:
+                dataset: str = "", local: bool = True,
+                backend: str | None = None) -> CCResult:
     """Run Afforest; labels are fully-compressed parent ids.
 
     ``machine`` is accepted for front-door uniformity; execution is
     machine-independent (the cost model applies it at timing).
+    ``backend`` selects the kernel backend for the union scatters;
+    results are bit-identical across backends.
     """
     del machine
+    kb = get_backend(backend)
     n = graph.num_vertices
     trace = RunTrace(algorithm="afforest", dataset=dataset)
     parent = np.arange(n, dtype=np.int64)
@@ -72,7 +77,8 @@ def afforest_cc(graph: CSRGraph, *, neighbor_rounds: int = 2,
         if has.size == 0:
             break
         nbr_r = graph.indices[graph.indptr[has] + r].astype(np.int64)
-        links, hops = union_edge_batch(parent, has, nbr_r, local=local)
+        links, hops = union_edge_batch(parent, has, nbr_r, local=local,
+                                       kb=kb)
         charge_union(phase1, int(has.size), links, hops)
         phase1_edges += int(has.size)
     phase1.iterations = 1
@@ -130,7 +136,7 @@ def afforest_cc(graph: CSRGraph, *, neighbor_rounds: int = 2,
             targets = graph.indices[pos].astype(np.int64)
             sources = np.repeat(rows, counts)
             links, hops = union_edge_batch(parent, sources, targets,
-                                           local=local)
+                                           local=local, kb=kb)
             charge_union(phase3, total, links, hops)
     phase3.sequential_accesses += n        # final compression pass
     phase3.label_writes += n

@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.backends import get_backend
 from ..instrument.counters import OpCounters
 
 __all__ = ["DisjointSet", "pointer_jump_roots", "link_roots",
@@ -260,7 +261,8 @@ def flatten_parents(parent: np.ndarray) -> np.ndarray:
 def union_edge_batch(parent: np.ndarray, eu: np.ndarray, ev: np.ndarray,
                      *, priority: np.ndarray | None = None,
                      max_rounds: int = 10_000,
-                     local: bool = True) -> tuple[int, int]:
+                     local: bool = True,
+                     kb=None) -> tuple[int, int]:
     """Union a batch of edges to quiescence (linearized rounds).
 
     Returns ``(links, hops)``: successful links and the find cost the
@@ -271,7 +273,8 @@ def union_edge_batch(parent: np.ndarray, eu: np.ndarray, ev: np.ndarray,
     ``local=True`` resolves roots only for the endpoints still in the
     batch each round — O(touched) per round; ``local=False`` is the
     all-vertex reference.  Both produce identical links and final
-    labels.
+    labels.  ``kb`` is the kernel backend the link scatter dispatches
+    through (default: the canonical numpy backend).
     """
     links = 0
     hops = 0
@@ -292,7 +295,7 @@ def union_edge_batch(parent: np.ndarray, eu: np.ndarray, ev: np.ndarray,
         ru, rv = ru[cross], rv[cross]
         if eu.size == 0:
             break
-        links += link_roots(parent, ru, rv, priority)
+        links += link_roots(parent, ru, rv, priority, kb=kb)
     if eu.size:
         raise RuntimeError("union batch failed to converge")
     return links, hops
@@ -301,7 +304,8 @@ def union_edge_batch(parent: np.ndarray, eu: np.ndarray, ev: np.ndarray,
 def link_roots(parent: np.ndarray,
                a_roots: np.ndarray,
                b_roots: np.ndarray,
-               priority: np.ndarray | None = None) -> int:
+               priority: np.ndarray | None = None,
+               *, kb=None) -> int:
     """Linearized batch of concurrent root links.
 
     For each pair, the root with the larger priority value is pointed
@@ -317,6 +321,10 @@ def link_roots(parent: np.ndarray,
     earlier in the same batch, which can temporarily split a merged
     set — exactly as racy concurrent hooking does.  Callers must loop
     until no edge crosses two sets (as SV/JT/Afforest all do).
+
+    The id-priority link is one atomic-min scatter with per-slot
+    success counting; it dispatches through ``kb`` (default: the
+    canonical numpy backend).
     """
     if priority is None:
         # Smaller id = higher priority (becomes the winner/parent).
@@ -331,9 +339,7 @@ def link_roots(parent: np.ndarray,
     if hi.size == 0:
         return 0
     if priority is None:
-        before = parent[hi].copy()
-        np.minimum.at(parent, hi, lo)
-        return int(np.count_nonzero(parent[hi] < before))
+        return (kb or get_backend()).scatter_min_count(parent, hi, lo)
     # Keep, per loser, the winner with the best (lowest) priority.
     order = np.lexsort((priority[lo], hi))
     hi_sorted = hi[order]

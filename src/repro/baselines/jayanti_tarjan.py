@@ -30,6 +30,7 @@ from ..core.result import CCResult
 from ..graph.csr import CSRGraph
 from ..instrument.counters import OpCounters
 from ..instrument.trace import Direction, IterationRecord, RunTrace
+from ..core.backends import get_backend
 from ..parallel.machine import SKYLAKEX, MachineSpec
 from .disjoint_set import (
     charge_union,
@@ -46,13 +47,17 @@ _MAX_ROUNDS = 10_000
 
 def jayanti_tarjan_cc(graph: CSRGraph, *, seed: int = 0,
                       machine: MachineSpec = SKYLAKEX,
-                      dataset: str = "", local: bool = True) -> CCResult:
+                      dataset: str = "", local: bool = True,
+                      backend: str | None = None) -> CCResult:
     """Run JT; labels are fully-compressed parent ids.
 
     ``machine`` is accepted for front-door uniformity; execution is
     machine-independent (the cost model applies it at timing).
+    ``backend`` selects the kernel backend for the link scatters;
+    results are bit-identical across backends.
     """
     del machine
+    kb = get_backend(backend)
     n = graph.num_vertices
     trace = RunTrace(algorithm="jt", dataset=dataset)
     parent = np.arange(n, dtype=np.int64)
@@ -75,7 +80,7 @@ def jayanti_tarjan_cc(graph: CSRGraph, *, seed: int = 0,
     if local:
         links, hops = union_edge_batch(parent, eu, ev,
                                        priority=priority,
-                                       max_rounds=_MAX_ROUNDS)
+                                       max_rounds=_MAX_ROUNDS, kb=kb)
         charge_union(counters, m, links, hops, endpoint_reads=2)
     else:
         counters.edges_processed += m      # each edge processed once
@@ -97,7 +102,7 @@ def jayanti_tarjan_cc(graph: CSRGraph, *, seed: int = 0,
             ru, rv = ru[cross], rv[cross]
             if eu.size == 0:
                 break
-            linked = link_roots(parent, ru, rv, priority)
+            linked = link_roots(parent, ru, rv, priority, kb=kb)
             counters.record_cas_successes(linked)
         if eu.size:
             raise RuntimeError("Jayanti-Tarjan failed to converge")

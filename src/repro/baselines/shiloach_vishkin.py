@@ -31,6 +31,7 @@ from ..core.result import CCResult
 from ..graph.csr import CSRGraph
 from ..instrument.counters import OpCounters
 from ..instrument.trace import Direction, IterationRecord, RunTrace
+from ..core.backends import get_backend
 from ..parallel.machine import SKYLAKEX, MachineSpec
 from .disjoint_set import shortcut_parents
 
@@ -42,13 +43,17 @@ _MAX_ROUNDS = 10_000
 def shiloach_vishkin_cc(graph: CSRGraph, *,
                         machine: MachineSpec = SKYLAKEX,
                         dataset: str = "",
-                        local: bool = True) -> CCResult:
+                        local: bool = True,
+                        backend: str | None = None) -> CCResult:
     """Run SV to convergence; returns labels = component root ids.
 
     ``machine`` is accepted for front-door uniformity; execution is
     machine-independent (the cost model applies it at timing).
+    ``backend`` selects the kernel backend the hook scatter runs on;
+    results are bit-identical across backends.
     """
     del machine
+    kb = get_backend(backend)
     n = graph.num_vertices
     trace = RunTrace(algorithm="sv", dataset=dataset)
     comp = np.arange(n, dtype=np.int64)
@@ -79,12 +84,11 @@ def shiloach_vishkin_cc(graph: CSRGraph, *,
         changed = 0
         if targets.size:
             # Count per distinct root, not per hooking edge: several
-            # edges lowering the same root are one linearized commit.
-            before = comp[targets]
-            np.minimum.at(comp, targets, values)
-            dropped = np.zeros(n, dtype=bool)
-            dropped[targets[comp[targets] < before]] = True
-            changed = int(np.count_nonzero(dropped))
+            # edges lowering the same root are one linearized commit —
+            # exactly the unique changed-target set the batch
+            # atomic-min reports.
+            changed = int(kb.batch_atomic_min(comp, targets,
+                                              values).size)
             counters.record_cas_successes(changed)
         # --- shortcut: pointer jumping until trees are flat ---
         jump_rounds, touched = shortcut_parents(comp, local=local)

@@ -1,0 +1,433 @@
+"""Canonical numpy kernel implementations (backend-private).
+
+This module is backend-private: import it through
+:func:`repro.core.backends.get_backend` (or the
+:mod:`repro.core.kernels` facade), not directly.  A direct import
+emits a :class:`DeprecationWarning` — promoted to an error under
+pytest — because the set of modules is an implementation detail of
+the registry: compiled backends subclass :class:`NumpyBackend` and
+must stay free to reorganize these files.
+
+The kernels are the batch equivalents of the paper's C inner loops:
+
+* :meth:`NumpyBackend.pull_block` — the pull traversal over a
+  contiguous vertex block: per-row minimum over neighbour labels
+  (``minimum.reduceat`` over the CSR slice).
+* :meth:`NumpyBackend.zero_cut_scan_lengths` — exact count of edges a
+  sequential scan with the Zero Convergence early-exit (Algorithm 2
+  line 31) would touch: the position of each row's first
+  zero-labelled neighbour, found with one ``flatnonzero`` +
+  ``searchsorted``.
+* :meth:`NumpyBackend.concat_adjacency` — gather the adjacency lists
+  of an arbitrary vertex set (push traversals, BFS frontiers).
+* :meth:`NumpyBackend.fused_push_window` — speculative fused
+  evaluation of a window of push chunks: the concatenated adjacency,
+  per-edge source values, and the mask of edges whose atomic-min
+  would succeed on the current snapshot.
+* :meth:`NumpyBackend.batch_atomic_min` /
+  :meth:`NumpyBackend.scatter_min_count` — the linearized batch
+  atomic-min scatter shared by the push engine and the union-find
+  hooks (see :mod:`repro.parallel.atomics` for the linearizability
+  argument).
+
+The kernels *compute* with whole-block batches but *account* work in
+the counters exactly as the modelled sequential/parallel C loops
+would — counters, not NumPy op counts, are the reproduction's ground
+truth (DESIGN.md Section 5).  Every other backend must be
+bit-identical to this one: labels, changed masks, scan lengths,
+counters and traces (the conformance suite in
+``tests/test_backend_conformance.py`` enforces it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...graph.csr import CSRGraph
+from . import _check_sanctioned_import
+
+_check_sanctioned_import(__name__)
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+def blockwise_sums(values: np.ndarray, starts: np.ndarray,
+                   ends: np.ndarray) -> np.ndarray:
+    """Per-block sums ``values[starts[i]:ends[i]]`` via one prefix sum.
+
+    Unlike ``np.add.reduceat`` this is well-defined for empty blocks
+    (``starts[i] == ends[i]`` sums to 0), which the engine's block
+    metadata produces for empty partitions.  Blocks may overlap or be
+    listed in any order; only ``starts <= ends`` is required.
+    """
+    cum = np.concatenate(([0], np.cumsum(values, dtype=np.int64)))
+    return cum[ends] - cum[starts]
+
+
+def segment_min(values: np.ndarray, starts: np.ndarray,
+                ends: np.ndarray, fill: np.ndarray) -> np.ndarray:
+    """Per-segment minimum of ``values[starts[i]:ends[i]]``.
+
+    Empty segments get ``fill[i]``.  Segments must be non-overlapping
+    and ascending (CSR rows always are).
+    """
+    out = np.asarray(fill).copy()
+    nonempty = ends > starts
+    if not nonempty.any():
+        return out
+    s = starts[nonempty]
+    mins = np.minimum.reduceat(values, s)
+    # reduceat's segment i ends at the next start; CSR rows are
+    # contiguous (ends[i] == starts[i+1] for adjacent rows), and any
+    # gap rows were empty, so the tail beyond ends[i] belongs to later
+    # segments only when rows are contiguous — which they are here.
+    out[nonempty] = np.minimum(out[nonempty], mins)
+    return out
+
+
+def pull_block(graph: CSRGraph, labels: np.ndarray,
+               lo: int, hi: int) -> tuple[np.ndarray, np.ndarray]:
+    """Candidate labels for rows ``[lo, hi)`` from the current array.
+
+    Returns ``(new_labels_block, changed_mask)`` where
+    ``new_labels_block[i] = min(labels[lo+i], min of neighbour labels)``.
+    Does *not* write; callers decide commit policy (double-buffered for
+    DO-LP, in-place for Thrifty).
+    """
+    if hi <= lo:
+        empty = np.empty(0, dtype=labels.dtype)
+        return empty, np.empty(0, dtype=bool)
+    s0 = int(graph.indptr[lo])
+    s1 = int(graph.indptr[hi])
+    own = labels[lo:hi]
+    if s1 == s0:
+        return own.copy(), np.zeros(hi - lo, dtype=bool)
+    nbr_labels = labels[graph.indices[s0:s1]]
+    starts = (graph.indptr[lo:hi] - s0).astype(np.int64)
+    ends = (graph.indptr[lo + 1:hi + 1] - s0).astype(np.int64)
+    new = segment_min(nbr_labels, starts, ends, own)
+    return new, new < own
+
+
+def pull_block_zero_cut(graph: CSRGraph, labels: np.ndarray,
+                        lo: int, hi: int,
+                        skip: np.ndarray | None = None
+                        ) -> tuple[np.ndarray, np.ndarray, int]:
+    """Pull over rows ``[lo, hi)`` with Zero Convergence *executed*.
+
+    Where :func:`pull_block` gathers every row's full adjacency,
+    this kernel gathers only what a sequential Zero-Convergence scan
+    (Algorithm 2 line 31) touches: skipped rows (own label already
+    zero, or ``skip[i]``) contribute nothing, and every other row's
+    scan stops at its first zero-labelled neighbour.  Labels are
+    non-negative, so a prefix ending at a zero has the same minimum as
+    the full row — the result is bit-identical to :func:`pull_block`
+    while the gathered edge set matches the counted one exactly.
+
+    Returns ``(new_labels_block, changed_mask, edges_scanned)`` with
+    ``edges_scanned == zero_cut_scan_lengths(...).sum()``.  Does not
+    write; callers decide commit policy.
+    """
+    if hi <= lo:
+        empty = np.empty(0, dtype=labels.dtype)
+        return empty, np.empty(0, dtype=bool), 0
+    own = labels[lo:hi]
+    if skip is None:
+        skip = own == 0
+    scanned = zero_cut_scan_lengths(graph, labels, lo, hi, skip)
+    total = int(scanned.sum())
+    new = own.copy()
+    if total == 0:
+        return new, np.zeros(hi - lo, dtype=bool), 0
+    row_start = graph.indptr[lo:hi].astype(np.int64)
+    starts = np.zeros(hi - lo, dtype=np.int64)
+    np.cumsum(scanned[:-1], out=starts[1:])
+    ends = starts + scanned
+    idx = np.arange(total, dtype=np.int64)
+    seg = np.searchsorted(starts, idx, side="right") - 1
+    pos = row_start[seg] + (idx - starts[seg])
+    nbr_labels = labels[graph.indices[pos]]
+    new = segment_min(nbr_labels, starts, ends, own)
+    return new, new < own, total
+
+
+def zero_cut_scan_lengths(graph: CSRGraph, labels: np.ndarray,
+                          lo: int, hi: int,
+                          skip: np.ndarray | None = None) -> np.ndarray:
+    """Edges a Zero-Convergence scan of rows ``[lo, hi)`` would touch.
+
+    For each row: 0 if the row is skipped (own label already zero),
+    otherwise the 1-based position of its first zero-labelled
+    neighbour (the scan breaks there), or the full degree when no
+    neighbour is zero.
+
+    ``skip`` is the per-row skip mask (default: ``labels[lo:hi]==0``).
+    """
+    if hi <= lo:
+        return np.empty(0, dtype=np.int64)
+    s0 = int(graph.indptr[lo])
+    s1 = int(graph.indptr[hi])
+    row_start = (graph.indptr[lo:hi] - s0).astype(np.int64)
+    row_end = (graph.indptr[lo + 1:hi + 1] - s0).astype(np.int64)
+    full = row_end - row_start
+    if s1 == s0:
+        return np.zeros(hi - lo, dtype=np.int64)
+    zero_pos = np.flatnonzero(labels[graph.indices[s0:s1]] == 0)
+    if zero_pos.size:
+        k = np.searchsorted(zero_pos, row_start, side="left")
+        k_clip = np.minimum(k, zero_pos.size - 1)
+        first = zero_pos[k_clip]
+        has_zero = (k < zero_pos.size) & (first < row_end)
+        scanned = np.where(has_zero, first - row_start + 1, full)
+    else:
+        scanned = full
+    if skip is None:
+        skip = labels[lo:hi] == 0
+    return np.where(skip, 0, scanned)
+
+
+def intra_block_groups(graph: CSRGraph, block_bounds: np.ndarray
+                       ) -> np.ndarray:
+    """Connected components of each block's internal subgraph.
+
+    ``block_bounds`` partitions ``[0, n)`` into contiguous blocks;
+    an edge is *internal* when both endpoints fall in the same block.
+    Returns ``groups[v]`` = minimum vertex id of v's internal
+    component (so ``groups[v] == v`` for singleton/boundary-only
+    vertices).
+
+    This is simulation machinery for the Unified Labels Array: a real
+    thread sweeps its range vertex-by-vertex reading freshly-written
+    labels, so a label entering a block propagates through the block's
+    internal subgraph within the same iteration.  The engine models
+    that as one group-min per block per pull ("block-asynchronous"
+    execution); the groups are static, so they are computed once here
+    by pointer-jumping CC over intra-block edges only.
+    """
+    n = graph.num_vertices
+    parent = np.arange(n, dtype=np.int64)
+    if n == 0 or graph.num_edges == 0:
+        return parent
+    src = graph.edge_sources()
+    dst = graph.indices.astype(np.int64)
+    block_of = np.searchsorted(block_bounds, np.arange(n), side="right")
+    same = block_of[src] == block_of[dst]
+    eu, ev = src[same], dst[same]
+    while eu.size:
+        # Resolve roots, keep only cross-component edges, link to min.
+        while True:
+            nxt = parent[parent]
+            if np.array_equal(nxt, parent):
+                break
+            parent = nxt
+        ru, rv = parent[eu], parent[ev]
+        cross = ru != rv
+        eu, ev, ru, rv = eu[cross], ev[cross], ru[cross], rv[cross]
+        if eu.size == 0:
+            break
+        lo = np.minimum(ru, rv)
+        hi = np.maximum(ru, rv)
+        np.minimum.at(parent, hi, lo)
+    while True:
+        nxt = parent[parent]
+        if np.array_equal(nxt, parent):
+            return parent
+        parent = nxt
+
+
+def block_async_min(jacobi: np.ndarray, groups_local: np.ndarray
+                    ) -> np.ndarray:
+    """Propagate one Jacobi step to quiescence within a block.
+
+    ``jacobi`` holds each row's one-step min (own + neighbour
+    snapshot); ``groups_local`` the 0-based internal-component id of
+    each row.  The block-asynchronous fixpoint is simply the group
+    minimum of the Jacobi values — every label entering an internal
+    component floods it.
+    """
+    tmp = np.full(jacobi.size, _INT64_MAX, dtype=np.int64)
+    np.minimum.at(tmp, groups_local, jacobi)
+    return np.minimum(jacobi, tmp[groups_local])
+
+
+def chunked_cuts(boundaries: np.ndarray, block_size: int) -> np.ndarray:
+    """Subdivide boundary-delimited segments into ``block_size`` chunks.
+
+    ``boundaries`` is a strictly-increasing array of offsets; each
+    segment ``[boundaries[i], boundaries[i+1])`` is cut into pieces of
+    at most ``block_size`` starting at the segment's own start, so no
+    chunk ever crosses a boundary.  Returns the ascending cut offsets,
+    from ``boundaries[0]`` to ``boundaries[-1]`` inclusive: chunk ``i``
+    is ``[cuts[i], cuts[i+1])``.
+    """
+    boundaries = np.asarray(boundaries, dtype=np.int64)
+    if block_size < 1:
+        raise ValueError("block_size must be >= 1")
+    seg = np.diff(boundaries)
+    if np.any(seg <= 0):
+        raise ValueError("boundaries must be strictly increasing")
+    nchunks = (seg + block_size - 1) // block_size
+    total = int(nchunks.sum())
+    base = np.repeat(boundaries[:-1], nchunks)
+    first = np.repeat(np.cumsum(nchunks) - nchunks, nchunks)
+    offs = (np.arange(total, dtype=np.int64) - first) * block_size
+    return np.concatenate([base + offs, boundaries[-1:]])
+
+
+def push_scan_lengths(graph: CSRGraph, active: np.ndarray,
+                      starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Atomic-min attempts a push over each chunk
+    ``active[starts[i]:ends[i]]`` performs — the sum of the chunk
+    rows' degrees (a push scans every incident edge; there is no
+    zero-cut on the push side, the early exit lives in the CAS)."""
+    return blockwise_sums(graph.degrees[active], starts, ends)
+
+
+def fused_push_window(graph: CSRGraph, read: np.ndarray,
+                      write: np.ndarray, rows: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                 np.ndarray]:
+    """Speculative fused evaluation of a window of push chunks.
+
+    Concatenates the adjacency of ``rows`` (the window's chunks in
+    worklist order), gathers each edge's source value from ``read``,
+    and marks the edges whose atomic-min against ``write`` would
+    succeed on the current snapshot.  Returns ``(targets, values,
+    counts, improving)`` with ``counts[i] = degree(rows[i])``.
+
+    The evaluation is exact up to and including the *first* chunk
+    containing an improving edge: every earlier chunk commits nothing,
+    so a sequential per-chunk replay would have read the same
+    snapshot.  Callers commit that chunk's slice and re-evaluate from
+    the chunk after it (see ``_Engine._push_run``).
+    """
+    targets, counts = concat_adjacency(graph, rows)
+    if targets.size == 0:
+        return (targets, np.empty(0, dtype=read.dtype), counts,
+                np.empty(0, dtype=bool))
+    values = np.repeat(read[rows], counts)
+    improving = values < write[targets]
+    return targets, values, counts, improving
+
+
+def concat_adjacency(graph: CSRGraph, rows: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate the adjacency lists of ``rows``.
+
+    Returns ``(targets, counts)`` where ``targets`` is the
+    concatenation of each row's neighbours (row-major order) and
+    ``counts[i] = degree(rows[i])``.  Sources repeated per edge are
+    ``np.repeat(rows, counts)``.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    counts = graph.degrees[rows]
+    total = int(counts.sum())
+    if total == 0:
+        return (np.empty(0, dtype=graph.indices.dtype),
+                counts.astype(np.int64))
+    offsets = np.zeros(rows.size, dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    idx = np.arange(total, dtype=np.int64)
+    seg = np.searchsorted(offsets, idx, side="right") - 1
+    pos = graph.indptr[rows][seg] + (idx - offsets[seg])
+    return graph.indices[pos], counts.astype(np.int64)
+
+
+def batch_atomic_min(array: np.ndarray,
+                     indices: np.ndarray,
+                     values: np.ndarray) -> np.ndarray:
+    """Linearized batch of concurrent atomic-min operations.
+
+    Applies ``array[indices[k]] = min(array[indices[k]], values[k])``
+    for all k as one unbuffered scatter, then returns the *unique*
+    target indices whose cells actually changed (ascending).  This
+    matches the set of vertices any real interleaving of CAS-min
+    loops would enqueue (modulo duplicates, which the paper's shared
+    byte array also only suppresses best-effort).
+    """
+    indices = np.asarray(indices)
+    values = np.asarray(values)
+    if indices.shape != values.shape:
+        raise ValueError("indices and values must have equal shapes")
+    if indices.size == 0:
+        return np.empty(0, dtype=np.int64)
+    targets = np.unique(indices)
+    before = array[targets].copy()
+    np.minimum.at(array, indices, values)
+    return targets[array[targets] < before].astype(np.int64)
+
+
+def batch_atomic_min_count(array: np.ndarray,
+                           indices: np.ndarray,
+                           values: np.ndarray) -> tuple[np.ndarray, int]:
+    """Like :func:`batch_atomic_min`, also counting successful CAS ops.
+
+    The count approximates how many individual ``atomic_min`` calls
+    would have returned True in a sequential replay: for each target
+    cell, every distinct strictly-decreasing value in arrival order
+    would have succeeded once.  We report the linearized lower bound
+    (one success per changed cell) plus the number of duplicate
+    attempts that carried the winning value, which the counters use
+    for instruction accounting.
+    """
+    changed = batch_atomic_min(array, indices, values)
+    if changed.size == 0:
+        return changed, 0
+    indices = np.asarray(indices)
+    values = np.asarray(values)
+    # An attempt "carried the winning value" when its value equals the
+    # cell's final (minimum) value; restrict to cells that changed so
+    # no-op attempts on already-minimal cells are not credited.
+    pos = np.searchsorted(changed, indices)
+    on_changed = changed[np.minimum(pos, changed.size - 1)] == indices
+    winning = values == array[indices]
+    return changed, int(np.count_nonzero(on_changed & winning))
+
+
+def scatter_min_count(array: np.ndarray,
+                      indices: np.ndarray,
+                      values: np.ndarray) -> int:
+    """Scatter-min that counts *slots* whose cell decreased.
+
+    Unlike :func:`batch_atomic_min` (which reports unique changed
+    cells), this counts one success per input slot whose cell ended
+    below that slot's pre-batch snapshot — the convention the
+    union-find hooks use to charge one link per winning CAS attempt
+    (``disjoint_set.link_roots``).  Duplicated indices therefore may
+    count more than once, exactly as the per-slot replay would.
+    """
+    indices = np.asarray(indices)
+    values = np.asarray(values)
+    if indices.size == 0:
+        return 0
+    before = array[indices].copy()
+    np.minimum.at(array, indices, values)
+    return int(np.count_nonzero(array[indices] < before))
+
+
+class NumpyBackend:
+    """The canonical kernel backend: pure-numpy batch kernels.
+
+    Every registered backend must be bit-identical to this one on all
+    outputs (labels, masks, scan lengths, counts).  Compiled backends
+    subclass it and override the hot kernels, inheriting the
+    structural helpers (``chunked_cuts``, ``intra_block_groups``)
+    that run once per graph and never dominate.
+    """
+
+    name = "numpy"
+
+    blockwise_sums = staticmethod(blockwise_sums)
+    segment_min = staticmethod(segment_min)
+    pull_block = staticmethod(pull_block)
+    pull_block_zero_cut = staticmethod(pull_block_zero_cut)
+    zero_cut_scan_lengths = staticmethod(zero_cut_scan_lengths)
+    intra_block_groups = staticmethod(intra_block_groups)
+    block_async_min = staticmethod(block_async_min)
+    chunked_cuts = staticmethod(chunked_cuts)
+    push_scan_lengths = staticmethod(push_scan_lengths)
+    fused_push_window = staticmethod(fused_push_window)
+    concat_adjacency = staticmethod(concat_adjacency)
+    batch_atomic_min = staticmethod(batch_atomic_min)
+    batch_atomic_min_count = staticmethod(batch_atomic_min_count)
+    scatter_min_count = staticmethod(scatter_min_count)

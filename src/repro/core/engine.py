@@ -64,7 +64,6 @@ import numpy as np
 from ..graph.csr import CSRGraph
 from ..instrument.counters import OpCounters
 from ..instrument.trace import Direction, IterationRecord, RunTrace
-from ..parallel.atomics import batch_atomic_min
 from ..parallel.frontier import AdaptiveFrontier, CountOnlyFrontier
 from ..parallel.machine import SKYLAKEX, MachineSpec
 from ..parallel.partition import (
@@ -73,17 +72,7 @@ from ..parallel.partition import (
 )
 from ..parallel.scheduler import WorkStealingScheduler
 from ..parallel.worklist import LocalWorklists
-from .kernels import (
-    block_async_min,
-    blockwise_sums,
-    chunked_cuts,
-    concat_adjacency,
-    fused_push_window,
-    intra_block_groups,
-    pull_block,
-    push_scan_lengths,
-    zero_cut_scan_lengths,
-)
+from .backends import canonical_backend, get_backend
 from .labels import identity_labels, zero_planted_labels
 from .result import CCResult
 
@@ -101,7 +90,10 @@ class LPOptions:
     way; False replays the reference one-Python-iteration-per-
     block/chunk visit, kept for model validation and benchmarking).
     ``frontier_switch_density`` is the worklist→bitmap threshold of
-    the engine's adaptive frontiers.
+    the engine's adaptive frontiers.  ``backend`` selects the kernel
+    backend the run dispatches its hot kernels through (``None`` =
+    the canonical ``"numpy"`` backend); every registered backend is
+    bit-identical, so it changes wall-clock only.
     """
 
     unified_labels: bool = True
@@ -125,8 +117,11 @@ class LPOptions:
     fuse_push: bool = True
     frontier_switch_density: float = 0.02
     algorithm_name: str = "thrifty"
+    backend: str | None = None
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "backend",
+                           canonical_backend(self.backend))
         if not (0.0 < self.threshold <= 1.0):
             raise ValueError("threshold must be in (0, 1]")
         if self.num_threads < 1:
@@ -156,6 +151,9 @@ class _Engine:
                  dataset: str) -> None:
         self.graph = graph
         self.opts = opts
+        # The kernel backend every hot call below dispatches through;
+        # resolved once per run from the typed option.
+        self.kb = get_backend(opts.backend)
         self.n = graph.num_vertices
         self.counters = OpCounters()
         self.trace = RunTrace(algorithm=opts.algorithm_name,
@@ -208,7 +206,8 @@ class _Engine:
                 bounds.append(self.n)
             self.block_bounds = np.array(sorted(set(bounds)),
                                          dtype=np.int64)
-            self.groups = intra_block_groups(graph, self.block_bounds[1:])
+            self.groups = self.kb.intra_block_groups(graph,
+                                                     self.block_bounds[1:])
             self.block_starts = self.block_bounds[:-1]
             self.block_ends = self.block_bounds[1:]
             self.block_edge_counts = (
@@ -261,7 +260,7 @@ class _Engine:
         targets = g.neighbors(self.hub).astype(np.int64)
         values = np.full(targets.size, self._read_array()[self.hub],
                          dtype=self.labels.dtype)
-        changed = batch_atomic_min(self.labels, targets, values)
+        changed = self.kb.batch_atomic_min(self.labels, targets, values)
         self.counters.record_push_scan(int(targets.size), 1)
         self.counters.record_cas_successes(int(changed.size))
         frontier = self._new_frontier()
@@ -332,14 +331,14 @@ class _Engine:
         pb = self.partitioning.bounds
         if zero:
             skip = read == 0
-            scanned = zero_cut_scan_lengths(g, read, 0, n, skip)
+            scanned = self.kb.zero_cut_scan_lengths(g, read, 0, n, skip)
             edges = int(scanned.sum())
-            work += blockwise_sums(scanned, pb[:-1], pb[1:])
+            work += self.kb.blockwise_sums(scanned, pb[:-1], pb[1:])
         else:
             edges = int(g.indptr[n] - g.indptr[0])
             work += np.diff(g.indptr[pb])
         work += np.diff(pb)   # one own-label check per vertex
-        new, changed = pull_block(g, read, 0, n)
+        new, changed = self.kb.pull_block(g, read, 0, n)
         self.counters.record_pull_scan(edges, n)
         self._commit_rows(0, new, changed, counts, detailed)
 
@@ -358,14 +357,15 @@ class _Engine:
                 hi = min(lo + opts.block_size, hi_p)
                 if zero:
                     skip = read[lo:hi] == 0
-                    scanned = zero_cut_scan_lengths(g, read, lo, hi, skip)
+                    scanned = self.kb.zero_cut_scan_lengths(g, read,
+                                                            lo, hi, skip)
                     edges = int(scanned.sum())
                 else:
                     edges = int(g.indptr[hi] - g.indptr[lo])
-                new, _ = pull_block(g, read, lo, hi)
+                new, _ = self.kb.pull_block(g, read, lo, hi)
                 # Block-async: a thread's sequential sweep floods
                 # each internal component within the iteration.
-                new = block_async_min(new, self.groups[lo:hi] - lo)
+                new = self.kb.block_async_min(new, self.groups[lo:hi] - lo)
                 changed = new < read[lo:hi]
                 self.counters.record_pull_scan(edges, hi - lo)
                 work[p] += edges + (hi - lo)
@@ -389,7 +389,7 @@ class _Engine:
         part = self.partitioning
         bs_, be_ = self.block_starts, self.block_ends
         nonzero = read != 0
-        blk_live = blockwise_sums(nonzero, bs_, be_) > 0
+        blk_live = self.kb.blockwise_sums(nonzero, bs_, be_) > 0
         # Bulk-account every converged block: per-vertex own-label
         # checks, plus the full edge scan when Zero Convergence is off
         # (with it on, a zero row's scan length is exactly 0).
@@ -402,11 +402,11 @@ class _Engine:
             e_skip = int(skip_edges.sum())
             if nv_skip or e_skip:
                 self.counters.record_pull_skip(nv_skip, e_skip)
-            work += blockwise_sums(skip_edges, self.part_block_lo,
-                                   self.part_block_hi)
+            work += self.kb.blockwise_sums(skip_edges, self.part_block_lo,
+                                           self.part_block_hi)
         work += np.diff(part.bounds)   # one own-label check per vertex
-        live_parts = blockwise_sums(nonzero, part.bounds[:-1],
-                                    part.bounds[1:]) > 0
+        live_parts = self.kb.blockwise_sums(nonzero, part.bounds[:-1],
+                                            part.bounds[1:]) > 0
         for p in self.partition_order[live_parts[self.partition_order]]:
             p = int(p)
             b0, b1 = int(self.part_block_lo[p]), int(self.part_block_hi[p])
@@ -447,8 +447,8 @@ class _Engine:
         while bi < bi1:
             wend = min(bi + window, bi1)
             lo, whi = int(bs_[bi]), int(be_[wend - 1])
-            new, _ = pull_block(g, read, lo, whi)
-            new = block_async_min(new, self.groups[lo:whi] - lo)
+            new, _ = self.kb.pull_block(g, read, lo, whi)
+            new = self.kb.block_async_min(new, self.groups[lo:whi] - lo)
             changed = new < read[lo:whi]
             if not changed.any():
                 fb = -1
@@ -460,8 +460,8 @@ class _Engine:
                 fb = int(np.searchsorted(bs_, first, side="right")) - 1
                 flo, cut = int(bs_[fb]), int(be_[fb])
             if zero:
-                scanned = zero_cut_scan_lengths(g, read, lo, cut,
-                                                read[lo:cut] == 0)
+                scanned = self.kb.zero_cut_scan_lengths(g, read, lo, cut,
+                                                        read[lo:cut] == 0)
                 edges = int(scanned.sum())
             else:
                 edges = int(g.indptr[cut] - g.indptr[lo])
@@ -509,7 +509,7 @@ class _Engine:
             # chunks never straddle them (partitions are contiguous
             # vertex ranges and `active` is sorted).
             seg = np.unique(np.searchsorted(active, part.bounds))
-            cuts = chunked_cuts(seg, opts.block_size)
+            cuts = self.kb.chunked_cuts(seg, opts.block_size)
             chunk_part = part.partition_of(active[cuts[:-1]])
             if opts.fuse_push:
                 self._push_chunks_fused(active, cuts, chunk_part, read,
@@ -538,14 +538,14 @@ class _Engine:
         for i in range(chunk_part.size):
             chunk = active[cuts[i]:cuts[i + 1]]
             p = int(chunk_part[i])
-            targets, deg = concat_adjacency(g, chunk)
+            targets, deg = self.kb.concat_adjacency(g, chunk)
             work[p] += int(chunk.size) + int(targets.size)
             if targets.size == 0:
                 self.counters.record_push_scan(0, int(chunk.size))
                 continue
             values = np.repeat(read[chunk], deg)
-            changed = batch_atomic_min(self.labels,
-                                       targets.astype(np.int64), values)
+            changed = self.kb.batch_atomic_min(
+                self.labels, targets.astype(np.int64), values)
             self.counters.record_push_scan(int(targets.size),
                                            int(chunk.size))
             self.counters.record_cas_successes(int(changed.size))
@@ -564,8 +564,8 @@ class _Engine:
         part = self.partitioning
         owners = chunk_part // part.partitions_per_thread()
         vert_counts = np.diff(cuts)
-        edge_counts = push_scan_lengths(self.graph, active,
-                                        cuts[:-1], cuts[1:])
+        edge_counts = self.kb.push_scan_lengths(self.graph, active,
+                                                cuts[:-1], cuts[1:])
         chunk_work = (vert_counts + edge_counts).astype(np.float64)
         run_ends = np.flatnonzero(np.diff(owners)) + 1
         bounds = [0, *run_ends.tolist(), int(owners.size)]
@@ -621,7 +621,7 @@ class _Engine:
         while ci < ci1:
             wend = min(ci + window, ci1)
             rows = active[cuts[ci]:cuts[wend]]
-            targets, values, _, improving = fused_push_window(
+            targets, values, _, improving = self.kb.fused_push_window(
                 g, read, self.labels, rows)
             if not improving.any():
                 # Clean window: nothing commits; bulk-account it.

@@ -1,20 +1,26 @@
-"""Vectorized traversal kernels shared by DO-LP and Thrifty.
+"""Vectorized traversal kernels shared by DO-LP and Thrifty (facade).
 
-These are the batch equivalents of the paper's C inner loops:
+As of the backend redesign this module is a thin dispatching facade
+over the *default* kernel backend (see :mod:`repro.core.backends`):
+every function forwards to ``get_backend()`` — the canonical
+``"numpy"`` backend unless a caller threads an explicit ``backend``
+option through the engine, which then holds its own backend object
+and never routes through here.  The facade keeps the historical
+import surface stable for tests, notebooks and external callers;
+implementations live in the backend-private modules and must be
+bit-identical across backends.
+
+The kernels are the batch equivalents of the paper's C inner loops:
 
 * :func:`pull_block` — the pull traversal over a contiguous vertex
-  block: per-row minimum over neighbour labels (``minimum.reduceat``
-  over the CSR slice).
+  block: per-row minimum over neighbour labels.
 * :func:`zero_cut_scan_lengths` — exact count of edges a sequential
   scan with the Zero Convergence early-exit (Algorithm 2 line 31)
-  would touch: the position of each row's first zero-labelled
-  neighbour, found with one ``flatnonzero`` + ``searchsorted``.
+  would touch.
 * :func:`concat_adjacency` — gather the adjacency lists of an
   arbitrary vertex set (push traversals, BFS frontiers).
 * :func:`fused_push_window` — speculative fused evaluation of a
-  window of push chunks: the concatenated adjacency, per-edge source
-  values, and the mask of edges whose atomic-min would succeed on the
-  current snapshot.
+  window of push chunks.
 * :func:`chunked_cuts` / :func:`push_scan_lengths` — chunk a
   boundary-segmented worklist into ``block_size`` pieces and count
   the atomic-min attempts each chunk performs.
@@ -30,8 +36,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.csr import CSRGraph
-
-_INT64_MAX = np.iinfo(np.int64).max
+from .backends import get_backend
 
 __all__ = [
     "pull_block",
@@ -52,13 +57,10 @@ def blockwise_sums(values: np.ndarray, starts: np.ndarray,
                    ends: np.ndarray) -> np.ndarray:
     """Per-block sums ``values[starts[i]:ends[i]]`` via one prefix sum.
 
-    Unlike ``np.add.reduceat`` this is well-defined for empty blocks
-    (``starts[i] == ends[i]`` sums to 0), which the engine's block
-    metadata produces for empty partitions.  Blocks may overlap or be
-    listed in any order; only ``starts <= ends`` is required.
+    Well-defined for empty blocks (``starts[i] == ends[i]`` sums to
+    0); blocks may overlap or be listed in any order.
     """
-    cum = np.concatenate(([0], np.cumsum(values, dtype=np.int64)))
-    return cum[ends] - cum[starts]
+    return get_backend().blockwise_sums(values, starts, ends)
 
 
 def segment_min(values: np.ndarray, starts: np.ndarray,
@@ -68,18 +70,7 @@ def segment_min(values: np.ndarray, starts: np.ndarray,
     Empty segments get ``fill[i]``.  Segments must be non-overlapping
     and ascending (CSR rows always are).
     """
-    out = np.asarray(fill).copy()
-    nonempty = ends > starts
-    if not nonempty.any():
-        return out
-    s = starts[nonempty]
-    mins = np.minimum.reduceat(values, s)
-    # reduceat's segment i ends at the next start; CSR rows are
-    # contiguous (ends[i] == starts[i+1] for adjacent rows), and any
-    # gap rows were empty, so the tail beyond ends[i] belongs to later
-    # segments only when rows are contiguous — which they are here.
-    out[nonempty] = np.minimum(out[nonempty], mins)
-    return out
+    return get_backend().segment_min(values, starts, ends, fill)
 
 
 def pull_block(graph: CSRGraph, labels: np.ndarray,
@@ -91,19 +82,7 @@ def pull_block(graph: CSRGraph, labels: np.ndarray,
     Does *not* write; callers decide commit policy (double-buffered for
     DO-LP, in-place for Thrifty).
     """
-    if hi <= lo:
-        empty = np.empty(0, dtype=labels.dtype)
-        return empty, np.empty(0, dtype=bool)
-    s0 = int(graph.indptr[lo])
-    s1 = int(graph.indptr[hi])
-    own = labels[lo:hi]
-    if s1 == s0:
-        return own.copy(), np.zeros(hi - lo, dtype=bool)
-    nbr_labels = labels[graph.indices[s0:s1]]
-    starts = (graph.indptr[lo:hi] - s0).astype(np.int64)
-    ends = (graph.indptr[lo + 1:hi + 1] - s0).astype(np.int64)
-    new = segment_min(nbr_labels, starts, ends, own)
-    return new, new < own
+    return get_backend().pull_block(graph, labels, lo, hi)
 
 
 def pull_block_zero_cut(graph: CSRGraph, labels: np.ndarray,
@@ -112,40 +91,16 @@ def pull_block_zero_cut(graph: CSRGraph, labels: np.ndarray,
                         ) -> tuple[np.ndarray, np.ndarray, int]:
     """Pull over rows ``[lo, hi)`` with Zero Convergence *executed*.
 
-    Where :func:`pull_block` gathers every row's full adjacency,
-    this kernel gathers only what a sequential Zero-Convergence scan
-    (Algorithm 2 line 31) touches: skipped rows (own label already
-    zero, or ``skip[i]``) contribute nothing, and every other row's
-    scan stops at its first zero-labelled neighbour.  Labels are
-    non-negative, so a prefix ending at a zero has the same minimum as
-    the full row — the result is bit-identical to :func:`pull_block`
-    while the gathered edge set matches the counted one exactly.
-
-    Returns ``(new_labels_block, changed_mask, edges_scanned)`` with
-    ``edges_scanned == zero_cut_scan_lengths(...).sum()``.  Does not
-    write; callers decide commit policy.
+    Gathers only what a sequential Zero-Convergence scan (Algorithm 2
+    line 31) touches: skipped rows (own label already zero, or
+    ``skip[i]``) contribute nothing, every other row's scan stops at
+    its first zero-labelled neighbour.  Bit-identical to
+    :func:`pull_block` while the gathered edge set matches the counted
+    one exactly.  Returns ``(new_labels_block, changed_mask,
+    edges_scanned)`` with ``edges_scanned ==
+    zero_cut_scan_lengths(...).sum()``.
     """
-    if hi <= lo:
-        empty = np.empty(0, dtype=labels.dtype)
-        return empty, np.empty(0, dtype=bool), 0
-    own = labels[lo:hi]
-    if skip is None:
-        skip = own == 0
-    scanned = zero_cut_scan_lengths(graph, labels, lo, hi, skip)
-    total = int(scanned.sum())
-    new = own.copy()
-    if total == 0:
-        return new, np.zeros(hi - lo, dtype=bool), 0
-    row_start = graph.indptr[lo:hi].astype(np.int64)
-    starts = np.zeros(hi - lo, dtype=np.int64)
-    np.cumsum(scanned[:-1], out=starts[1:])
-    ends = starts + scanned
-    idx = np.arange(total, dtype=np.int64)
-    seg = np.searchsorted(starts, idx, side="right") - 1
-    pos = row_start[seg] + (idx - starts[seg])
-    nbr_labels = labels[graph.indices[pos]]
-    new = segment_min(nbr_labels, starts, ends, own)
-    return new, new < own, total
+    return get_backend().pull_block_zero_cut(graph, labels, lo, hi, skip)
 
 
 def zero_cut_scan_lengths(graph: CSRGraph, labels: np.ndarray,
@@ -156,119 +111,46 @@ def zero_cut_scan_lengths(graph: CSRGraph, labels: np.ndarray,
     For each row: 0 if the row is skipped (own label already zero),
     otherwise the 1-based position of its first zero-labelled
     neighbour (the scan breaks there), or the full degree when no
-    neighbour is zero.
-
-    ``skip`` is the per-row skip mask (default: ``labels[lo:hi]==0``).
+    neighbour is zero.  ``skip`` is the per-row skip mask (default:
+    ``labels[lo:hi]==0``).
     """
-    if hi <= lo:
-        return np.empty(0, dtype=np.int64)
-    s0 = int(graph.indptr[lo])
-    s1 = int(graph.indptr[hi])
-    row_start = (graph.indptr[lo:hi] - s0).astype(np.int64)
-    row_end = (graph.indptr[lo + 1:hi + 1] - s0).astype(np.int64)
-    full = row_end - row_start
-    if s1 == s0:
-        return np.zeros(hi - lo, dtype=np.int64)
-    zero_pos = np.flatnonzero(labels[graph.indices[s0:s1]] == 0)
-    if zero_pos.size:
-        k = np.searchsorted(zero_pos, row_start, side="left")
-        k_clip = np.minimum(k, zero_pos.size - 1)
-        first = zero_pos[k_clip]
-        has_zero = (k < zero_pos.size) & (first < row_end)
-        scanned = np.where(has_zero, first - row_start + 1, full)
-    else:
-        scanned = full
-    if skip is None:
-        skip = labels[lo:hi] == 0
-    return np.where(skip, 0, scanned)
+    return get_backend().zero_cut_scan_lengths(graph, labels, lo, hi,
+                                               skip)
 
 
 def intra_block_groups(graph: CSRGraph, block_bounds: np.ndarray
                        ) -> np.ndarray:
     """Connected components of each block's internal subgraph.
 
-    ``block_bounds`` partitions ``[0, n)`` into contiguous blocks;
-    an edge is *internal* when both endpoints fall in the same block.
+    ``block_bounds`` partitions ``[0, n)`` into contiguous blocks; an
+    edge is *internal* when both endpoints fall in the same block.
     Returns ``groups[v]`` = minimum vertex id of v's internal
-    component (so ``groups[v] == v`` for singleton/boundary-only
-    vertices).
-
-    This is simulation machinery for the Unified Labels Array: a real
-    thread sweeps its range vertex-by-vertex reading freshly-written
-    labels, so a label entering a block propagates through the block's
-    internal subgraph within the same iteration.  The engine models
-    that as one group-min per block per pull ("block-asynchronous"
-    execution); the groups are static, so they are computed once here
-    by pointer-jumping CC over intra-block edges only.
+    component.  Simulation machinery for the Unified Labels Array —
+    see the canonical backend's docstring for the full argument.
     """
-    n = graph.num_vertices
-    parent = np.arange(n, dtype=np.int64)
-    if n == 0 or graph.num_edges == 0:
-        return parent
-    src = graph.edge_sources()
-    dst = graph.indices.astype(np.int64)
-    block_of = np.searchsorted(block_bounds, np.arange(n), side="right")
-    same = block_of[src] == block_of[dst]
-    eu, ev = src[same], dst[same]
-    while eu.size:
-        # Resolve roots, keep only cross-component edges, link to min.
-        while True:
-            nxt = parent[parent]
-            if np.array_equal(nxt, parent):
-                break
-            parent = nxt
-        ru, rv = parent[eu], parent[ev]
-        cross = ru != rv
-        eu, ev, ru, rv = eu[cross], ev[cross], ru[cross], rv[cross]
-        if eu.size == 0:
-            break
-        lo = np.minimum(ru, rv)
-        hi = np.maximum(ru, rv)
-        np.minimum.at(parent, hi, lo)
-    while True:
-        nxt = parent[parent]
-        if np.array_equal(nxt, parent):
-            return parent
-        parent = nxt
+    return get_backend().intra_block_groups(graph, block_bounds)
 
 
 def block_async_min(jacobi: np.ndarray, groups_local: np.ndarray
                     ) -> np.ndarray:
     """Propagate one Jacobi step to quiescence within a block.
 
-    ``jacobi`` holds each row's one-step min (own + neighbour
-    snapshot); ``groups_local`` the 0-based internal-component id of
-    each row.  The block-asynchronous fixpoint is simply the group
-    minimum of the Jacobi values — every label entering an internal
-    component floods it.
+    The block-asynchronous fixpoint is the group minimum of the
+    Jacobi values — every label entering an internal component floods
+    it.
     """
-    tmp = np.full(jacobi.size, _INT64_MAX, dtype=np.int64)
-    np.minimum.at(tmp, groups_local, jacobi)
-    return np.minimum(jacobi, tmp[groups_local])
+    return get_backend().block_async_min(jacobi, groups_local)
 
 
 def chunked_cuts(boundaries: np.ndarray, block_size: int) -> np.ndarray:
     """Subdivide boundary-delimited segments into ``block_size`` chunks.
 
-    ``boundaries`` is a strictly-increasing array of offsets; each
-    segment ``[boundaries[i], boundaries[i+1])`` is cut into pieces of
-    at most ``block_size`` starting at the segment's own start, so no
-    chunk ever crosses a boundary.  Returns the ascending cut offsets,
-    from ``boundaries[0]`` to ``boundaries[-1]`` inclusive: chunk ``i``
-    is ``[cuts[i], cuts[i+1])``.
+    Each segment ``[boundaries[i], boundaries[i+1])`` is cut into
+    pieces of at most ``block_size`` starting at the segment's own
+    start, so no chunk ever crosses a boundary.  Returns the ascending
+    cut offsets; chunk ``i`` is ``[cuts[i], cuts[i+1])``.
     """
-    boundaries = np.asarray(boundaries, dtype=np.int64)
-    if block_size < 1:
-        raise ValueError("block_size must be >= 1")
-    seg = np.diff(boundaries)
-    if np.any(seg <= 0):
-        raise ValueError("boundaries must be strictly increasing")
-    nchunks = (seg + block_size - 1) // block_size
-    total = int(nchunks.sum())
-    base = np.repeat(boundaries[:-1], nchunks)
-    first = np.repeat(np.cumsum(nchunks) - nchunks, nchunks)
-    offs = (np.arange(total, dtype=np.int64) - first) * block_size
-    return np.concatenate([base + offs, boundaries[-1:]])
+    return get_backend().chunked_cuts(boundaries, block_size)
 
 
 def push_scan_lengths(graph: CSRGraph, active: np.ndarray,
@@ -277,7 +159,7 @@ def push_scan_lengths(graph: CSRGraph, active: np.ndarray,
     ``active[starts[i]:ends[i]]`` performs — the sum of the chunk
     rows' degrees (a push scans every incident edge; there is no
     zero-cut on the push side, the early exit lives in the CAS)."""
-    return blockwise_sums(graph.degrees[active], starts, ends)
+    return get_backend().push_scan_lengths(graph, active, starts, ends)
 
 
 def fused_push_window(graph: CSRGraph, read: np.ndarray,
@@ -286,25 +168,14 @@ def fused_push_window(graph: CSRGraph, read: np.ndarray,
                                  np.ndarray]:
     """Speculative fused evaluation of a window of push chunks.
 
-    Concatenates the adjacency of ``rows`` (the window's chunks in
-    worklist order), gathers each edge's source value from ``read``,
-    and marks the edges whose atomic-min against ``write`` would
-    succeed on the current snapshot.  Returns ``(targets, values,
-    counts, improving)`` with ``counts[i] = degree(rows[i])``.
-
-    The evaluation is exact up to and including the *first* chunk
-    containing an improving edge: every earlier chunk commits nothing,
-    so a sequential per-chunk replay would have read the same
-    snapshot.  Callers commit that chunk's slice and re-evaluate from
-    the chunk after it (see ``_Engine._push_run``).
+    Concatenates the adjacency of ``rows``, gathers each edge's source
+    value from ``read``, and marks the edges whose atomic-min against
+    ``write`` would succeed on the current snapshot.  Returns
+    ``(targets, values, counts, improving)`` with ``counts[i] =
+    degree(rows[i])``.  Exact up to and including the *first* chunk
+    containing an improving edge (see ``_Engine._push_run``).
     """
-    targets, counts = concat_adjacency(graph, rows)
-    if targets.size == 0:
-        return (targets, np.empty(0, dtype=read.dtype), counts,
-                np.empty(0, dtype=bool))
-    values = np.repeat(read[rows], counts)
-    improving = values < write[targets]
-    return targets, values, counts, improving
+    return get_backend().fused_push_window(graph, read, write, rows)
 
 
 def concat_adjacency(graph: CSRGraph, rows: np.ndarray
@@ -316,15 +187,4 @@ def concat_adjacency(graph: CSRGraph, rows: np.ndarray
     ``counts[i] = degree(rows[i])``.  Sources repeated per edge are
     ``np.repeat(rows, counts)``.
     """
-    rows = np.asarray(rows, dtype=np.int64)
-    counts = graph.degrees[rows]
-    total = int(counts.sum())
-    if total == 0:
-        return (np.empty(0, dtype=graph.indices.dtype),
-                counts.astype(np.int64))
-    offsets = np.zeros(rows.size, dtype=np.int64)
-    np.cumsum(counts[:-1], out=offsets[1:])
-    idx = np.arange(total, dtype=np.int64)
-    seg = np.searchsorted(offsets, idx, side="right") - 1
-    pos = graph.indptr[rows][seg] + (idx - offsets[seg])
-    return graph.indices[pos], counts.astype(np.int64)
+    return get_backend().concat_adjacency(graph, rows)

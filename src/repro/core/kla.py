@@ -27,7 +27,7 @@ import numpy as np
 from ..graph.csr import CSRGraph
 from ..instrument.counters import OpCounters
 from ..instrument.trace import Direction, IterationRecord, RunTrace
-from .kernels import pull_block, zero_cut_scan_lengths
+from .backends import canonical_backend, get_backend
 from .result import CCResult
 
 __all__ = ["KLAOptions", "kla_cc"]
@@ -41,8 +41,11 @@ class KLAOptions:
     zero_planting: bool = True
     zero_convergence: bool = True
     max_supersteps: int = 1_000_000
+    backend: str | None = None
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "backend",
+                           canonical_backend(self.backend))
         if self.k < 1:
             raise ValueError("k must be >= 1")
 
@@ -58,6 +61,7 @@ def kla_cc(graph: CSRGraph, opts: KLAOptions | None = None,
     quantity KLA is designed to reduce.
     """
     opts = opts or KLAOptions()
+    kb = get_backend(opts.backend)
     n = graph.num_vertices
     trace = RunTrace(algorithm=f"kla-lp[k={opts.k}]", dataset=dataset)
     if n == 0:
@@ -77,11 +81,11 @@ def kla_cc(graph: CSRGraph, opts: KLAOptions | None = None,
         for _hop in range(opts.k):
             if opts.zero_convergence:
                 skip = labels == 0
-                scanned = int(zero_cut_scan_lengths(
+                scanned = int(kb.zero_cut_scan_lengths(
                     graph, labels, 0, n, skip).sum())
             else:
                 scanned = graph.num_edges
-            new, changed = pull_block(graph, labels, 0, n)
+            new, changed = kb.pull_block(graph, labels, 0, n)
             counters.record_pull_scan(scanned, n)
             n_changed = int(changed.sum())
             if n_changed == 0:

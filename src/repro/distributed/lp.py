@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.kernels import pull_block, pull_block_zero_cut
+from ..core.backends import get_backend
 from ..core.result import CCResult
 from ..graph.csr import CSRGraph
 from ..instrument.counters import OpCounters
@@ -121,13 +121,16 @@ def _initial_labels(graph: CSRGraph, bounds: np.ndarray,
 
 
 def _rank_pull(graph: CSRGraph, rk: _Rank, view: np.ndarray,
-               counters: OpCounters, zero_convergence: bool) -> int:
+               counters: OpCounters, zero_convergence: bool,
+               kb=None) -> int:
     """One rank's local compute: partitioned, convergence-skipping pull.
 
     Returns the number of owned labels that changed.  Mirrors the
     engine's converged-block-aware strategy at rank scope: all-zero
-    blocks are skipped in O(1), live blocks run the zero-cut kernel.
+    blocks are skipped in O(1), live blocks run the zero-cut kernel —
+    dispatched through ``kb``, the run's kernel backend.
     """
+    kb = kb or get_backend()
     bb = rk.block_bounds
     changed_total = 0
     for b in range(bb.size - 1):
@@ -144,13 +147,13 @@ def _rank_pull(graph: CSRGraph, rk: _Rank, view: np.ndarray,
                 # no kernel call, no edges touched.
                 counters.record_pull_skip(nv)
                 continue
-            new, changed, scanned = pull_block_zero_cut(
+            new, changed, scanned = kb.pull_block_zero_cut(
                 graph, view, lo, hi, skip)
             counters.record_pull_scan(scanned, nv - n_skip)
             if n_skip:
                 counters.record_pull_skip(n_skip)
         else:
-            new, changed = pull_block(graph, view, lo, hi)
+            new, changed = kb.pull_block(graph, view, lo, hi)
             counters.record_pull_scan(
                 int(graph.indptr[hi] - graph.indptr[lo]), nv)
         rows = lo + np.flatnonzero(changed)
@@ -176,6 +179,7 @@ def _distributed_lp(graph: CSRGraph, opts: DistributedOptions,
         if rk.ghosts.size:
             views[r][rk.ghosts] = init[rk.ghosts]
 
+    kb = get_backend(opts.backend)
     for step in range(opts.max_supersteps):
         counters = OpCounters()
         total_changed = 0
@@ -184,7 +188,7 @@ def _distributed_lp(graph: CSRGraph, opts: DistributedOptions,
             if rk.num_owned == 0:
                 continue
             total_changed += _rank_pull(graph, rk, view, counters,
-                                        opts.zero_convergence)
+                                        opts.zero_convergence, kb)
             # Communication: mirrors whose label changed.
             if rk.mirror_vertices.size:
                 mirror_labels = view[rk.mirror_vertices]

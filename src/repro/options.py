@@ -31,6 +31,15 @@ a default-constructed options object reproduces the historical
 behaviour bit-for-bit.  The legacy ``**kwargs`` spelling still works
 through :func:`resolve_options`, which maps the keywords onto the
 dataclass and emits a :class:`DeprecationWarning`.
+
+Every engine-bearing options class carries a ``backend`` field naming
+the kernel backend the run dispatches its hot kernels through
+(``None`` = the canonical ``"numpy"`` backend; see
+:mod:`repro.core.backends`).  It is validated at construction by the
+one shared validator — an unknown name raises ``ValueError`` listing
+``available_backends()`` — and, because the resolved options instance
+is the cache-key component, cached results and learned costs never
+mix backends.
 """
 
 from __future__ import annotations
@@ -39,6 +48,7 @@ import warnings
 from dataclasses import dataclass, fields
 from typing import Any
 
+from .core.backends import canonical_backend
 from .core.kla import KLAOptions
 
 __all__ = [
@@ -87,6 +97,11 @@ class _LPEngineOptions:
     race_rate: float | None = None
     max_iterations: int | None = None
     track_convergence: bool | None = None
+    backend: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "backend",
+                           canonical_backend(self.backend))
 
 
 @dataclass(frozen=True)
@@ -110,10 +125,16 @@ class UnionFindOptions:
 
     ``local`` selects the worklist-local union-find substrate (the
     default); ``False`` replays the all-vertex reference with
-    identical labels and link counts.
+    identical labels and link counts.  ``backend`` selects the kernel
+    backend for the link/hook scatters (bit-identical results).
     """
 
     local: bool = True
+    backend: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "backend",
+                           canonical_backend(self.backend))
 
 
 @dataclass(frozen=True)
@@ -176,8 +197,12 @@ class DistributedOptions:
     # boundary vertex broadcasts its label to each neighbouring rank.
     dedup_sends: bool = True
     max_supersteps: int = 100_000
+    # Kernel backend for the rank-local pulls (None = canonical numpy).
+    backend: str | None = None
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "backend",
+                           canonical_backend(self.backend))
         if self.num_ranks < 1:
             raise ValueError("num_ranks must be >= 1")
         if self.algorithm not in ("lp", "fastsv"):

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.backends import get_backend
+
 __all__ = ["atomic_min", "batch_atomic_min", "batch_atomic_min_count"]
 
 
@@ -46,17 +48,12 @@ def batch_atomic_min(array: np.ndarray,
     of vertices any real interleaving of CAS-min loops would enqueue
     (modulo duplicates, which the paper's shared byte array also only
     suppresses best-effort).
+
+    A facade over the default kernel backend; callers holding a
+    backend object (the engine, the union-find substrate) dispatch on
+    it directly instead.
     """
-    indices = np.asarray(indices)
-    values = np.asarray(values)
-    if indices.shape != values.shape:
-        raise ValueError("indices and values must have equal shapes")
-    if indices.size == 0:
-        return np.empty(0, dtype=np.int64)
-    targets = np.unique(indices)
-    before = array[targets].copy()
-    np.minimum.at(array, indices, values)
-    return targets[array[targets] < before].astype(np.int64)
+    return get_backend().batch_atomic_min(array, indices, values)
 
 
 def batch_atomic_min_count(array: np.ndarray,
@@ -72,15 +69,4 @@ def batch_atomic_min_count(array: np.ndarray,
     attempts that carried the winning value, which the counters use
     for instruction accounting.
     """
-    changed = batch_atomic_min(array, indices, values)
-    if changed.size == 0:
-        return changed, 0
-    indices = np.asarray(indices)
-    values = np.asarray(values)
-    # An attempt "carried the winning value" when its value equals the
-    # cell's final (minimum) value; restrict to cells that changed so
-    # no-op attempts on already-minimal cells are not credited.
-    pos = np.searchsorted(changed, indices)
-    on_changed = changed[np.minimum(pos, changed.size - 1)] == indices
-    winning = values == array[indices]
-    return changed, int(np.count_nonzero(on_changed & winning))
+    return get_backend().batch_atomic_min_count(array, indices, values)

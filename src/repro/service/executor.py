@@ -76,7 +76,8 @@ from ..options import (DistributedOptions, ServiceOptions,
                        resolve_options, to_call_kwargs)
 from ..parallel.machine import SKYLAKEX, MachineSpec
 from .cache import ResultCache, result_cache_key
-from .feedback import RouterFeedback, delta_feedback_key
+from .feedback import (RouterFeedback, backend_feedback_key,
+                       delta_feedback_key)
 from .metrics import ServiceMetrics
 from .planner import (DISTRIBUTED_METHOD, UF_METHOD, RoutePlan,
                       method_family, plan, predict_delta_ms,
@@ -444,6 +445,11 @@ class CCService:
             known = sorted([*ALGORITHMS, AUTO_METHOD])
             raise ValueError(f"unknown method {method!r}; known: {known}")
         options = resolve_options(method, request.options, {})
+        # Attribution name for metrics and the feedback posterior: the
+        # bare method on the default backend, "<method>@<backend>"
+        # otherwise, so per-backend costs never mix.
+        attributed = backend_feedback_key(
+            method, getattr(options, "backend", None))
         cache_key = result_cache_key(entry.fingerprint, method,
                                      self.machine.name, options)
         member = _Member(request=request, slot=slot, responses=responses,
@@ -454,21 +460,22 @@ class CCService:
         preset_fb = False
         if cached is not None:
             hit = self._replay_hit(member, entry, method, cache_key,
-                                   cached, now, queue_delay_ms=None)
+                                   cached, now, queue_delay_ms=None,
+                                   attributed=attributed)
             if hit:
                 return
             # Recorded run blew this budget and the fallback result
             # is gone from the cache: run the fallback as a job with
             # the outcome flags preset.
             preset_fb = True
-            primary_method = method
+            primary_method = attributed
             method = UF_METHOD
             options = resolve_options(UF_METHOD, None, {})
             cache_key = result_cache_key(entry.fingerprint, UF_METHOD,
                                          self.machine.name, options)
             coalesce_key = (cache_key, "replay")
         else:
-            primary_method = method
+            primary_method = attributed
             coalesce_key = (cache_key, request.budget_ms)
 
         inflight = self._inflight.get(coalesce_key)
@@ -492,7 +499,8 @@ class CCService:
         elif admission:
             predicted = predicted_method_ms(
                 entry.probes, method, self.machine,
-                feedback=self._feedback(), fingerprint=entry.fingerprint)
+                feedback=self._feedback(), fingerprint=entry.fingerprint,
+                feedback_method=attributed)
         else:
             # Fairness-only weight; explicit-method requests are not
             # probed unless admission control needs the prediction.
@@ -604,10 +612,11 @@ class CCService:
                 job.delta = None
         if result is None:
             result, sim_ms = self._run(job.entry, job.method, job.options)
-            self._observe_run(job.entry, job.method, sim_ms)
+            self._observe_run(job.entry, job.method, sim_ms,
+                              options=job.options)
         else:
             self._observe_run(job.entry, job.method, sim_ms,
-                              delta=job.delta)
+                              options=job.options, delta=job.delta)
         job.work = result.trace.total_counters()
         job.cache_puts.append((job.cache_key, result, sim_ms))
         job.total_ms = sim_ms
@@ -624,7 +633,8 @@ class CCService:
                 fb_options = resolve_options(UF_METHOD, None, {})
                 fb_result, fb_ms = self._run(job.entry, UF_METHOD,
                                              fb_options)
-                self._observe_run(job.entry, UF_METHOD, fb_ms)
+                self._observe_run(job.entry, UF_METHOD, fb_ms,
+                                  options=fb_options)
                 job.work += fb_result.trace.total_counters()
                 fb_key = result_cache_key(
                     job.entry.fingerprint, UF_METHOD,
@@ -703,7 +713,8 @@ class CCService:
     def _replay_hit(self, member: _Member, entry: GraphEntry,
                     method: str, cache_key: tuple, cached: CCResult,
                     now: float,
-                    queue_delay_ms: float | None) -> bool:
+                    queue_delay_ms: float | None,
+                    attributed: str | None = None) -> bool:
         """Serve one request from the cache, replaying the recorded
         budget outcome of the run that produced the entry.
 
@@ -743,7 +754,7 @@ class CCService:
             queue_delay_ms=latency, arrival_ms=member.arrival_ms,
             start_ms=now, finish_ms=now, tenant=request.tenant)
         self.metrics.record_request(
-            method, latency, cache_hit=True,
+            attributed or method, latency, cache_hit=True,
             auto_routed=member.auto_routed, flag_replay=replayed,
             tenant=request.tenant, queue_delay_ms=queue_delay_ms)
         member.responses[member.slot] = response
@@ -859,14 +870,19 @@ class CCService:
         # The delta-vs-recompute gate races *corrected* predictions on
         # both sides: a delta path whose touched-set model has proven
         # optimistic here stops beating a full run it cannot beat.
+        # Corrections are read under the backend-qualified key the
+        # executed run will observe under.
+        attributed = backend_feedback_key(
+            method, getattr(options, "backend", None))
         predicted = predict_delta_ms(
             entry.graph.num_vertices, int(src.size), self.machine,
-            method=method, feedback=self._feedback(),
+            method=attributed, feedback=self._feedback(),
             fingerprint=entry.fingerprint)
         full_ms = route.predicted_ms if route is not None \
             else predicted_method_ms(
                 entry.probes, method, self.machine,
-                feedback=self._feedback(), fingerprint=entry.fingerprint)
+                feedback=self._feedback(), fingerprint=entry.fingerprint,
+                feedback_method=attributed)
         if predicted >= full_ms:
             return None
         self.cache.touch(seed_key)
@@ -933,6 +949,7 @@ class CCService:
 
     def _observe_run(self, entry: GraphEntry, method: str,
                      measured_ms: float, *,
+                     options: object = None,
                      delta: _DeltaPlan | None = None) -> None:
         """Fold one executed run's measured cost into the loop.
 
@@ -942,13 +959,20 @@ class CCService:
         the static model's error rather than compounding its own
         correction, and the error histograms describe the cost model
         itself.  Delta runs observe under their own
-        :func:`delta_feedback_key` posterior.
+        :func:`delta_feedback_key` posterior.  Runs on a non-default
+        kernel backend observe under their
+        :func:`backend_feedback_key` — the static prediction is
+        backend-agnostic (counters are bit-identical across backends),
+        so the per-backend posterior is exactly the learned wall-clock
+        ratio of that backend on this content.
         """
+        base_method = backend_feedback_key(
+            method, getattr(options, "backend", None))
         if delta is not None:
-            key_method = delta_feedback_key(method)
+            key_method = delta_feedback_key(base_method)
             predicted = delta.base_predicted_ms
         else:
-            key_method = method
+            key_method = base_method
             predicted = self._base_predicted(entry, method)
         if predicted is None or predicted <= 0.0:
             return

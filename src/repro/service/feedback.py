@@ -47,7 +47,27 @@ from __future__ import annotations
 import math
 from collections import OrderedDict
 
-__all__ = ["RouterFeedback", "delta_feedback_key"]
+from ..core.backends import DEFAULT_BACKEND
+
+__all__ = ["RouterFeedback", "backend_feedback_key",
+           "delta_feedback_key"]
+
+
+def backend_feedback_key(method: str, backend: str | None) -> str:
+    """Feedback/metrics method key for a run on ``backend``.
+
+    Kernel backends are bit-identical on counters but not on
+    wall-clock, so a compiled backend's measured costs must not feed
+    the default backend's posterior (and vice versa).  The default
+    backend — spelled ``None`` or by name — keeps the bare method key,
+    preserving every historical key; any other backend gets a
+    ``"<method>@<backend>"`` key, used both for
+    :meth:`RouterFeedback.observe`/:meth:`RouterFeedback.correction`
+    and for per-method metrics attribution in the executor.
+    """
+    if backend is None or backend == DEFAULT_BACKEND:
+        return method
+    return f"{method}@{backend}"
 
 
 def delta_feedback_key(method: str) -> str:

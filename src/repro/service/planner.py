@@ -206,7 +206,8 @@ def predict_family_costs(probes: GraphProbes,
 def predicted_method_ms(probes: GraphProbes, method: str,
                         machine: MachineSpec = SKYLAKEX, *,
                         feedback: RouterFeedback | None = None,
-                        fingerprint: str | None = None) -> float:
+                        fingerprint: str | None = None,
+                        feedback_method: str | None = None) -> float:
     """Predicted simulated-ms of running ``method`` on this graph.
 
     This is the admission-control yardstick: an explicitly-requested
@@ -216,12 +217,17 @@ def predicted_method_ms(probes: GraphProbes, method: str,
     and ``fingerprint`` are given, the method's measured-cost
     correction is applied on top, so admission control charges what
     runs on this content have actually cost instead of trusting a
-    stale prediction.
+    stale prediction.  ``feedback_method`` overrides the posterior key
+    alone (family classification still uses ``method``) — the executor
+    passes the backend-qualified
+    :func:`~repro.service.feedback.backend_feedback_key` so a compiled
+    backend's runs are priced by their own learned costs.
     """
     lp_ms, uf_ms = predict_family_costs(probes, machine)
     base = uf_ms if method in _UF_FAMILY_METHODS else lp_ms
     if feedback is not None and fingerprint is not None:
-        base *= feedback.correction(fingerprint, method,
+        base *= feedback.correction(fingerprint,
+                                    feedback_method or method,
                                     machine=machine.name)
     return base
 

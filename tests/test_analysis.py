@@ -6,6 +6,7 @@ import pytest
 from repro.analysis import (
     bfs_relabel,
     degree_sort_relabel,
+    hub_cluster_relabel,
     hub_distance_profile,
     random_relabel,
     relabel,
@@ -166,3 +167,67 @@ class TestRelabel:
             relabel(triangle, np.array([0, 1, 3]))
         with pytest.raises(ValueError, match="permutation"):
             relabel(triangle, np.array([-1, 0, 1]))
+
+    def test_negative_ids_get_dedicated_message(self, triangle):
+        """Negative ids (the inverted-argsort fill-value signature)
+        are called out explicitly, naming the offending minimum."""
+        with pytest.raises(ValueError, match="negative ids"):
+            relabel(triangle, np.array([-1, 0, 1]))
+        # Huge negatives must hit the same explicit check, never an
+        # internal bincount/indexing error.
+        with pytest.raises(ValueError, match="negative ids"):
+            relabel(triangle, np.array([0, 1, -(10 ** 12)]))
+
+    def test_empty_graph_rejects_wrong_length_perm(self):
+        from repro.graph import CSRGraph
+        g = CSRGraph(np.array([0], dtype=np.int64),
+                     np.empty(0, dtype=np.int64))
+        with pytest.raises(ValueError, match="one entry"):
+            relabel(g, np.array([0], dtype=np.int64))
+
+
+class TestHubClusterRelabel:
+    def test_hub_first_neighbours_clustered(self, small_skewed):
+        # num_hubs=1: the sole hub's whole neighbourhood is fresh, so
+        # it must land contiguously right after the hub.
+        g2, perm = hub_cluster_relabel(small_skewed, num_hubs=1)
+        hub = small_skewed.max_degree_vertex()
+        assert perm[hub] == 0
+        nbrs = np.unique(small_skewed.neighbors(hub))
+        nbrs = nbrs[nbrs != hub]
+        assert set(perm[nbrs]) == set(range(1, 1 + nbrs.size))
+
+    def test_hubs_lead_in_degree_order(self, small_skewed):
+        g = small_skewed
+        g2, perm = hub_cluster_relabel(g, num_hubs=4)
+        hubs = np.argsort(-g.degrees, kind="stable")[:4]
+        new_ids = perm[hubs]
+        # Hubs keep their relative (degree-descending) order up front,
+        # each separated by its own freshly-placed cluster.
+        assert np.all(np.diff(new_ids) > 0)
+        assert new_ids[0] == 0
+
+    def test_structure_preserved(self, small_skewed):
+        g2, perm = hub_cluster_relabel(small_skewed)
+        assert g2.num_edges == small_skewed.num_edges
+        ref = component_labels_reference(small_skewed)
+        assert same_partition(component_labels_reference(g2)[perm], ref)
+
+    def test_num_hubs_clamped(self, triangle):
+        # num_hubs beyond n must degrade gracefully to n.
+        g2, perm = hub_cluster_relabel(triangle, num_hubs=100)
+        assert sorted(perm.tolist()) == [0, 1, 2]
+
+    def test_empty_graph(self):
+        from repro.graph import CSRGraph
+        g = CSRGraph(np.array([0], dtype=np.int64),
+                     np.empty(0, dtype=np.int64))
+        g2, perm = hub_cluster_relabel(g)
+        assert g2.num_vertices == 0
+        assert perm.size == 0
+
+    def test_deterministic(self):
+        g = rmat_graph(8, 8, seed=5)
+        _, p1 = hub_cluster_relabel(g)
+        _, p2 = hub_cluster_relabel(g)
+        assert np.array_equal(p1, p2)

@@ -9,15 +9,16 @@ blocks and block size one.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.kernels import (
-    blockwise_sums,
-    pull_block,
-    segment_min,
-    zero_cut_scan_lengths,
-)
+from repro.core.backends import available_backends, get_backend
 from repro.graph import build_graph, from_pairs
+
+# Every registered backend must pass the identical sweep: the numpy
+# implementations are the ground truth the properties encode, and any
+# compiled backend must be bit-identical to them.
+pytestmark = pytest.mark.parametrize("backend", available_backends())
 
 
 @st.composite
@@ -62,9 +63,9 @@ def naive_scan_lengths(g, labels, lo, hi):
 
 @settings(max_examples=150, deadline=None)
 @given(graph_labels_block())
-def test_pull_block_matches_naive(case):
+def test_pull_block_matches_naive(backend, case):
     g, labels, lo, hi = case
-    new, changed = pull_block(g, labels, lo, hi)
+    new, changed = get_backend(backend).pull_block(g, labels, lo, hi)
     ref = naive_pull(g, labels, lo, hi)
     assert np.array_equal(new, ref)
     assert np.array_equal(changed, ref < labels[lo:hi])
@@ -72,24 +73,26 @@ def test_pull_block_matches_naive(case):
 
 @settings(max_examples=150, deadline=None)
 @given(graph_labels_block())
-def test_zero_cut_scan_matches_naive(case):
+def test_zero_cut_scan_matches_naive(backend, case):
     g, labels, lo, hi = case
-    assert np.array_equal(zero_cut_scan_lengths(g, labels, lo, hi),
+    kb = get_backend(backend)
+    assert np.array_equal(kb.zero_cut_scan_lengths(g, labels, lo, hi),
                           naive_scan_lengths(g, labels, lo, hi))
 
 
 @settings(max_examples=150, deadline=None)
 @given(graph_labels_block())
-def test_single_vertex_blocks_agree_with_full_block(case):
+def test_single_vertex_blocks_agree_with_full_block(backend, case):
     """block_size=1: per-vertex kernel calls compose to the full-block
     result (pull reads a snapshot, so composition is exact)."""
     g, labels, lo, hi = case
-    full_new, _ = pull_block(g, labels, lo, hi)
-    full_scan = zero_cut_scan_lengths(g, labels, lo, hi)
+    kb = get_backend(backend)
+    full_new, _ = kb.pull_block(g, labels, lo, hi)
+    full_scan = kb.zero_cut_scan_lengths(g, labels, lo, hi)
     for v in range(lo, hi):
-        one_new, _ = pull_block(g, labels, v, v + 1)
+        one_new, _ = kb.pull_block(g, labels, v, v + 1)
         assert one_new[0] == full_new[v - lo]
-        one_scan = zero_cut_scan_lengths(g, labels, v, v + 1)
+        one_scan = kb.zero_cut_scan_lengths(g, labels, v, v + 1)
         assert one_scan[0] == full_scan[v - lo]
 
 
@@ -97,7 +100,7 @@ def test_single_vertex_blocks_agree_with_full_block(case):
 @given(st.lists(st.integers(0, 9), min_size=0, max_size=40),
        st.lists(st.integers(0, 40), min_size=2, max_size=10),
        st.integers(50, 60))
-def test_segment_min_matches_naive(values, cuts, fill_value):
+def test_segment_min_matches_naive(backend, values, cuts, fill_value):
     """Contiguous CSR-style segments, including empty ones.
 
     CSR rows tile their slice: the final segment always ends at the
@@ -109,7 +112,7 @@ def test_segment_min_matches_naive(values, cuts, fill_value):
                     + [values.size], dtype=np.int64)
     starts, ends = cuts[:-1], cuts[1:]
     fill = np.full(starts.size, fill_value, dtype=np.int64)
-    out = segment_min(values, starts, ends, fill)
+    out = get_backend(backend).segment_min(values, starts, ends, fill)
     for i, (s, e) in enumerate(zip(starts, ends)):
         seg = values[s:e]
         expect = min(int(seg.min()), fill_value) if seg.size \
@@ -120,30 +123,32 @@ def test_segment_min_matches_naive(values, cuts, fill_value):
 @settings(max_examples=100, deadline=None)
 @given(st.lists(st.integers(-5, 5), min_size=0, max_size=40),
        st.lists(st.integers(0, 40), min_size=2, max_size=10))
-def test_blockwise_sums_matches_naive(values, cuts):
+def test_blockwise_sums_matches_naive(backend, values, cuts):
     values = np.array(values, dtype=np.int64)
     cuts = np.array(sorted(min(c, values.size) for c in cuts),
                     dtype=np.int64)
     starts, ends = cuts[:-1], cuts[1:]
-    out = blockwise_sums(values, starts, ends)
+    out = get_backend(backend).blockwise_sums(values, starts, ends)
     for i, (s, e) in enumerate(zip(starts, ends)):
         assert out[i] == int(values[s:e].sum())
 
 
-def test_all_zero_labels_scan_nothing():
+def test_all_zero_labels_scan_nothing(backend):
     g = build_graph(from_pairs([(0, 1), (1, 2), (2, 3)], 4),
                     drop_zero_degree=False)
     labels = np.zeros(4, dtype=np.int64)
-    assert zero_cut_scan_lengths(g, labels, 0, 4).tolist() == [0] * 4
-    new, changed = pull_block(g, labels, 0, 4)
+    kb = get_backend(backend)
+    assert kb.zero_cut_scan_lengths(g, labels, 0, 4).tolist() == [0] * 4
+    new, changed = kb.pull_block(g, labels, 0, 4)
     assert not changed.any()
 
 
-def test_empty_rows_scan_zero_edges():
+def test_empty_rows_scan_zero_edges(backend):
     # Vertices 2 and 3 are isolated: scans touch no edges and the pull
     # keeps their labels.
     g = build_graph(from_pairs([(0, 1)], 4), drop_zero_degree=False)
     labels = np.array([3, 2, 5, 7], dtype=np.int64)
-    assert zero_cut_scan_lengths(g, labels, 2, 4).tolist() == [0, 0]
-    new, changed = pull_block(g, labels, 2, 4)
+    kb = get_backend(backend)
+    assert kb.zero_cut_scan_lengths(g, labels, 2, 4).tolist() == [0, 0]
+    new, changed = kb.pull_block(g, labels, 2, 4)
     assert new.tolist() == [5, 7] and not changed.any()

@@ -14,6 +14,7 @@ import numpy as np
 import pytest
 
 from repro.core import LPOptions, label_propagation_cc
+from repro.core.backends import available_backends
 from repro.core.engine import _Engine
 from repro.graph.generators import (
     erdos_renyi_graph,
@@ -52,18 +53,23 @@ def graph(request):
     return GRAPHS[request.param]()
 
 
-def _run(graph, fuse, overrides):
+def _run(graph, fuse, overrides, backend=None):
     return label_propagation_cc(
         graph, LPOptions(fuse_push=fuse, track_convergence=False,
-                         **overrides))
+                         backend=backend, **overrides))
 
 
+# The fusion identity must hold on every registered backend — a
+# compiled kernel that broke the speculative window's exactness would
+# surface here as a counter or drain-order divergence.
+@pytest.mark.parametrize("backend", available_backends())
 @pytest.mark.parametrize(
     "overrides", OPTION_GRID,
     ids=["-".join(f"{k}={v}" for k, v in o.items()) or "default"
          for o in OPTION_GRID])
-def test_fused_push_bit_identical(graph, overrides):
-    fused, ref = (_run(graph, f, overrides) for f in (True, False))
+def test_fused_push_bit_identical(graph, overrides, backend):
+    fused, ref = (_run(graph, f, overrides, backend)
+                  for f in (True, False))
     assert np.array_equal(fused.labels, ref.labels)
     assert fused.num_iterations == ref.num_iterations
     for a, b in zip(fused.trace.iterations, ref.trace.iterations):
@@ -78,18 +84,19 @@ def test_fused_push_bit_identical(graph, overrides):
             (b.frontier_mode, b.frontier_conversions), a.index
 
 
+@pytest.mark.parametrize("backend", available_backends())
 @pytest.mark.parametrize("overrides",
                          [{}, {"block_size": 3}, {"race_rate": 0.4},
                           {"num_threads": 4, "partitions_per_thread": 2}],
                          ids=["default", "bs3", "race", "t4"])
-def test_fused_push_drain_order_lockstep(graph, overrides):
+def test_fused_push_drain_order_lockstep(graph, overrides, backend):
     """Drive two engines push-by-push from an all-active frontier and
     require identical worklist drain order every round (the strongest
     scheduler-visible observable: it fixes batch contents, batch
     thread placement, and steal interleaving)."""
     def engine(fuse):
         opts = LPOptions(zero_planting=False, track_convergence=False,
-                         fuse_push=fuse, **overrides)
+                         fuse_push=fuse, backend=backend, **overrides)
         return _Engine(graph, opts, "")
 
     fused_eng, ref_eng = engine(True), engine(False)
