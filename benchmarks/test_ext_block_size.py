@@ -16,7 +16,7 @@ from conftest import SCALE, run_once
 
 from repro.core import thrifty_cc
 from repro.experiments import format_table
-from repro.graph import load_dataset
+from repro.graph import load
 from repro.validate import same_partition
 
 DATASET = "UKDls"
@@ -24,7 +24,7 @@ BLOCK_SIZES = (8, 16, 32, 64, 128, 256)
 
 
 def _generate():
-    graph = load_dataset(DATASET, min(SCALE, 0.5))
+    graph = load(DATASET, min(SCALE, 0.5))
     rows = []
     ref = None
     for bs in BLOCK_SIZES:

@@ -18,7 +18,7 @@ from conftest import SCALE, run_once
 from repro.connectit import connectit_cc, connectit_design_space
 from repro.core import thrifty_cc
 from repro.experiments import format_table
-from repro.graph import load_dataset
+from repro.graph import load
 from repro.instrument import simulate_run_time
 from repro.parallel import SKYLAKEX
 from repro.validate import same_partition
@@ -27,7 +27,7 @@ DATASET = "TwtrMpi"
 
 
 def _generate():
-    graph = load_dataset(DATASET, min(SCALE, 0.5))
+    graph = load(DATASET, min(SCALE, 0.5))
     rows = []
     thrifty = thrifty_cc(graph, dataset=DATASET)
     thrifty_ms = simulate_run_time(thrifty.trace, SKYLAKEX,

@@ -19,14 +19,14 @@ from repro.distributed import (
     simulate_distributed_time,
 )
 from repro.experiments import format_table
-from repro.graph import load_dataset
+from repro.graph import load
 
 DATASET = "Frndstr"
 RANKS = (2, 4, 8, 16, 32)
 
 
 def _generate():
-    graph = load_dataset(DATASET, min(SCALE, 0.5))
+    graph = load(DATASET, min(SCALE, 0.5))
     rows = []
     for ranks in RANKS:
         naive = distributed_cc(graph, DistributedOptions(

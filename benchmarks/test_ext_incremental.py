@@ -27,7 +27,7 @@ import numpy as np
 from conftest import BENCH_PATH, SCALE, STRICT, run_once, write_baseline
 
 from repro.experiments import format_table
-from repro.graph.datasets import load_dataset
+from repro.graph import load
 from repro.service import CCRequest, CCService, ServiceOptions
 
 #: Query-trace length; long enough that the Zipf tail re-touches every
@@ -87,7 +87,7 @@ def _run_side(graphs, trace, schedule, *, delta_serving):
 
 
 def _generate():
-    graphs = {name: load_dataset(name, SCALE) for name in TRACE_DATASETS}
+    graphs = {name: load(name, SCALE) for name in TRACE_DATASETS}
     sizes = {name: g.num_vertices for name, g in graphs.items()}
     rng = np.random.default_rng(17)
     trace = _build_trace(rng)

@@ -14,7 +14,7 @@ from conftest import SCALE, run_once
 
 from repro.core import KLAOptions, kla_cc
 from repro.experiments import format_table
-from repro.graph import load_dataset
+from repro.graph import load
 from repro.instrument import simulate_run_time
 from repro.parallel import SKYLAKEX
 from repro.validate import same_partition
@@ -24,7 +24,7 @@ KS = (1, 2, 4, 8, 16)
 
 
 def _generate():
-    graph = load_dataset(DATASET, min(SCALE, 0.5))
+    graph = load(DATASET, min(SCALE, 0.5))
     rows = []
     ref = None
     for k in KS:

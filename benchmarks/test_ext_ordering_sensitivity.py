@@ -19,7 +19,7 @@ from repro.analysis import bfs_relabel, degree_sort_relabel, \
     random_relabel
 from repro.core import thrifty_cc
 from repro.experiments import format_table
-from repro.graph import load_dataset
+from repro.graph import load
 from repro.instrument import simulate_run_time
 from repro.parallel import SKYLAKEX
 from repro.validate import same_partition
@@ -28,7 +28,7 @@ DATASET = "Wbbs"
 
 
 def _generate():
-    base = load_dataset(DATASET, min(SCALE, 0.5))
+    base = load(DATASET, min(SCALE, 0.5))
     variants = {
         "original": (base, None),
         "bfs-order": bfs_relabel(base),

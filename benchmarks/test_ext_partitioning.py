@@ -16,7 +16,7 @@ configurations are close.
 from conftest import SCALE, run_once
 
 from repro.experiments import format_table
-from repro.graph import load_dataset
+from repro.graph import load
 from repro.parallel import (
     SKYLAKEX,
     WorkStealingScheduler,
@@ -35,7 +35,7 @@ def _static_makespan(part, work):
 
 
 def _makespans(name):
-    graph = load_dataset(name, min(SCALE, 0.5))
+    graph = load(name, min(SCALE, 0.5))
     out = {}
     for label, fn in (("edge", edge_balanced_partitions),
                       ("vertex", vertex_balanced_partitions)):

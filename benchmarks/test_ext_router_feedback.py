@@ -46,7 +46,7 @@ from conftest import (ALL_DATASETS, BENCH_PATH, SCALE, STRICT, run_once,
                       write_baseline)
 
 from repro.experiments import format_table
-from repro.graph.datasets import load_dataset
+from repro.graph import load
 from repro.service import (LP_METHOD, UF_METHOD, CCRequest, CCService,
                            RouterFeedback, plan, probe_graph, replan)
 from repro.options import ServiceOptions
@@ -110,7 +110,7 @@ def _assert_cold_start_identity():
     empty = RouterFeedback()
     agree = 0
     for name in ALL_DATASETS:
-        probes = probe_graph(load_dataset(name, min(SCALE, 0.2)))
+        probes = probe_graph(load(name, min(SCALE, 0.2)))
         base = plan(probes)
         assert replan(base, empty, f"fp-{name}") is base, name
         assert plan(probes, feedback=empty,
@@ -122,7 +122,7 @@ def _assert_cold_start_identity():
 def _generate():
     cold_start_identical = _assert_cold_start_identity()
 
-    graphs = {name: load_dataset(name, SCALE) for name in WINNER}
+    graphs = {name: load(name, SCALE) for name in WINNER}
     static_svc = _poisoned_service(graphs, feedback=False)
     feedback_svc = _poisoned_service(graphs, feedback=True, **EXPLORE)
 

@@ -27,7 +27,7 @@ import numpy as np
 from conftest import BENCH_PATH, SCALE, STRICT, run_once, write_baseline
 
 from repro.experiments import format_table
-from repro.graph.datasets import load_dataset
+from repro.graph import load
 from repro.service import CCRequest, CCService, ServiceOptions
 
 #: Trace length — large enough that scheduling overhead per request
@@ -77,7 +77,7 @@ def _requests(datasets, tenants, arrivals=None):
 
 
 def _generate():
-    graphs = {name: load_dataset(name, SCALE) for name in TRACE_DATASETS}
+    graphs = {name: load(name, SCALE) for name in TRACE_DATASETS}
     rng = np.random.default_rng(11)
     datasets, tenants = _build_trace(rng)
 

@@ -32,7 +32,8 @@ from conftest import BENCH_PATH, SCALE, STRICT, run_once, write_baseline
 from repro.api import connected_components
 from repro.experiments import format_table
 from repro.experiments.routing import auto_routing_table
-from repro.graph.datasets import ALL_DATASET_NAMES, load_dataset
+from repro.graph import load
+from repro.graph.datasets import ALL_DATASET_NAMES
 from repro.service import CCRequest, CCService, plan_for_graph
 
 #: The trace revisits a working set of graphs this many times.
@@ -63,7 +64,7 @@ def _served_dispatch(graphs, trace):
 
 
 def _generate():
-    graphs = {name: load_dataset(name, SCALE) for name in TRACE_DATASETS}
+    graphs = {name: load(name, SCALE) for name in TRACE_DATASETS}
     trace = [name for _ in range(REPEATS) for name in TRACE_DATASETS]
 
     uncached_s = _uncached_dispatch(graphs, trace)

@@ -19,7 +19,7 @@ from conftest import SCALE, STRICT, run_once
 from repro.baselines import shiloach_vishkin_cc
 from repro.core import thrifty_cc
 from repro.experiments import format_table
-from repro.graph import load_dataset
+from repro.graph import load
 from repro.instrument import simulate_run_time
 from repro.parallel import SKYLAKEX
 from repro.validate import same_partition
@@ -29,7 +29,7 @@ THREADS = (1, 2, 4, 8, 16, 32)
 
 
 def _generate():
-    graph = load_dataset(DATASET, min(SCALE, 0.5))
+    graph = load(DATASET, min(SCALE, 0.5))
     sv = shiloach_vishkin_cc(graph, dataset=DATASET)
     rows = []
     ref = None

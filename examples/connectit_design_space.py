@@ -13,14 +13,14 @@ Run:  python examples/connectit_design_space.py
 from repro.connectit import connectit_cc, connectit_design_space
 from repro.core import thrifty_cc
 from repro.baselines import afforest_cc
-from repro.graph import load_dataset
+from repro.graph import load
 from repro.instrument import simulate_run_time
 from repro.parallel import SKYLAKEX
 from repro.validate import same_partition
 
 
 def explore(name: str = "SK", scale: float = 0.5) -> None:
-    graph = load_dataset(name, scale)
+    graph = load(name, scale)
     print(f"dataset {name} (surrogate): |V|={graph.num_vertices}, "
           f"|E|={graph.num_undirected_edges}")
     print()

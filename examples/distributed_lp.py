@@ -14,12 +14,12 @@ Run:  python examples/distributed_lp.py
 """
 
 from repro.distributed import DistributedOptions, distributed_cc
-from repro.graph import load_dataset
+from repro.graph import load
 from repro.validate import same_partition
 
 
 def compare(name: str = "LJGrp", scale: float = 0.5) -> None:
-    graph = load_dataset(name, scale)
+    graph = load(name, scale)
     print(f"dataset {name} (surrogate): |V|={graph.num_vertices}, "
           f"|E|={graph.num_undirected_edges}")
     print()

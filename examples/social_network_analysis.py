@@ -18,12 +18,13 @@ Run:  python examples/social_network_analysis.py
 import numpy as np
 
 from repro import EPYC, SKYLAKEX, connected_components, same_partition
-from repro.graph import degree_stats, load_dataset
+from repro.graph import load
+from repro.graph import degree_stats
 from repro.instrument import simulate_run_time
 
 
 def analyze(name: str = "Twtr", scale: float = 0.5) -> None:
-    graph = load_dataset(name, scale)
+    graph = load(name, scale)
     stats = degree_stats(graph)
     print(f"dataset {name} (surrogate): |V|={graph.num_vertices}, "
           f"|E|={graph.num_undirected_edges}")

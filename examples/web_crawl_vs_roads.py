@@ -10,18 +10,18 @@ two surrogates and explains it from the traces.
 Run:  python examples/web_crawl_vs_roads.py
 """
 
+from repro.graph import load
 from repro import connected_components, SKYLAKEX
 from repro.graph import (
     degree_stats,
     estimate_diameter,
     is_skewed,
-    load_dataset,
 )
 from repro.instrument import Direction, simulate_run_time
 
 
 def profile(name: str, scale: float) -> None:
-    graph = load_dataset(name, scale)
+    graph = load(name, scale)
     stats = degree_stats(graph)
     print(f"--- {name}: |V|={graph.num_vertices}, "
           f"|E|={graph.num_undirected_edges} ---")

@@ -5,6 +5,7 @@ Subcommands
 ``run``       run one algorithm on a dataset surrogate or edge-list file
 ``datasets``  list the Table II surrogate registry
 ``generate``  write a synthetic graph to an edge-list / npz file
+``pack``      write a blocked on-disk CSR (.rbcsr) for out-of-core runs
 ``experiment``
               regenerate a paper table/figure by experiment id
 ``serve``     replay a request workload through the CC service
@@ -23,8 +24,9 @@ from typing import Sequence
 from . import experiments
 from .api import ALGORITHMS, AUTO_METHOD, connected_components
 from .experiments.tables import format_table
-from .graph.datasets import ALL_DATASET_NAMES, DATASETS, load_dataset
-from .graph.io import load_graph, save_csr_npz, save_edge_list_text
+from .graph import load
+from .graph.datasets import ALL_DATASET_NAMES, DATASETS
+from .graph.io import save_csr_npz, save_edge_list_text
 from .instrument.costmodel import simulate_run_time
 from .options import options_for
 from .parallel.machine import MACHINES
@@ -154,6 +156,15 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("output", help="output path (.txt or .npz)")
     gen.add_argument("--scale", type=float, default=1.0)
 
+    pack = sub.add_parser("pack",
+                          help="write a blocked on-disk CSR (.rbcsr) "
+                               "file for out-of-core runs")
+    pack.add_argument("input", help="dataset name or graph file")
+    pack.add_argument("output", help="output path (.rbcsr)")
+    pack.add_argument("--scale", type=float, default=1.0)
+    pack.add_argument("--edges-per-block", type=int, default=None,
+                      help="edges per storage block (default 65536)")
+
     exp = sub.add_parser("experiment",
                          help="regenerate a paper table/figure")
     exp.add_argument("id", choices=sorted(_EXPERIMENTS))
@@ -180,6 +191,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="single-node edge capacity; auto-routed "
                           "graphs with more edges go to the "
                           "distributed tier")
+    srv.add_argument("--resident-budget", type=int, default=None,
+                     help="resident-memory byte budget; auto-routed "
+                          "graphs whose edge array exceeds it run "
+                          "out-of-core")
     srv.add_argument("--concurrency", type=int, default=1,
                      help="simulated workers computing at once")
     srv.add_argument("--max-queue-ms", type=float, default=None,
@@ -242,12 +257,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args) -> int:
-    if args.input in DATASETS:
-        graph = load_dataset(args.input, args.scale)
-        name = args.input
-    else:
-        graph = load_graph(args.input)
-        name = args.input
+    graph = load(args.input, args.scale)
+    name = args.input
     machine = MACHINES[args.machine]
     options = _options_from_args(args)
     result = connected_components(graph, args.method, machine=machine,
@@ -275,6 +286,11 @@ def _cmd_run(args) -> int:
               f"{comm.modeled_bytes} modeled bytes")
         print(f"distributed time   : {dist_ms:.3f} ms "
               f"({machine.name} nodes, 25GbE)")
+    io = result.extras.get("io")
+    if io is not None:
+        print(f"io                 : {io['blocks_read']} blocks read "
+              f"({io['blocks_reread']} reread), {io['bytes_read']} bytes, "
+              f"modeled {io['modeled_ms']:.3f} ms on {io['disk']}")
     if args.trace:
         print()
         rows = [[rec.index, rec.direction.value, f"{rec.density:.4f}",
@@ -303,7 +319,7 @@ def _cmd_datasets(_args) -> int:
 
 
 def _cmd_generate(args) -> int:
-    graph = load_dataset(args.dataset, args.scale)
+    graph = load(args.dataset, args.scale)
     if args.output.endswith(".npz"):
         save_csr_npz(graph, args.output)
     else:
@@ -311,6 +327,20 @@ def _cmd_generate(args) -> int:
                             header=f"surrogate for {args.dataset}")
     print(f"wrote {args.output}: |V|={graph.num_vertices}, "
           f"|E|={graph.num_undirected_edges}")
+    return 0
+
+
+def _cmd_pack(args) -> int:
+    from .storage import DEFAULT_EDGES_PER_BLOCK, read_header, write_blocked
+
+    graph = load(args.input, args.scale)
+    epb = args.edges_per_block or DEFAULT_EDGES_PER_BLOCK
+    write_blocked(graph, args.output, edges_per_block=epb)
+    header = read_header(args.output)
+    print(f"wrote {args.output}: |V|={header.num_vertices}, "
+          f"|E|={header.num_edges}, {header.num_blocks} blocks x "
+          f"{header.edges_per_block} edges ({header.index_dtype}, "
+          f"{header.file_size} bytes)")
     return 0
 
 
@@ -325,7 +355,7 @@ def _serve_mutating(service, args, request_cls) -> list:
 
     sizes = {}
     for name in args.datasets:
-        graph = load_dataset(name, args.scale)
+        graph = load(name, args.scale)
         service.register(graph, name=name)
         sizes[name] = graph.num_vertices
     rng = np.random.default_rng(0)
@@ -364,6 +394,7 @@ def _cmd_serve(args) -> int:
     service = CCService(machine=MACHINES[args.machine],
                         cache_capacity=args.cache_size,
                         single_node_edge_budget=args.edge_budget,
+                        resident_byte_budget=args.resident_budget,
                         service_options=service_options)
     for name in args.datasets:
         if name not in DATASETS:
@@ -383,7 +414,7 @@ def _cmd_serve(args) -> int:
             for name in args.datasets:
                 tenant = f"tenant-{len(requests) % max(args.tenants, 1)}"
                 requests.append(
-                    CCRequest(graph=load_dataset(name, args.scale),
+                    CCRequest(graph=load(name, args.scale),
                               name=name, method=args.method,
                               budget_ms=args.budget_ms, tenant=tenant))
         if args.window_ms is not None:
@@ -448,6 +479,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_datasets(args)
     if args.command == "generate":
         return _cmd_generate(args)
+    if args.command == "pack":
+        return _cmd_pack(args)
     if args.command == "experiment":
         _EXPERIMENTS[args.id](args)
         return 0
@@ -455,10 +488,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "trials":
         from .experiments.protocol import run_trials
-        if args.input in DATASETS:
-            graph = load_dataset(args.input, args.scale)
-        else:
-            graph = load_graph(args.input)
+        graph = load(args.input, args.scale)
         stats = run_trials(graph, args.method, num_trials=args.trials,
                            machine=args.machine,
                            options=_options_from_args(args))

@@ -9,12 +9,14 @@ from .reference import (
     reference_label_propagation_iterations,
     reference_thrifty,
 )
-from .result import CCResult
+from .result import CCResult, RESERVED_EXTRAS, validate_extras
 from .thrifty import THRIFTY_OPTIONS, thrifty_cc
 from .unified import UNIFIED_OPTIONS, unified_dolp_cc
 
 __all__ = [
     "CCResult",
+    "RESERVED_EXTRAS",
+    "validate_extras",
     "LPOptions",
     "label_propagation_cc",
     "DOLP_OPTIONS",

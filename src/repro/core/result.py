@@ -10,7 +10,71 @@ import numpy as np
 from ..instrument.counters import OpCounters
 from ..instrument.trace import RunTrace
 
-__all__ = ["CCResult"]
+__all__ = ["CCResult", "RESERVED_EXTRAS", "validate_extras"]
+
+#: The ``CCResult.extras`` schema — every reserved key, documented in
+#: one place.  Producers may add method-specific keys freely, but a
+#: reserved name must carry the shape described here: the serving
+#: layer, the CLI and the benchmark harness all read these records by
+#: name (``extras["io"]["modeled_ms"]`` joins the simulated time,
+#: ``extras["comm"]`` drives the fabric charge, ...).
+RESERVED_EXTRAS: dict[str, str] = {
+    "comm": "distributed tier: CommStats (supersteps, messages, "
+            "updates, modeled_bytes) of the run's fabric traffic",
+    "edge_cut": "distributed tier: int, edges crossing rank partitions",
+    "num_ranks": "distributed tier: int >= 1, ranks the run sharded over",
+    "partition": "distributed tier: str, partitioning strategy name",
+    "algorithm": "distributed tier: str, per-rank algorithm ('lp'/...)",
+    "io": "out-of-core tier: dict of block-fetch accounting — at least "
+          "blocks_read, blocks_reread, bytes_read, peak_resident_bytes, "
+          "disk and modeled_ms (the alpha-beta disk charge)",
+    "delta": "incremental tier: dict, DeltaStats of a delta-served run",
+    "delta_base": "incremental tier: str, fingerprint of the seed result",
+    "delta_chain": "incremental tier: int >= 1, lineage steps replayed",
+}
+
+#: Minimum fields of a valid ``extras["io"]`` record.
+_IO_REQUIRED = ("blocks_read", "blocks_reread", "bytes_read",
+                "peak_resident_bytes", "disk", "modeled_ms")
+
+
+def validate_extras(extras: dict) -> dict:
+    """Check an ``extras`` dict against :data:`RESERVED_EXTRAS`.
+
+    Unknown keys pass through untouched (the dict is an open
+    namespace); reserved keys are shape-checked so a malformed record
+    fails at the producer, not in whatever downstream reader happens
+    to index it first.  Returns ``extras`` for chaining; raises
+    ``TypeError``/``ValueError`` on violations.
+    """
+    if not isinstance(extras, dict):
+        raise TypeError(f"extras must be a dict, got "
+                        f"{type(extras).__name__}")
+    for key in extras:
+        if not isinstance(key, str):
+            raise TypeError(f"extras keys must be strings, got {key!r}")
+    io = extras.get("io")
+    if io is not None:
+        if not isinstance(io, dict):
+            raise ValueError("extras['io'] must be a dict record")
+        missing = [k for k in _IO_REQUIRED if k not in io]
+        if missing:
+            raise ValueError(
+                f"extras['io'] record is missing {missing}; required "
+                f"fields: {list(_IO_REQUIRED)}")
+    for key in ("edge_cut", "num_ranks", "delta_chain"):
+        value = extras.get(key)
+        if value is not None and (not isinstance(value, int)
+                                  or isinstance(value, bool)):
+            raise ValueError(f"extras[{key!r}] must be an int, "
+                             f"got {value!r}")
+    if "comm" in extras and not hasattr(extras["comm"], "modeled_bytes"):
+        raise ValueError("extras['comm'] must be a CommStats-shaped "
+                         "record (needs .modeled_bytes)")
+    delta = extras.get("delta")
+    if delta is not None and not isinstance(delta, dict):
+        raise ValueError("extras['delta'] must be a dict record")
+    return extras
 
 
 @dataclass
@@ -25,8 +89,11 @@ class CCResult:
     same convention the serving layer's snapshots use: a flat dict of
     named records (e.g. the distributed tier's ``"comm"``
     :class:`~repro.distributed.comm.CommStats` plus its ``"edge_cut"``
-    and partitioning facts).  Always present (possibly empty), so
-    every result — and every cached result — has a uniform shape.
+    and partitioning facts, the out-of-core tier's ``"io"`` block
+    accounting).  Always present (possibly empty), so every result —
+    and every cached result — has a uniform shape.  Reserved key names
+    and their shapes are documented in :data:`RESERVED_EXTRAS` and
+    checked by :func:`validate_extras` on the serving path.
     """
 
     labels: np.ndarray

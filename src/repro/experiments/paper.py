@@ -11,11 +11,11 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from ..graph import load
 from ..graph.datasets import (
     ALL_DATASET_NAMES,
     DATASETS,
     POWER_LAW_DATASET_NAMES,
-    load_dataset,
 )
 from ..graph.properties import max_degree_component_fraction
 from ..instrument.costmodel import CostModel
@@ -77,7 +77,7 @@ def table1_giant_component(datasets: Sequence[str] = POWER_LAW_DATASET_NAMES,
     """
     rows = []
     for name in datasets:
-        g = load_dataset(name, scale)
+        g = load(name, scale)
         rows.append({
             "dataset": name,
             "vertices_pct": 100.0 * max_degree_component_fraction(g),

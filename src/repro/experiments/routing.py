@@ -21,7 +21,8 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Sequence
 
-from ..graph.datasets import ALL_DATASET_NAMES, load_dataset
+from ..graph import load
+from ..graph.datasets import ALL_DATASET_NAMES
 from ..parallel.machine import MACHINES
 from ..service import RouterFeedback, plan, replan
 from ..service.registry import probe_graph
@@ -37,8 +38,15 @@ UF_BASELINES = ("sv", "jt", "afforest")
 def auto_routing_table(machine: str = "SkylakeX",
                        scale: float = 1.0,
                        datasets: Sequence[str] = ALL_DATASET_NAMES,
+                       resident_byte_budget: int | None = None,
                        ) -> list[dict]:
-    """One row per dataset: probes, prediction, measurement, agreement."""
+    """One row per dataset: probes, prediction, measurement, agreement.
+
+    ``resident_byte_budget`` exercises the planner's out-of-core
+    cliff: datasets whose edge array exceeds it show
+    ``storage="out_of_core"`` (and route to label propagation by fit,
+    not by cost race).
+    """
     spec = MACHINES[machine]
     rows = []
     for name in datasets:
@@ -46,8 +54,9 @@ def auto_routing_table(machine: str = "SkylakeX",
         uf_ms = min(timed_run(name, m, machine, scale=scale).total_ms
                     for m in UF_BASELINES)
         measured = "lp" if lp_ms <= uf_ms else "uf"
-        probes = probe_graph(load_dataset(name, scale))
-        decision = plan(probes, spec)
+        probes = probe_graph(load(name, scale))
+        decision = plan(probes, spec,
+                        resident_byte_budget=resident_byte_budget)
         rows.append({
             "dataset": name,
             "diameter": probes.diameter,
@@ -56,6 +65,7 @@ def auto_routing_table(machine: str = "SkylakeX",
             "pred_lp_ms": decision.predicted_lp_ms,
             "pred_uf_ms": decision.predicted_uf_ms,
             "routed": decision.method,
+            "storage": decision.storage,
             "measured_lp_ms": lp_ms,
             "measured_uf_ms": uf_ms,
             "measured_winner": measured,
@@ -95,7 +105,7 @@ def routing_regret_table(machine: str = "SkylakeX",
                     for m in UF_BASELINES)
         measured = {"lp": lp_ms, "uf": uf_ms}
         winner = "lp" if lp_ms <= uf_ms else "uf"
-        probes = probe_graph(load_dataset(name, scale))
+        probes = probe_graph(load(name, scale))
         poisoned = replace(
             probes, diameter=max(1, int(probes.diameter * diameter_scale)))
         base = plan(poisoned, spec)
@@ -116,6 +126,7 @@ def routing_regret_table(machine: str = "SkylakeX",
         rows.append({
             "dataset": name,
             "poisoned_route": base.method,
+            "storage": base.storage,
             "measured_winner": winner,
             "static_ms": static_ms,
             "feedback_ms": feedback_ms,

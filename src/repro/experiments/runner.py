@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from ..api import connected_components
 from ..core.result import CCResult
 from ..graph.csr import CSRGraph
-from ..graph.datasets import load_dataset
+from ..graph import load
 from ..instrument.costmodel import TimedRun, simulate_run_time
 from ..instrument.papi import HardwareProxy, model_hardware_counters
 from ..parallel.machine import MACHINES, MachineSpec
@@ -79,7 +79,7 @@ def timed_run(dataset: str, method: str,
     key = (dataset, method, spec.name, scale, options)
     if key in _CACHE:
         return _CACHE[key]
-    graph = load_dataset(dataset, scale)
+    graph = load(dataset, scale)
     result = connected_components(graph, method, machine=spec,
                                   dataset=dataset, options=options)
     timing = simulate_run_time(result.trace, spec, graph.num_vertices)

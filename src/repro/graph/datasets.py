@@ -245,11 +245,26 @@ LARGE_DATASET_NAMES: tuple[str, ...] = tuple(
 
 
 @lru_cache(maxsize=64)
-def load_dataset(name: str, scale: float = 1.0) -> CSRGraph:
-    """Build (and memoize) the surrogate for a Table II dataset."""
+def _load_dataset(name: str, scale: float = 1.0) -> CSRGraph:
+    """Build (and memoize) the surrogate for a Table II dataset.
+
+    Internal: the public entry is :func:`repro.graph.load`, which
+    dispatches dataset names here and shares this memo (so
+    ``load(name, scale=s) is load(name, scale=s)``).
+    """
     try:
         spec = DATASETS[name]
     except KeyError:
         known = ", ".join(DATASETS)
         raise KeyError(f"unknown dataset {name!r}; known: {known}") from None
     return spec.build(scale)
+
+
+def load_dataset(name: str, scale: float = 1.0) -> CSRGraph:
+    """Deprecated shim: use ``repro.graph.load(name, scale=...)``."""
+    import warnings
+    warnings.warn(
+        "legacy graph loader load_dataset() is deprecated; use "
+        "repro.graph.load(name, scale=...) instead",
+        DeprecationWarning, stacklevel=2)
+    return _load_dataset(name, scale)

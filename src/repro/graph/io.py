@@ -4,12 +4,20 @@ Text format is one ``u v`` pair per line with ``#`` comments — the same
 shape as SNAP / KONECT / NetworkRepository downloads, so real datasets
 drop in unchanged if available.  The .npz format stores the CSR arrays
 directly and round-trips losslessly.
+
+The public ``load_*`` readers are **deprecated shims** (promoted to
+errors under pytest, the PR 4/5 convention): graph ingestion goes
+through the one front door, :func:`repro.graph.load`, which dispatches
+on the source kind — in-memory CSR, COO edge list, dataset name,
+serialized file, or out-of-core blocked file.  The savers remain
+first-class (there is exactly one writer per format).
 """
 
 from __future__ import annotations
 
 import io
 import os
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -29,10 +37,17 @@ __all__ = [
     "load_graph",
 ]
 
+_SHIM_MESSAGE = ("legacy graph loader {name}() is deprecated; use "
+                 "repro.graph.load({hint}) instead")
 
-def load_edge_list_text(path: str | os.PathLike | io.TextIOBase,
-                        *, num_vertices: int | None = None) -> EdgeList:
-    """Parse a whitespace-separated edge list with ``#`` comment lines."""
+
+def _warn_shim(name: str, hint: str) -> None:
+    warnings.warn(_SHIM_MESSAGE.format(name=name, hint=hint),
+                  DeprecationWarning, stacklevel=3)
+
+
+def _load_edge_list_text(path: str | os.PathLike | io.TextIOBase,
+                         *, num_vertices: int | None = None) -> EdgeList:
     if isinstance(path, io.TextIOBase):
         text = path.read()
     else:
@@ -54,6 +69,16 @@ def load_edge_list_text(path: str | os.PathLike | io.TextIOBase,
     return EdgeList(arr[:, 0], arr[:, 1], n)
 
 
+def load_edge_list_text(path: str | os.PathLike | io.TextIOBase,
+                        *, num_vertices: int | None = None) -> EdgeList:
+    """Deprecated shim: parse a whitespace edge list (`#` comments).
+
+    Use :func:`repro.graph.load` (which builds a CSR directly) instead.
+    """
+    _warn_shim("load_edge_list_text", "path")
+    return _load_edge_list_text(path, num_vertices=num_vertices)
+
+
 def save_edge_list_text(edges: EdgeList,
                         path: str | os.PathLike,
                         *, header: str | None = None) -> None:
@@ -70,19 +95,19 @@ def save_csr_npz(graph: CSRGraph, path: str | os.PathLike) -> None:
     np.savez_compressed(path, indptr=graph.indptr, indices=graph.indices)
 
 
-def load_csr_npz(path: str | os.PathLike) -> CSRGraph:
+def _load_csr_npz(path: str | os.PathLike) -> CSRGraph:
     with np.load(path) as data:
         return CSRGraph(data["indptr"], data["indices"])
 
 
-def load_matrix_market(path: str | os.PathLike | io.TextIOBase
-                       ) -> EdgeList:
-    """Parse a MatrixMarket coordinate file (the SuiteSparse format).
+def load_csr_npz(path: str | os.PathLike) -> CSRGraph:
+    """Deprecated shim: use :func:`repro.graph.load` instead."""
+    _warn_shim("load_csr_npz", "path")
+    return _load_csr_npz(path)
 
-    Supports ``pattern``/weighted entries (weights ignored) in
-    ``general`` or ``symmetric`` storage.  MatrixMarket is 1-indexed;
-    ids are shifted to 0-based.
-    """
+
+def _load_matrix_market(path: str | os.PathLike | io.TextIOBase
+                        ) -> EdgeList:
     if isinstance(path, io.TextIOBase):
         lines = path.read().splitlines()
     else:
@@ -117,6 +142,17 @@ def load_matrix_market(path: str | os.PathLike | io.TextIOBase
     return EdgeList(src, dst, n)
 
 
+def load_matrix_market(path: str | os.PathLike | io.TextIOBase
+                       ) -> EdgeList:
+    """Deprecated shim: parse a MatrixMarket coordinate file.
+
+    MatrixMarket is 1-indexed; ids are shifted to 0-based.  Use
+    :func:`repro.graph.load` instead.
+    """
+    _warn_shim("load_matrix_market", "path")
+    return _load_matrix_market(path)
+
+
 def save_matrix_market(edges: EdgeList, path: str | os.PathLike,
                        *, comment: str | None = None) -> None:
     """Write a 1-indexed general pattern MatrixMarket file."""
@@ -131,12 +167,7 @@ def save_matrix_market(edges: EdgeList, path: str | os.PathLike,
                    fmt="%d")
 
 
-def load_konect(path: str | os.PathLike | io.TextIOBase) -> EdgeList:
-    """Parse a KONECT ``out.*`` file (the paper's KN source format).
-
-    KONECT files start with a ``%`` header line and use 1-based ids;
-    extra columns (weight, timestamp) are ignored.
-    """
+def _load_konect(path: str | os.PathLike | io.TextIOBase) -> EdgeList:
     if isinstance(path, io.TextIOBase):
         text = path.read()
     else:
@@ -156,8 +187,17 @@ def load_konect(path: str | os.PathLike | io.TextIOBase) -> EdgeList:
     return EdgeList(arr[:, 0], arr[:, 1], int(arr.max()) + 1)
 
 
-def load_graph(path: str | os.PathLike, **build_kwargs) -> CSRGraph:
-    """Load any supported format by extension; normalize to CSR.
+def load_konect(path: str | os.PathLike | io.TextIOBase) -> EdgeList:
+    """Deprecated shim: parse a KONECT ``out.*`` file (1-based ids).
+
+    Use :func:`repro.graph.load` instead.
+    """
+    _warn_shim("load_konect", "path")
+    return _load_konect(path)
+
+
+def _load_file(path: str | os.PathLike, **build_kwargs) -> CSRGraph:
+    """Extension-dispatched file loader (the front door's file leg).
 
     ``.npz`` -> binary CSR; ``.mtx`` -> MatrixMarket; files whose name
     starts with ``out.`` -> KONECT; anything else -> whitespace edge
@@ -165,9 +205,15 @@ def load_graph(path: str | os.PathLike, **build_kwargs) -> CSRGraph:
     """
     p = Path(path)
     if p.suffix == ".npz":
-        return load_csr_npz(p)
+        return _load_csr_npz(p)
     if p.suffix == ".mtx":
-        return build_graph(load_matrix_market(p), **build_kwargs)
+        return build_graph(_load_matrix_market(p), **build_kwargs)
     if p.name.startswith("out."):
-        return build_graph(load_konect(p), **build_kwargs)
-    return build_graph(load_edge_list_text(p), **build_kwargs)
+        return build_graph(_load_konect(p), **build_kwargs)
+    return build_graph(_load_edge_list_text(p), **build_kwargs)
+
+
+def load_graph(path: str | os.PathLike, **build_kwargs) -> CSRGraph:
+    """Deprecated shim: use :func:`repro.graph.load` instead."""
+    _warn_shim("load_graph", "path")
+    return _load_file(path, **build_kwargs)

@@ -50,6 +50,7 @@ from typing import Any
 
 from .core.backends import canonical_backend
 from .core.kla import KLAOptions
+from .storage.modes import canonical_storage
 
 __all__ = [
     "ThriftyOptions",
@@ -85,6 +86,13 @@ class _LPEngineOptions:
     validation of each field.  The four optimization switches are NOT
     exposed here; ablations go through :mod:`repro.core.engine`
     directly (they are different *algorithms*, not tunings).
+
+    ``storage`` selects where the edge array lives during the run:
+    ``None``/``"resident"`` (in RAM, the default — both spellings
+    canonicalize to ``None`` so they share one cache key, mirroring
+    ``backend``) or ``"out_of_core"`` (streamed from a blocked on-disk
+    file through a cache bounded by ``resident_bytes``; see
+    :mod:`repro.storage`).  Results are bit-identical either way.
     """
 
     threshold: float | None = None
@@ -98,10 +106,16 @@ class _LPEngineOptions:
     max_iterations: int | None = None
     track_convergence: bool | None = None
     backend: str | None = None
+    storage: str | None = None
+    resident_bytes: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "backend",
                            canonical_backend(self.backend))
+        object.__setattr__(self, "storage",
+                           canonical_storage(self.storage))
+        if self.resident_bytes is not None and self.resident_bytes < 1:
+            raise ValueError("resident_bytes must be >= 1")
 
 
 @dataclass(frozen=True)

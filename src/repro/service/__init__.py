@@ -36,6 +36,7 @@ from .planner import (
     LP_METHOD,
     UF_METHOD,
     RoutePlan,
+    edge_array_bytes,
     method_family,
     plan,
     plan_for_graph,
@@ -72,6 +73,7 @@ __all__ = [
     "ServiceMetrics",
     "ServiceOptions",
     "delta_feedback_key",
+    "edge_array_bytes",
     "graph_fingerprint",
     "method_family",
     "plan",

@@ -59,12 +59,12 @@ from __future__ import annotations
 import heapq
 import random
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..api import ALGORITHMS, AUTO_METHOD
-from ..core.result import CCResult
+from ..core.result import CCResult, validate_extras
 from ..distributed import simulate_distributed_time
 from ..graph.csr import CSRGraph
 from ..incremental import (DELTA_METHODS, PLANTED_METHODS,
@@ -264,6 +264,7 @@ class CCService:
                  cache_capacity: int = 128,
                  registry: GraphRegistry | None = None,
                  single_node_edge_budget: int | None = None,
+                 resident_byte_budget: int | None = None,
                  service_options: ServiceOptions | None = None) -> None:
         self.machine = machine
         self.registry = registry if registry is not None else GraphRegistry()
@@ -272,6 +273,13 @@ class CCService:
         # Graphs whose probed edge count exceeds this route to the
         # sharded tier under method="auto" (None: never).
         self.single_node_edge_budget = single_node_edge_budget
+        # Graphs that fit a node but whose edge array exceeds this
+        # byte budget run out-of-core under method="auto" (None:
+        # everything is resident); it also bounds the block cache of
+        # out-of-core runs and of register_path opens.
+        if resident_byte_budget is not None and resident_byte_budget < 1:
+            raise ValueError("resident_byte_budget must be >= 1")
+        self.resident_byte_budget = resident_byte_budget
         self.options = (service_options if service_options is not None
                         else ServiceOptions())
         # Deterministic exploration stream: same seed + same trace =>
@@ -304,6 +312,22 @@ class CCService:
     def register(self, graph: CSRGraph, *, name: str = "") -> GraphEntry:
         """Pre-register a graph (optional; submit registers implicitly)."""
         entry = self.registry.register(graph, name=name)
+        self._sweep_stale()
+        return entry
+
+    def register_path(self, path, *, name: str = "",
+                      resident_bytes: int | None = None,
+                      mode: str = "mmap") -> GraphEntry:
+        """Register a blocked on-disk graph without materializing it.
+
+        ``resident_bytes`` bounds the opened graph's block cache and
+        defaults to the service's ``resident_byte_budget``.
+        """
+        entry = self.registry.register_path(
+            path, name=name,
+            resident_bytes=(resident_bytes if resident_bytes is not None
+                            else self.resident_byte_budget),
+            mode=mode)
         self._sweep_stale()
         return entry
 
@@ -445,6 +469,13 @@ class CCService:
             known = sorted([*ALGORITHMS, AUTO_METHOD])
             raise ValueError(f"unknown method {method!r}; known: {known}")
         options = resolve_options(method, request.options, {})
+        if (route is not None and route.storage == "out_of_core"
+                and hasattr(options, "storage")):
+            # The planner's fit decision becomes engine configuration:
+            # the run streams edge blocks under the service's
+            # resident-memory budget instead of materializing them.
+            options = replace(options, storage=route.storage,
+                              resident_bytes=self.resident_byte_budget)
         # Attribution name for metrics and the feedback posterior: the
         # bare method on the default backend, "<method>@<backend>"
         # otherwise, so per-backend costs never mix.
@@ -780,7 +811,8 @@ class CCService:
         if route is None:
             route = plan(
                 entry.probes, self.machine,
-                single_node_edge_budget=self.single_node_edge_budget)
+                single_node_edge_budget=self.single_node_edge_budget,
+                resident_byte_budget=self.resident_byte_budget)
             self._plan_memo[entry.fingerprint] = route
         return route
 
@@ -913,6 +945,7 @@ class CCService:
                           extras={"delta": outcome.delta.as_dict(),
                                   "delta_base": plan_.seed_fingerprint,
                                   "delta_chain": plan_.chain})
+        validate_extras(result.extras)
         model = CostModel(self.machine, entry.graph.num_vertices)
         return result, model.iteration_ms(counters)
 
@@ -999,6 +1032,7 @@ class CCService:
         result = fn(entry.graph, machine=self.machine,
                     dataset=entry.name or entry.fingerprint,
                     **to_call_kwargs(options))
+        validate_extras(result.extras)
         if method == DISTRIBUTED_METHOD:
             # Sharded runs are priced with the alpha-beta network
             # model on top of per-node compute; one `machine` node
@@ -1007,4 +1041,11 @@ class CCService:
                 result, entry.graph.num_vertices, node=self.machine)
         timed = simulate_run_time(result.trace, self.machine,
                                   entry.graph.num_vertices)
-        return result, timed.total_ms
+        total_ms = timed.total_ms
+        io = result.extras.get("io")
+        if io is not None:
+            # Streamed runs pay for their block fetches: the disk's
+            # alpha-beta time joins the compute time, same as the
+            # distributed tier's fabric charge.
+            total_ms += io["modeled_ms"]
+        return result, total_ms

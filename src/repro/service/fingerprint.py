@@ -32,11 +32,22 @@ def graph_fingerprint(graph: CSRGraph) -> str:
     ``indptr``/``indices`` arrays.  Because ``CSRGraph.__post_init__``
     sorts every adjacency list, any two structurally-equal graphs
     produce identical bytes regardless of input edge order.
+
+    Out-of-core graphs (anything exposing ``iter_index_blocks``) are
+    hashed by streaming their index blocks through the same digest —
+    the concatenated block bytes are exactly the resident array's
+    bytes, so a blocked file fingerprints identically to the resident
+    graph it was packed from and shares its cached results.
     """
     h = hashlib.sha256()
     h.update(b"csr-v1:")
     h.update(np.int64(graph.num_vertices).tobytes())
     h.update(str(graph.indices.dtype).encode())
     h.update(np.ascontiguousarray(graph.indptr).tobytes())
-    h.update(np.ascontiguousarray(graph.indices).tobytes())
+    iter_blocks = getattr(graph, "iter_index_blocks", None)
+    if iter_blocks is not None:
+        for chunk in iter_blocks():
+            h.update(np.ascontiguousarray(chunk).tobytes())
+    else:
+        h.update(np.ascontiguousarray(graph.indices).tobytes())
     return h.hexdigest()[:FINGERPRINT_BITS // 4]

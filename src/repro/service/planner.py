@@ -59,7 +59,7 @@ from .registry import GraphProbes, probe_graph
 
 __all__ = ["RoutePlan", "predict_family_costs", "predicted_method_ms",
            "predict_delta_ms", "plan", "plan_for_graph", "replan",
-           "runner_up", "method_family",
+           "runner_up", "method_family", "edge_array_bytes",
            "LP_METHOD", "UF_METHOD", "DISTRIBUTED_METHOD"]
 
 # Concrete algorithm each family resolves to: the best member of each
@@ -110,6 +110,11 @@ class RoutePlan:
     cold-start plan is field-for-field identical to the historical
     one).  ``explored`` marks a deliberate runner-up run scheduled by
     the epsilon-greedy exploration policy, not a cost-race winner.
+    ``storage`` is the engine tier the run executes under:
+    ``"resident"`` (the in-memory default) or ``"out_of_core"`` when
+    the graph's edge array does not fit the service's resident-memory
+    byte budget — a fit decision like the distributed cliff, not a
+    cost race.
     """
 
     method: str                 # concrete algorithm ("thrifty"/"afforest")
@@ -121,6 +126,7 @@ class RoutePlan:
     correction_lp: float = 1.0  # feedback multiplier on the LP cost
     correction_uf: float = 1.0  # feedback multiplier on the UF cost
     explored: bool = False      # epsilon-greedy runner-up decision
+    storage: str = "resident"   # engine tier ("resident"/"out_of_core")
 
     @property
     def corrected_lp_ms(self) -> float:
@@ -152,6 +158,21 @@ class RoutePlan:
         if self.family == "uf":
             return self.corrected_uf_ms
         return min(self.corrected_lp_ms, self.corrected_uf_ms)
+
+
+_INT32_MAX = 2**31 - 1
+
+
+def edge_array_bytes(probes: GraphProbes) -> int:
+    """Resident footprint of the CSR indices array, from probes alone.
+
+    Mirrors :class:`~repro.graph.csr.CSRGraph`'s dtype choice (int32
+    while vertex ids fit, int64 past that) so the planner's fit check
+    against a resident-memory byte budget agrees with what building
+    the graph in memory would actually cost.
+    """
+    itemsize = 4 if probes.num_vertices <= _INT32_MAX else 8
+    return probes.num_edges * itemsize
 
 
 def _lp_cost_ms(probes: GraphProbes, model: CostModel) -> float:
@@ -275,6 +296,7 @@ def predict_delta_ms(num_vertices: int, batch_edges: int,
 def plan(probes: GraphProbes,
          machine: MachineSpec = SKYLAKEX, *,
          single_node_edge_budget: int | None = None,
+         resident_byte_budget: int | None = None,
          feedback: RouterFeedback | None = None,
          fingerprint: str | None = None) -> RoutePlan:
     """Route from already-measured probes (the registry's cached ones).
@@ -286,22 +308,36 @@ def plan(probes: GraphProbes,
     (the default) means "one node always suffices" — the shared-memory
     crossover decides alone.
 
+    ``resident_byte_budget`` is the memory cliff below the distributed
+    one: a graph that fits the node's edge budget but whose edge array
+    (:func:`edge_array_bytes`) exceeds the resident-memory budget runs
+    *out of core* — always label propagation (``storage`` set to
+    ``"out_of_core"``), because Thrifty's blocked pulls stream the
+    edge file sequentially through a bounded block cache while
+    union-find's parent chases would thrash it.
+
     ``feedback``/``fingerprint`` apply the measured-cost corrections
     learned for this exact content on top of the static predictions
     (see :func:`replan`); with no feedback (or none observed) the
     decision is the static planner's, bit for bit.
     """
     lp_ms, uf_ms = predict_family_costs(probes, machine)
+    storage = "resident"
     if (single_node_edge_budget is not None
             and probes.num_edges > single_node_edge_budget):
         method, family = DISTRIBUTED_METHOD, "distributed"
+    elif (resident_byte_budget is not None
+            and edge_array_bytes(probes) > resident_byte_budget):
+        method, family = LP_METHOD, "lp"
+        storage = "out_of_core"
     elif lp_ms <= uf_ms:
         method, family = LP_METHOD, "lp"
     else:
         method, family = UF_METHOD, "uf"
     base = RoutePlan(method=method, family=family,
                      predicted_lp_ms=lp_ms, predicted_uf_ms=uf_ms,
-                     machine=machine.name, probes=probes)
+                     machine=machine.name, probes=probes,
+                     storage=storage)
     return replan(base, feedback, fingerprint)
 
 
@@ -313,12 +349,12 @@ def replan(base: RoutePlan, feedback: RouterFeedback | None,
     immutable, so the expensive cost-model evaluation happens once);
     corrections change per run, so each request re-decides cheaply on
     top of the memoized base.  Corrections multiply onto the family
-    costs and the LP-vs-UF race is re-run; the capacity cliff
-    (``"distributed"``) is a fit decision, not a cost race, so a
-    distributed base keeps its route (but still carries the
-    corrections for admission pricing).  With both corrections at 1.0
-    — the empty-feedback cold start — ``base`` is returned unchanged,
-    object-identical.
+    costs and the LP-vs-UF race is re-run; the capacity cliffs
+    (``"distributed"``, ``storage="out_of_core"``) are fit decisions,
+    not cost races, so those bases keep their route (but still carry
+    the corrections for admission pricing).  With both corrections at
+    1.0 — the empty-feedback cold start — ``base`` is returned
+    unchanged, object-identical.
     """
     if feedback is None or fingerprint is None:
         return base
@@ -328,7 +364,7 @@ def replan(base: RoutePlan, feedback: RouterFeedback | None,
                                machine=base.machine)
     if c_lp == 1.0 and c_uf == 1.0:
         return base
-    if base.family == "distributed":
+    if base.family == "distributed" or base.storage == "out_of_core":
         return replace(base, correction_lp=c_lp, correction_uf=c_uf)
     if base.predicted_lp_ms * c_lp <= base.predicted_uf_ms * c_uf:
         method, family = LP_METHOD, "lp"
@@ -345,8 +381,11 @@ def runner_up(route: RoutePlan) -> RoutePlan:
     if the runner-up is never measured (its prediction gets no
     observations); deliberately running it occasionally is what lets
     the feedback posterior falsify the prior.  Only meaningful for the
-    LP-vs-UF race; a distributed route is returned unchanged.
+    LP-vs-UF race; distributed and out-of-core routes are fit
+    decisions and are returned unchanged.
     """
+    if route.storage == "out_of_core":
+        return route
     if route.family == "lp":
         return replace(route, method=UF_METHOD, family="uf",
                        explored=True)
@@ -358,7 +397,8 @@ def runner_up(route: RoutePlan) -> RoutePlan:
 
 def plan_for_graph(graph: CSRGraph, *,
                    machine: MachineSpec = SKYLAKEX,
-                   single_node_edge_budget: int | None = None
+                   single_node_edge_budget: int | None = None,
+                   resident_byte_budget: int | None = None
                    ) -> RoutePlan:
     """Probe an unregistered graph and route it.
 
@@ -367,4 +407,5 @@ def plan_for_graph(graph: CSRGraph, *,
     the cached :attr:`GraphEntry.probes` instead.
     """
     return plan(probe_graph(graph), machine,
-                single_node_edge_budget=single_node_edge_budget)
+                single_node_edge_budget=single_node_edge_budget,
+                resident_byte_budget=resident_byte_budget)

@@ -58,21 +58,37 @@ def version_token(graph: CSRGraph) -> tuple:
     hard guarantee comes from the registry freezing registered arrays;
     the token is the dirty check for writes that predate or evade the
     freeze.
+
+    Out-of-core graphs (anything carrying a ``block_cache``) keep
+    their indices on disk behind a read-only reader, so only the
+    resident ``indptr`` is sampled; the header metadata stands in for
+    the index bytes (sampling them would stream the whole file).
     """
+    lazy = hasattr(graph, "block_cache")
     h = hashlib.blake2b(digest_size=8)
-    for arr in (graph.indptr, graph.indices):
+    arrays = (graph.indptr,) if lazy else (graph.indptr, graph.indices)
+    for arr in arrays:
         stride = max(1, arr.size // _TOKEN_SAMPLES)
         h.update(np.ascontiguousarray(arr[::stride]).tobytes())
         if arr.size:
             h.update(arr[-1:].tobytes())
+    if lazy:
+        h.update(repr(graph.header).encode())
     return (graph.indptr.size, graph.indices.size, h.hexdigest())
 
 
 def _freeze(graph: CSRGraph) -> None:
-    """Best-effort write protection of the CSR arrays."""
+    """Best-effort write protection of the CSR arrays.
+
+    Lazy on-disk indices have no ``flags`` — the file reader is
+    read-only by construction, so there is nothing to freeze.
+    """
     for arr in (graph.indptr, graph.indices):
+        flags = getattr(arr, "flags", None)
+        if flags is None:
+            continue
         try:
-            arr.flags.writeable = False
+            flags.writeable = False
         except ValueError:  # pragma: no cover - non-owning base array
             pass
 
@@ -242,6 +258,24 @@ class GraphRegistry:
                 entry.name = name
         return entry
 
+    def register_path(self, path, *, name: str = "",
+                      resident_bytes: int | None = None,
+                      mode: str = "mmap") -> GraphEntry:
+        """Register a blocked on-disk graph without materializing it.
+
+        Opens ``path`` (an ``.rbcsr`` file written by
+        :func:`repro.storage.write_blocked`) as a
+        :class:`~repro.storage.BlockedGraph` whose edge blocks stay on
+        disk behind a cache bounded by ``resident_bytes``, and
+        registers it like any other graph — the streaming fingerprint
+        matches the resident graph's, so cached results transfer.
+        """
+        from ..storage import BlockedGraph
+
+        graph = BlockedGraph.open(path, resident_bytes=resident_bytes,
+                                  mode=mode)
+        return self.register(graph, name=name)
+
     def _add_entry(self, fp: str, graph: CSRGraph,
                    name: str) -> GraphEntry:
         _freeze(graph)
@@ -271,6 +305,10 @@ class GraphRegistry:
         """
         entry = self.get(key)
         graph = entry.graph
+        if hasattr(graph, "block_cache"):
+            raise ValueError(
+                "out-of-core graphs are immutable on disk; materialize "
+                "and re-register before mutating")
         removed = False
         ins_src = ins_dst = None
         if remove is not None:

@@ -1,0 +1,41 @@
+"""Out-of-core blocked-graph tier.
+
+An on-disk blocked-CSR format (:mod:`repro.storage.format`), a
+bounded LRU block cache (:mod:`repro.storage.cache`), a streaming
+graph handle duck-compatible with ``CSRGraph``
+(:mod:`repro.storage.blocked`), and an alpha-beta disk cost model
+(:mod:`repro.storage.iomodel`).  Storage-mode names follow the
+kernel-backend convention (:mod:`repro.storage.modes`):
+``"resident"`` is the default and folds to ``None``.
+
+Typical use — pack once, stream forever::
+
+    from repro.storage import write_blocked, BlockedGraph
+    write_blocked(graph, "web.rbcsr")
+    bg = BlockedGraph.open("web.rbcsr", resident_bytes=256 << 20)
+    result = thrifty_cc(bg)          # bit-identical to the in-memory run
+    result.extras["io"]              # blocks read / bytes / modeled ms
+
+or let the engine spool transparently::
+
+    thrifty_cc(graph, storage="out_of_core", resident_bytes=256 << 20)
+"""
+
+from .blocked import BlockedGraph, BlockedReader, READER_MODES
+from .cache import BlockCache
+from .format import (BLOCKED_MAGIC, BLOCKED_SUFFIX, BLOCKED_VERSION,
+                     DEFAULT_EDGES_PER_BLOCK, HEADER_SIZE, BlockedFormatError,
+                     BlockedHeader, is_blocked_file, read_header,
+                     write_blocked)
+from .iomodel import NVME_SSD, SATA_SSD, DiskSpec, simulate_io_time
+from .modes import (DEFAULT_STORAGE, STORAGE_MODES, canonical_storage,
+                    validate_storage)
+
+__all__ = [
+    "BLOCKED_MAGIC", "BLOCKED_SUFFIX", "BLOCKED_VERSION",
+    "DEFAULT_EDGES_PER_BLOCK", "DEFAULT_STORAGE", "HEADER_SIZE",
+    "NVME_SSD", "READER_MODES", "SATA_SSD", "STORAGE_MODES",
+    "BlockCache", "BlockedFormatError", "BlockedGraph", "BlockedHeader",
+    "BlockedReader", "DiskSpec", "canonical_storage", "is_blocked_file",
+    "read_header", "simulate_io_time", "validate_storage", "write_blocked",
+]

@@ -1,0 +1,433 @@
+"""Block-streaming graph handle over the on-disk blocked-CSR format.
+
+:class:`BlockedGraph` is duck-compatible with
+:class:`repro.graph.csr.CSRGraph` for everything the engines touch —
+``indptr`` (resident, int64), ``degrees``, ``neighbors``,
+``num_vertices``/``num_edges``, and an ``indices`` object that
+supports exactly the access patterns the kernels use (contiguous
+slices, fancy integer gathers, ``.dtype``, ``.astype``) — but the
+edge array is never resident: every access goes through a bounded
+LRU :class:`~repro.storage.cache.BlockCache`, so a Thrifty run's
+peak edge-array memory is the configured ``resident_bytes`` budget,
+not ``8|E|``.
+
+Because the kernels see the same array *content* either way, a run on
+a :class:`BlockedGraph` is bit-identical to the in-memory engine —
+labels, counters, traces (asserted by ``tests/test_out_of_core.py``
+and ``benchmarks/test_ext_out_of_core.py``).  What changes is the
+physical fetch schedule, which the cache counters record and
+:mod:`repro.storage.iomodel` prices as disk time.
+
+Setup scans (the one-shot intra-block-groups pass, fingerprinting,
+full materialization) stream the file sequentially *bypassing* the
+cache and are accounted separately as ``setup_bytes`` — they happen
+once per run/registration, and keeping them out of the fetch counters
+makes the per-iteration fetch savings of converged-block skipping
+directly measurable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cache import BlockCache
+from .format import BlockedHeader, read_header
+from .iomodel import NVME_SSD, DiskSpec, simulate_io_time
+
+__all__ = ["BlockedGraph", "BlockedReader", "READER_MODES"]
+
+READER_MODES = ("mmap", "buffered")
+
+_INDPTR_DTYPE = np.dtype("<i8")
+
+
+class BlockedReader:
+    """Raw span reads from a blocked-CSR file (mmap or buffered).
+
+    Both modes return identical bytes; ``mmap`` copies out of a
+    read-only memory map, ``buffered`` seeks and reads through a file
+    handle.  ``tests/test_storage.py`` asserts bit-identity.
+    """
+
+    def __init__(self, path, header: BlockedHeader, mode: str = "mmap"):
+        if mode not in READER_MODES:
+            raise ValueError(
+                f"unknown reader mode {mode!r}; available modes: "
+                f"{list(READER_MODES)}")
+        self.path = str(path)
+        self.header = header
+        self.mode = mode
+        self._fh = None
+        self._mm_indices = None
+        if mode == "mmap":
+            if header.num_edges:
+                self._mm_indices = np.memmap(
+                    self.path, mode="r", dtype=header.index_dtype,
+                    offset=header.indices_offset,
+                    shape=(header.num_edges,))
+        else:
+            self._fh = open(self.path, "rb")
+
+    def read_indptr(self) -> np.ndarray:
+        """The resident row-offset array (always int64)."""
+        count = self.header.num_vertices + 1
+        with open(self.path, "rb") as fh:
+            fh.seek(self.header.indptr_offset)
+            data = fh.read(count * _INDPTR_DTYPE.itemsize)
+        return np.frombuffer(data, dtype=_INDPTR_DTYPE).copy()
+
+    def read_span(self, start: int, stop: int) -> np.ndarray:
+        """Copy of ``indices[start:stop]`` from disk."""
+        dtype = self.header.index_dtype
+        if stop <= start:
+            return np.empty(0, dtype=dtype)
+        if self._mm_indices is not None:
+            return np.array(self._mm_indices[start:stop])
+        self._fh.seek(self.header.indices_offset + start * dtype.itemsize)
+        data = self._fh.read((stop - start) * dtype.itemsize)
+        return np.frombuffer(data, dtype=dtype)
+
+    def read_block(self, block: int) -> np.ndarray:
+        start, stop = self.header.block_span(block)
+        return self.read_span(start, stop)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        self._mm_indices = None
+
+
+class _LazyIndices:
+    """Edge array facade: kernel access patterns, cache-backed fetches.
+
+    Supports the exact surface the numpy kernels and the engines use
+    on ``graph.indices``: ``len``/``.size``/``.shape``/``.dtype``,
+    contiguous and stepped slices, scalar reads, fancy integer-array
+    gathers, and ``.astype`` / ``np.asarray`` (which materialize the
+    whole array via a sequential setup scan — reference checkers only).
+    """
+
+    def __init__(self, graph: "BlockedGraph"):
+        self._graph = graph
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._graph.header.index_dtype
+
+    @property
+    def size(self) -> int:
+        return self._graph.header.num_edges
+
+    @property
+    def shape(self) -> tuple[int]:
+        return (self._graph.header.num_edges,)
+
+    @property
+    def nbytes(self) -> int:
+        return self._graph.header.num_edges * self.dtype.itemsize
+
+    def __len__(self) -> int:
+        return self._graph.header.num_edges
+
+    def __getitem__(self, key):
+        g = self._graph
+        if isinstance(key, slice):
+            start, stop, step = key.indices(g.header.num_edges)
+            if step == 1:
+                return g._read_range(start, stop)
+            # Stepped/reversed slices are rare (sampling probes); read
+            # the covering range once and subsample it.
+            lo, hi = (start, stop) if step > 0 else (stop + 1, start + 1)
+            span = g._read_range(max(lo, 0), max(hi, 0))
+            return span[::step] if step > 0 else span[::-1][::-step]
+        if isinstance(key, (int, np.integer)):
+            idx = int(key)
+            if idx < 0:
+                idx += g.header.num_edges
+            if not 0 <= idx < g.header.num_edges:
+                raise IndexError(f"index {key} out of range")
+            block, base = divmod(idx, g.header.edges_per_block)
+            return g._block(block)[base]
+        pos = np.asarray(key)
+        if pos.dtype == bool:
+            pos = np.flatnonzero(pos)
+        return g._gather(pos.astype(np.int64, copy=False))
+
+    def astype(self, dtype, copy: bool = True) -> np.ndarray:
+        del copy  # always a fresh array; signature mirrors ndarray
+        return self._graph._materialize_indices().astype(dtype, copy=False)
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        del copy
+        arr = self._graph._materialize_indices()
+        return arr if dtype is None else arr.astype(dtype, copy=False)
+
+    def __repr__(self) -> str:
+        return (f"_LazyIndices(size={self.size}, dtype={self.dtype}, "
+                f"path={self._graph.path!r})")
+
+
+class BlockedGraph:
+    """CSR graph whose edge array streams from a blocked file on demand.
+
+    Open with :meth:`open`; nothing but the header and the indptr is
+    read eagerly, so registering a 100 GB file costs megabytes.  The
+    ``resident_bytes`` budget bounds the block cache (``None`` =
+    unbounded).  ``block_cache`` doubles as the duck-type marker the
+    engine and service use to recognize an already-blocked graph.
+    """
+
+    def __init__(self, path, header: BlockedHeader, reader: BlockedReader,
+                 indptr: np.ndarray, *, resident_bytes: int | None = None):
+        self.path = str(path)
+        self.header = header
+        self.reader = reader
+        self.resident_bytes = resident_bytes
+        self.block_cache = BlockCache(budget_bytes=resident_bytes)
+        self.setup_bytes = 0
+        self.setup_blocks = 0
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indptr.flags.writeable = False
+        self.indptr = indptr
+        self._indices = _LazyIndices(self)
+        self._degrees: np.ndarray | None = None
+
+    @classmethod
+    def open(cls, path, *, resident_bytes: int | None = None,
+             mode: str = "mmap") -> "BlockedGraph":
+        """Open a blocked-CSR file without materializing its edges."""
+        header = read_header(path)
+        reader = BlockedReader(path, header, mode=mode)
+        indptr = reader.read_indptr()
+        return cls(path, header, reader, indptr,
+                   resident_bytes=resident_bytes)
+
+    def close(self) -> None:
+        self.reader.close()
+        self.block_cache.clear()
+
+    # -- CSRGraph duck surface -------------------------------------------
+
+    @property
+    def indices(self) -> _LazyIndices:
+        return self._indices
+
+    @property
+    def num_vertices(self) -> int:
+        return self.header.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.header.num_edges
+
+    @property
+    def num_undirected_edges(self) -> int:
+        return self.header.num_edges // 2
+
+    @property
+    def degrees(self) -> np.ndarray:
+        if self._degrees is None:
+            degrees = np.diff(self.indptr)
+            degrees.flags.writeable = False
+            self._degrees = degrees
+        return self._degrees
+
+    def degree(self, v: int) -> int:
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return self._read_range(int(self.indptr[v]), int(self.indptr[v + 1]))
+
+    def max_degree_vertex(self) -> int:
+        if self.num_vertices == 0:
+            raise ValueError("empty graph has no max-degree vertex")
+        return int(np.argmax(self.degrees))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        nbrs = self.neighbors(u)
+        pos = np.searchsorted(nbrs, v)
+        return bool(pos < nbrs.size and nbrs[pos] == v)
+
+    def edge_sources(self) -> np.ndarray:
+        return np.repeat(
+            np.arange(self.num_vertices, dtype=np.int64), self.degrees)
+
+    # -- block fetch path -------------------------------------------------
+
+    def _block(self, block: int) -> np.ndarray:
+        return self.block_cache.fetch(block, self.reader.read_block)
+
+    def _read_range(self, start: int, stop: int) -> np.ndarray:
+        """``indices[start:stop]`` assembled from cached blocks."""
+        dtype = self.header.index_dtype
+        if stop <= start:
+            return np.empty(0, dtype=dtype)
+        epb = self.header.edges_per_block
+        b0 = start // epb
+        b1 = (stop - 1) // epb
+        if b0 == b1:
+            base = b0 * epb
+            return self._block(b0)[start - base:stop - base]
+        parts = []
+        for b in range(b0, b1 + 1):
+            base = b * epb
+            arr = self._block(b)
+            lo = max(start - base, 0)
+            hi = min(stop - base, arr.size)
+            parts.append(arr[lo:hi])
+        return np.concatenate(parts)
+
+    def _gather(self, pos: np.ndarray) -> np.ndarray:
+        """Fancy gather ``indices[pos]`` grouped by storage block."""
+        dtype = self.header.index_dtype
+        flat = pos.reshape(-1)
+        out = np.empty(flat.size, dtype=dtype)
+        if flat.size:
+            epb = self.header.edges_per_block
+            blocks = flat // epb
+            order = np.argsort(blocks, kind="stable")
+            sorted_blocks = blocks[order]
+            cuts = np.flatnonzero(np.diff(sorted_blocks)) + 1
+            starts = np.concatenate(([0], cuts))
+            ends = np.concatenate((cuts, [flat.size]))
+            for s, e in zip(starts, ends):
+                sel = order[s:e]
+                block = int(sorted_blocks[s])
+                arr = self._block(block)
+                out[sel] = arr[flat[sel] - block * epb]
+        return out.reshape(pos.shape)
+
+    # -- setup-pass streaming (cache bypass, accounted separately) --------
+
+    def _read_span_setup(self, start: int, stop: int) -> np.ndarray:
+        """One sequential read outside the cache (setup accounting)."""
+        arr = self.reader.read_span(start, stop)
+        self.setup_bytes += int(arr.nbytes)
+        self.setup_blocks += 1
+        return arr
+
+    def iter_index_blocks(self):
+        """Yield the index array as contiguous in-order chunks.
+
+        Streaming equivalent of reading ``indices`` front to back —
+        used for fingerprinting and materialization; bypasses the
+        cache (setup accounting)."""
+        for block in range(self.header.num_blocks):
+            start, stop = self.header.block_span(block)
+            yield self._read_span_setup(start, stop)
+
+    def _materialize_indices(self) -> np.ndarray:
+        chunks = list(self.iter_index_blocks())
+        if not chunks:
+            return np.empty(0, dtype=self.header.index_dtype)
+        return np.concatenate(chunks)
+
+    def materialize(self):
+        """Full in-memory :class:`~repro.graph.csr.CSRGraph` copy."""
+        from ..graph.csr import CSRGraph
+        return CSRGraph(self.indptr.copy(), self._materialize_indices())
+
+    def to_edge_list(self):
+        from ..graph.coo import EdgeList
+        return EdgeList(src=self.edge_sources(),
+                        dst=self._materialize_indices().astype(np.int64),
+                        num_vertices=self.num_vertices)
+
+    # -- engine hooks -----------------------------------------------------
+
+    def intra_block_groups(self, block_bounds: np.ndarray) -> np.ndarray:
+        """Streaming replacement for the backend's intra-block CC.
+
+        ``block_bounds`` are the engine's ascending block *ends*
+        (last == n), exactly as the backend kernel receives them.  An
+        intra-block edge never crosses an engine block, so each block's
+        internal components are independent; one sequential setup scan
+        per block computes the same canonical fixpoint (``groups[v]`` =
+        minimum vertex id of v's internal component) the global
+        pointer-jumping kernel reaches — bit-identical by uniqueness of
+        that fixpoint.
+        """
+        n = self.num_vertices
+        groups = np.arange(n, dtype=np.int64)
+        if n == 0 or self.num_edges == 0:
+            return groups
+        indptr = self.indptr
+        prev = 0
+        for end in np.asarray(block_bounds, dtype=np.int64):
+            lo, hi = prev, int(end)
+            prev = hi
+            if hi <= lo:
+                continue
+            e0, e1 = int(indptr[lo]), int(indptr[hi])
+            if e1 == e0:
+                continue
+            dst = self._read_span_setup(e0, e1).astype(np.int64)
+            src = np.repeat(np.arange(lo, hi, dtype=np.int64),
+                            np.diff(indptr[lo:hi + 1]))
+            internal = (dst >= lo) & (dst < hi)
+            eu = src[internal] - lo
+            ev = dst[internal] - lo
+            parent = np.arange(hi - lo, dtype=np.int64)
+            while eu.size:
+                while True:
+                    nxt = parent[parent]
+                    if np.array_equal(nxt, parent):
+                        break
+                    parent = nxt
+                ru, rv = parent[eu], parent[ev]
+                cross = ru != rv
+                eu, ev, ru, rv = eu[cross], ev[cross], ru[cross], rv[cross]
+                if eu.size == 0:
+                    break
+                lo_r = np.minimum(ru, rv)
+                hi_r = np.maximum(ru, rv)
+                np.minimum.at(parent, hi_r, lo_r)
+            while True:
+                nxt = parent[parent]
+                if np.array_equal(nxt, parent):
+                    break
+                parent = nxt
+            groups[lo:hi] = parent + lo
+        return groups
+
+    # -- IO accounting ----------------------------------------------------
+
+    def io_snapshot(self) -> dict[str, int]:
+        """Current fetch/setup counters, for before/after deltas."""
+        snap = self.block_cache.snapshot()
+        snap["setup_bytes"] = self.setup_bytes
+        snap["setup_blocks"] = self.setup_blocks
+        return snap
+
+    def io_record(self, since: dict[str, int] | None = None,
+                  disk: DiskSpec = NVME_SSD) -> dict:
+        """The ``extras["io"]`` payload: fetch deltas + modeled disk ms.
+
+        ``since`` is an earlier :meth:`io_snapshot`; counters are
+        reported relative to it (``peak_resident_bytes`` is absolute —
+        a high-water mark has no meaningful delta).
+        """
+        now = self.io_snapshot()
+        base = since or {}
+        record = {
+            "blocks_read": now["fetches"] - base.get("fetches", 0),
+            "blocks_reread": now["rereads"] - base.get("rereads", 0),
+            "block_hits": now["hits"] - base.get("hits", 0),
+            "bytes_read": now["bytes_read"] - base.get("bytes_read", 0),
+            "evictions": now["evictions"] - base.get("evictions", 0),
+            "setup_blocks": now["setup_blocks"] - base.get("setup_blocks", 0),
+            "setup_bytes": now["setup_bytes"] - base.get("setup_bytes", 0),
+            "peak_resident_bytes": now["peak_resident_bytes"],
+            "budget_bytes": self.resident_bytes,
+            "edges_per_block": self.header.edges_per_block,
+            "disk": disk.name,
+        }
+        record["modeled_ms"] = simulate_io_time(record, disk)
+        return record
+
+    def __repr__(self) -> str:
+        return (f"BlockedGraph(n={self.num_vertices}, m={self.num_edges}, "
+                f"edges_per_block={self.header.edges_per_block}, "
+                f"budget={self.resident_bytes}, mode={self.reader.mode!r}, "
+                f"path={self.path!r})")

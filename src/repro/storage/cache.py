@@ -1,0 +1,117 @@
+"""Bounded LRU cache over fixed-width index blocks.
+
+The cache is the out-of-core tier's whole memory story: at most
+``budget_bytes`` of edge-array blocks are resident at once, evictions
+are strictly LRU, and *eviction happens before insertion* so the
+resident total never exceeds the budget mid-operation (peak stays
+under the budget whenever the budget covers at least one block —
+asserted by ``benchmarks/test_ext_out_of_core.py`` from this
+accounting).
+
+Every miss is priced later as a disk fetch (see
+:mod:`repro.storage.iomodel`), so the counters here are the ground
+truth the IO cost model consumes — fetches, re-fetches of
+previously-seen blocks (the "cache too small" signal), bytes moved,
+and the resident high-water mark.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["BlockCache"]
+
+
+class BlockCache:
+    """LRU block cache with byte budget and fetch accounting.
+
+    ``budget_bytes=None`` means unbounded (everything fetched stays
+    resident — the degenerate "resident after first touch" mode used
+    when no budget is configured).
+    """
+
+    def __init__(self, budget_bytes: int | None = None) -> None:
+        if budget_bytes is not None and budget_bytes < 1:
+            raise ValueError("budget_bytes must be >= 1 or None")
+        self.budget_bytes = budget_bytes
+        self._blocks: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._seen: set[int] = set()
+        self.resident_bytes = 0
+        self.peak_resident_bytes = 0
+        self.hits = 0
+        self.fetches = 0
+        self.rereads = 0
+        self.bytes_read = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def get(self, key: int) -> np.ndarray | None:
+        """Return the cached block (refreshing recency) or ``None``."""
+        arr = self._blocks.get(key)
+        if arr is None:
+            return None
+        self._blocks.move_to_end(key)
+        self.hits += 1
+        return arr
+
+    def fetch(self, key: int, loader) -> np.ndarray:
+        """Return block ``key``, loading through ``loader`` on a miss.
+
+        A miss counts one fetch (and one reread when the block was
+        fetched before and has since been evicted); the loaded block is
+        inserted after evicting enough LRU blocks to keep the resident
+        total within budget.
+        """
+        arr = self.get(key)
+        if arr is not None:
+            return arr
+        arr = loader(key)
+        self.fetches += 1
+        self.bytes_read += int(arr.nbytes)
+        if key in self._seen:
+            self.rereads += 1
+        else:
+            self._seen.add(key)
+        self._insert(key, arr)
+        return arr
+
+    def _insert(self, key: int, arr: np.ndarray) -> None:
+        nbytes = int(arr.nbytes)
+        if self.budget_bytes is not None:
+            # Evict-before-insert: the budget is never exceeded by
+            # holding old + new simultaneously.  A single block larger
+            # than the whole budget still gets inserted (the engine
+            # must be able to read it) — the only case peak can top
+            # the budget, and it is the caller's configuration error.
+            while self._blocks and \
+                    self.resident_bytes + nbytes > self.budget_bytes:
+                self._evict_lru()
+        self._blocks[key] = arr
+        self.resident_bytes += nbytes
+        if self.resident_bytes > self.peak_resident_bytes:
+            self.peak_resident_bytes = self.resident_bytes
+
+    def _evict_lru(self) -> None:
+        _, old = self._blocks.popitem(last=False)
+        self.resident_bytes -= int(old.nbytes)
+        self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all resident blocks (counters are kept)."""
+        self._blocks.clear()
+        self.resident_bytes = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of the counters, for before/after deltas."""
+        return {
+            "hits": self.hits,
+            "fetches": self.fetches,
+            "rereads": self.rereads,
+            "bytes_read": self.bytes_read,
+            "evictions": self.evictions,
+            "peak_resident_bytes": self.peak_resident_bytes,
+        }

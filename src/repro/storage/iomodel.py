@@ -1,0 +1,62 @@
+"""Disk-bandwidth pricing for out-of-core block fetches.
+
+The same alpha-beta shape the distributed tier uses for the fabric
+(:class:`repro.distributed.costmodel.NetworkSpec`): every fetch pays a
+fixed latency alpha (seek/queue/syscall) plus size/bandwidth beta.
+The engine's block-cache counters (fetches + bytes, see
+:class:`repro.storage.cache.BlockCache`) are the inputs; the result
+lands in ``CCResult.extras["io"]["modeled_ms"]`` and is added to the
+simulated run time by the serving layer, exactly as ``extras["comm"]``
+is priced by ``simulate_distributed_time``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NVME_SSD", "SATA_SSD", "DiskSpec", "simulate_io_time"]
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Alpha-beta disk model: per-fetch latency + sequential bandwidth."""
+
+    name: str
+    latency_us: float
+    bandwidth_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.latency_us < 0:
+            raise ValueError("latency_us must be >= 0")
+        if self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth_mbps must be > 0")
+
+    def transfer_ms(self, num_bytes: int, *, num_fetches: int = 1) -> float:
+        """Milliseconds to serve ``num_fetches`` reads totalling
+        ``num_bytes`` bytes: alpha per fetch + bytes over bandwidth."""
+        alpha = num_fetches * self.latency_us / 1e3
+        beta = num_bytes / (self.bandwidth_mbps * 1e6) * 1e3
+        return alpha + beta
+
+
+#: Datacenter NVMe: ~80us effective read latency, ~3.5 GB/s sequential.
+NVME_SSD = DiskSpec(name="nvme-ssd", latency_us=80.0, bandwidth_mbps=3500.0)
+
+#: SATA SSD: ~150us latency, ~550 MB/s sequential.
+SATA_SSD = DiskSpec(name="sata-ssd", latency_us=150.0, bandwidth_mbps=550.0)
+
+
+def simulate_io_time(io_record: dict, disk: DiskSpec = NVME_SSD) -> float:
+    """Price an ``extras["io"]`` record (or any dict with the same
+    counters) in milliseconds on ``disk``.
+
+    Counts both the on-demand block fetches and the sequential setup
+    pass (``setup_bytes``: the one-shot streaming scans for block
+    groups / fingerprints, which bypass the cache).
+    """
+    fetches = int(io_record.get("blocks_read", 0))
+    bytes_read = int(io_record.get("bytes_read", 0))
+    setup_blocks = int(io_record.get("setup_blocks", 0))
+    setup_bytes = int(io_record.get("setup_bytes", 0))
+    return disk.transfer_ms(bytes_read + setup_bytes,
+                            num_fetches=max(1, fetches + setup_blocks))

@@ -1,0 +1,47 @@
+"""Storage-mode names and canonicalization.
+
+Mirrors :mod:`repro.core.backends`: ``"resident"`` is the default
+mode (the whole CSR lives in RAM) and folds to ``None`` so both
+spellings share one ResultCache / feedback key, exactly like
+``canonical_backend`` folds ``"numpy"``.  ``"out_of_core"`` streams
+the edge array from a blocked on-disk file through a bounded block
+cache (see :mod:`repro.storage.blocked`).
+"""
+
+from __future__ import annotations
+
+__all__ = ["DEFAULT_STORAGE", "STORAGE_MODES", "canonical_storage",
+           "validate_storage"]
+
+DEFAULT_STORAGE = "resident"
+
+STORAGE_MODES = ("resident", "out_of_core")
+
+
+def validate_storage(name: str | None) -> None:
+    """Raise ``ValueError`` unless ``name`` is a known storage mode.
+
+    ``None`` is always valid (it means "the default mode").
+    """
+    if name is None:
+        return
+    if not isinstance(name, str):
+        raise TypeError(
+            f"storage mode must be a string or None, got {type(name).__name__}")
+    if name not in STORAGE_MODES:
+        raise ValueError(
+            f"unknown storage mode {name!r}; available modes: "
+            f"{list(STORAGE_MODES)}")
+
+
+def canonical_storage(name: str | None) -> str | None:
+    """Fold the default storage spelling to ``None``.
+
+    ``canonical_storage(None) == canonical_storage("resident") == None``
+    so options naming the default explicitly hash and compare equal to
+    options that omit it — one cache key, one feedback key (the
+    ``canonical_backend`` convention).  Unknown names raise listing the
+    available modes.
+    """
+    validate_storage(name)
+    return None if name == DEFAULT_STORAGE else name

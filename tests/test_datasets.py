@@ -1,5 +1,6 @@
 """Tests for the Table II surrogate registry."""
 
+from repro.graph import load
 import numpy as np
 import pytest
 
@@ -11,7 +12,6 @@ from repro.graph import (
     ROAD_DATASET_NAMES,
     extract_giant_component,
     is_skewed,
-    load_dataset,
     max_degree_component_fraction,
 )
 from repro.graph.generators import star_graph, with_dust_components
@@ -37,43 +37,43 @@ class TestRegistry:
         assert spec.paper_cc == 5642809
 
     def test_unknown_name_raises(self):
-        with pytest.raises(KeyError, match="unknown dataset"):
-            load_dataset("nope")
+        with pytest.raises(ValueError, match="not a known dataset"):
+            load("nope")
 
 
 class TestSurrogateStructure:
     @pytest.mark.parametrize("name", ["Pkc", "WWiki", "Twtr", "SK"])
     def test_power_law_surrogates_are_skewed(self, name):
-        assert is_skewed(load_dataset(name, 0.5))
+        assert is_skewed(load(name, 0.5))
 
     @pytest.mark.parametrize("name", ROAD_DATASET_NAMES)
     def test_road_surrogates_not_skewed(self, name):
-        assert not is_skewed(load_dataset(name, 0.5))
+        assert not is_skewed(load(name, 0.5))
 
     @pytest.mark.parametrize("name", ["Pkc", "LJLnks", "Twtr"])
     def test_giant_component_premise(self, name):
         """Table I: the hub's component holds >~94% of vertices."""
-        g = load_dataset(name, 0.5)
+        g = load(name, 0.5)
         assert max_degree_component_fraction(g) > 0.90
 
     @pytest.mark.parametrize("name", ["Pkc", "LJGrp", "TwtrMpi"])
     def test_single_component_datasets(self, name):
         from repro.graph import component_sizes
-        g = load_dataset(name, 0.25)
+        g = load(name, 0.25)
         assert len(component_sizes(g)) == 1
 
     def test_multi_component_dataset(self):
         from repro.graph import component_sizes
-        g = load_dataset("WWiki", 0.5)
+        g = load("WWiki", 0.5)
         assert len(component_sizes(g)) > 5
 
     def test_scale_shrinks(self):
-        big = load_dataset("Pkc", 0.5)
-        small = load_dataset("Pkc", 0.1)
+        big = load("Pkc", 0.5)
+        small = load("Pkc", 0.1)
         assert small.num_vertices < big.num_vertices
 
     def test_memoized(self):
-        assert load_dataset("Pkc", 0.5) is load_dataset("Pkc", 0.5)
+        assert load("Pkc", 0.5) is load("Pkc", 0.5)
 
 
 class TestExtractGiant:

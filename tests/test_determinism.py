@@ -45,7 +45,7 @@ class TestBitReproducibility:
         assert np.array_equal(a.indices, b.indices)
 
     def test_dataset_surrogates_stable(self):
-        # load_dataset memoizes, so force two distinct builds.
+        # load() memoizes dataset names, so force two distinct builds.
         from repro.graph.datasets import DATASETS
         a = DATASETS["Pkc"].build(0.2)
         b = DATASETS["Pkc"].build(0.2)

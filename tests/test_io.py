@@ -8,12 +8,11 @@ import pytest
 from repro.graph import (
     build_graph,
     from_pairs,
-    load_csr_npz,
-    load_edge_list_text,
-    load_graph,
+    load,
     save_csr_npz,
     save_edge_list_text,
 )
+from repro.graph.io import _load_csr_npz, _load_edge_list_text
 
 
 class TestTextFormat:
@@ -21,7 +20,7 @@ class TestTextFormat:
         e = from_pairs([(0, 1), (2, 3), (1, 3)])
         path = tmp_path / "g.txt"
         save_edge_list_text(e, path)
-        e2 = load_edge_list_text(path)
+        e2 = _load_edge_list_text(path)
         assert np.array_equal(np.sort(e.src), np.sort(e2.src))
         assert e2.num_edges == 3
 
@@ -34,25 +33,25 @@ class TestTextFormat:
 
     def test_comments_and_blank_lines_skipped(self):
         buf = io.StringIO("# comment\n\n% also comment\n0 1\n2 3\n")
-        e = load_edge_list_text(buf)
+        e = _load_edge_list_text(buf)
         assert e.num_edges == 2
 
     def test_extra_columns_tolerated(self):
         buf = io.StringIO("0 1 17.5\n")   # weighted lists keep working
-        e = load_edge_list_text(buf)
+        e = _load_edge_list_text(buf)
         assert e.num_edges == 1
 
     def test_malformed_line_raises(self):
         buf = io.StringIO("0\n")
         with pytest.raises(ValueError, match="line 1"):
-            load_edge_list_text(buf)
+            _load_edge_list_text(buf)
 
     def test_empty_file(self):
-        e = load_edge_list_text(io.StringIO(""))
+        e = _load_edge_list_text(io.StringIO(""))
         assert e.num_edges == 0
 
     def test_explicit_num_vertices(self):
-        e = load_edge_list_text(io.StringIO("0 1\n"), num_vertices=9)
+        e = _load_edge_list_text(io.StringIO("0 1\n"), num_vertices=9)
         assert e.num_vertices == 9
 
 
@@ -61,7 +60,7 @@ class TestNpzFormat:
         g = build_graph(from_pairs([(0, 1), (1, 2), (0, 2)]))
         path = tmp_path / "g.npz"
         save_csr_npz(g, path)
-        g2 = load_csr_npz(path)
+        g2 = _load_csr_npz(path)
         assert np.array_equal(g.indptr, g2.indptr)
         assert np.array_equal(g.indices, g2.indices)
 
@@ -73,12 +72,12 @@ class TestLoadGraph:
         txt = tmp_path / "g.txt"
         save_csr_npz(g, npz)
         save_edge_list_text(g.to_edge_list(), txt)
-        assert load_graph(npz).num_vertices == 3
-        assert load_graph(txt).num_vertices == 3
+        assert load(npz).num_vertices == 3
+        assert load(txt).num_vertices == 3
 
     def test_text_load_normalizes(self, tmp_path):
         txt = tmp_path / "g.txt"
         txt.write_text("0 1\n0 1\n1 0\n2 2\n")
-        g = load_graph(txt)
+        g = load(txt)
         # dedup + self-loop removal + symmetrization
         assert g.num_undirected_edges == 1

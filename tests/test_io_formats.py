@@ -5,10 +5,10 @@ import io
 import numpy as np
 import pytest
 
-from repro.graph import from_pairs, load_graph
+from repro.graph import from_pairs, load
 from repro.graph.io import (
-    load_konect,
-    load_matrix_market,
+    _load_konect,
+    _load_matrix_market,
     save_matrix_market,
 )
 
@@ -31,43 +31,43 @@ MM_SYMMETRIC = """%%MatrixMarket matrix coordinate real symmetric
 
 class TestMatrixMarket:
     def test_general_parse(self):
-        e = load_matrix_market(io.StringIO(MM_GENERAL))
+        e = _load_matrix_market(io.StringIO(MM_GENERAL))
         assert e.num_vertices == 4
         assert e.num_edges == 3
         assert e.src.tolist() == [0, 1, 3]   # 0-indexed
         assert e.dst.tolist() == [1, 2, 0]
 
     def test_symmetric_expands(self):
-        e = load_matrix_market(io.StringIO(MM_SYMMETRIC))
+        e = _load_matrix_market(io.StringIO(MM_SYMMETRIC))
         # diagonal entry stays single; off-diagonals mirrored
         assert e.num_edges == 5
         assert e.is_symmetric()
 
     def test_weights_ignored(self):
-        e = load_matrix_market(io.StringIO(MM_SYMMETRIC))
+        e = _load_matrix_market(io.StringIO(MM_SYMMETRIC))
         assert e.src.dtype == np.int64
 
     def test_missing_header_rejected(self):
         with pytest.raises(ValueError, match="header"):
-            load_matrix_market(io.StringIO("1 1 0\n"))
+            _load_matrix_market(io.StringIO("1 1 0\n"))
 
     def test_unsupported_type_rejected(self):
         bad = "%%MatrixMarket matrix array real general\n1 1\n"
         with pytest.raises(ValueError, match="unsupported"):
-            load_matrix_market(io.StringIO(bad))
+            _load_matrix_market(io.StringIO(bad))
 
     def test_roundtrip(self, tmp_path):
         e = from_pairs([(0, 1), (2, 3), (1, 3)])
         path = tmp_path / "g.mtx"
         save_matrix_market(e, path, comment="test graph")
-        e2 = load_matrix_market(path)
+        e2 = _load_matrix_market(path)
         assert sorted(zip(e2.src, e2.dst)) == sorted(zip(e.src, e.dst))
 
     def test_load_graph_dispatch(self, tmp_path):
         e = from_pairs([(0, 1), (1, 2)])
         path = tmp_path / "g.mtx"
         save_matrix_market(e, path)
-        g = load_graph(path)
+        g = load(path)
         assert g.num_vertices == 3
         assert g.has_edge(0, 1)
 
@@ -76,22 +76,22 @@ class TestKonect:
     KONECT = "% sym unweighted\n% 3 4\n1 2\n2 3\n3 4 1 1234567\n"
 
     def test_parse(self):
-        e = load_konect(io.StringIO(self.KONECT))
+        e = _load_konect(io.StringIO(self.KONECT))
         assert e.num_vertices == 4
         assert e.num_edges == 3
         assert e.src.tolist() == [0, 1, 2]
 
     def test_empty(self):
-        e = load_konect(io.StringIO("% nothing\n"))
+        e = _load_konect(io.StringIO("% nothing\n"))
         assert e.num_edges == 0
 
     def test_zero_based_rejected(self):
         with pytest.raises(ValueError, match="1-based"):
-            load_konect(io.StringIO("0 1\n"))
+            _load_konect(io.StringIO("0 1\n"))
 
     def test_load_graph_dispatch(self, tmp_path):
         path = tmp_path / "out.testgraph"
         path.write_text(self.KONECT)
-        g = load_graph(path)
+        g = load(path)
         assert g.num_vertices == 4
         assert g.has_edge(0, 1) and g.has_edge(1, 0)

@@ -5,7 +5,7 @@ import pytest
 
 from repro import connected_components
 from repro.baselines import lp_shortcut_cc
-from repro.graph import load_dataset
+from repro.graph import load
 from repro.graph.generators import chung_lu_graph, path_graph, \
     road_network_graph
 from repro.graph.properties import estimate_power_law_exponent
@@ -32,7 +32,7 @@ class TestPowerLawExponent:
 
     @pytest.mark.parametrize("name", ["Twtr", "SK"])
     def test_surrogates_in_realistic_range(self, name):
-        g = load_dataset(name, 0.4)
+        g = load(name, 0.4)
         gamma = estimate_power_law_exponent(g, k_min=4)
         assert 1.5 < gamma < 3.5, name
 

@@ -3,12 +3,12 @@
 import pytest
 
 from repro.experiments import TrialStats, generate_report, run_trials
-from repro.graph import load_dataset
+from repro.graph import load
 
 
 @pytest.fixture(scope="module")
 def small_graph():
-    return load_dataset("Pkc", 0.15)
+    return load("Pkc", 0.15)
 
 
 class TestRunTrials:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.graph import rmat_graph
-from repro.graph.datasets import load_dataset
+from repro.graph import load
 from repro.options import (AfforestOptions, DistributedOptions,
                            ThriftyOptions)
 from repro.service import (
@@ -26,7 +26,7 @@ def skewed():
 
 @pytest.fixture(scope="module")
 def road():
-    return load_dataset("GBRd", 0.05)
+    return load("GBRd", 0.05)
 
 
 class TestFingerprint:

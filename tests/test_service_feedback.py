@@ -16,7 +16,7 @@ import numpy as np
 import pytest
 
 from repro.graph import rmat_graph
-from repro.graph.datasets import load_dataset
+from repro.graph import load
 from repro.options import ServiceOptions
 from repro.service import (
     LP_METHOD,
@@ -37,7 +37,7 @@ from repro.service.metrics import MISPREDICTION_RATIO
 
 @pytest.fixture(scope="module")
 def road():
-    return load_dataset("GBRd", 0.05)
+    return load("GBRd", 0.05)
 
 
 @pytest.fixture(scope="module")

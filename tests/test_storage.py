@@ -1,0 +1,286 @@
+"""Tests for the on-disk blocked-CSR format and its access layer."""
+
+import numpy as np
+import pytest
+
+from repro.graph import load
+from repro.graph.generators import rmat_graph, star_graph
+from repro.storage import (
+    BLOCKED_MAGIC,
+    DEFAULT_EDGES_PER_BLOCK,
+    HEADER_SIZE,
+    NVME_SSD,
+    SATA_SSD,
+    BlockCache,
+    BlockedFormatError,
+    BlockedGraph,
+    DiskSpec,
+    canonical_storage,
+    is_blocked_file,
+    read_header,
+    simulate_io_time,
+    validate_storage,
+    write_blocked,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_graph(9, 8, seed=7)
+
+
+class TestFormat:
+    @pytest.mark.parametrize("dtype", ["int32", "int64"])
+    @pytest.mark.parametrize("epb", [1, 7, 64, DEFAULT_EDGES_PER_BLOCK])
+    def test_roundtrip_dtypes_and_block_sizes(self, graph, tmp_path,
+                                              dtype, epb):
+        path = tmp_path / "g.rbcsr"
+        header = write_blocked(graph, path, edges_per_block=epb,
+                               dtype=dtype)
+        assert header.num_vertices == graph.num_vertices
+        assert header.num_edges == graph.num_edges
+        bg = BlockedGraph.open(path)
+        try:
+            assert np.array_equal(bg.indptr, graph.indptr)
+            assert np.array_equal(np.asarray(bg.indices), graph.indices)
+            assert bg.indices.dtype == np.dtype(dtype)
+        finally:
+            bg.close()
+
+    def test_default_dtype_matches_graph(self, graph, tmp_path):
+        path = tmp_path / "g.rbcsr"
+        write_blocked(graph, path)
+        bg = BlockedGraph.open(path)
+        try:
+            assert bg.indices.dtype == graph.indices.dtype
+        finally:
+            bg.close()
+
+    def test_mmap_vs_buffered_bit_identical(self, graph, tmp_path):
+        path = tmp_path / "g.rbcsr"
+        write_blocked(graph, path, edges_per_block=97)
+        mm = BlockedGraph.open(path, mode="mmap")
+        bf = BlockedGraph.open(path, mode="buffered")
+        try:
+            assert np.array_equal(np.asarray(mm.indices),
+                                  np.asarray(bf.indices))
+            assert np.array_equal(mm.indices[10:200], bf.indices[10:200])
+        finally:
+            mm.close()
+            bf.close()
+
+    def test_empty_graph(self, tmp_path):
+        from repro.graph import build_graph, from_pairs
+        g = build_graph(from_pairs([], num_vertices=0))
+        path = tmp_path / "empty.rbcsr"
+        header = write_blocked(g, path)
+        assert header.num_edges == 0
+        assert header.num_blocks == 0
+        bg = BlockedGraph.open(path)
+        try:
+            assert bg.num_vertices == 0
+            assert np.asarray(bg.indices).size == 0
+        finally:
+            bg.close()
+
+    def test_single_block(self, tmp_path):
+        g = star_graph(4)
+        path = tmp_path / "star.rbcsr"
+        header = write_blocked(g, path,
+                               edges_per_block=DEFAULT_EDGES_PER_BLOCK)
+        assert header.num_blocks == 1
+        bg = BlockedGraph.open(path)
+        try:
+            assert np.array_equal(np.asarray(bg.indices), g.indices)
+            assert np.array_equal(bg.neighbors(0), g.neighbors(0))
+        finally:
+            bg.close()
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "bad.rbcsr"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * HEADER_SIZE)
+        with pytest.raises(BlockedFormatError, match="bad magic"):
+            read_header(path)
+        assert not is_blocked_file(path)
+
+    def test_truncated_header_raises(self, tmp_path):
+        path = tmp_path / "trunc.rbcsr"
+        path.write_bytes(BLOCKED_MAGIC)
+        with pytest.raises(BlockedFormatError, match="truncated header"):
+            read_header(path)
+
+    def test_truncated_body_raises(self, graph, tmp_path):
+        path = tmp_path / "trunc.rbcsr"
+        write_blocked(graph, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-16])
+        with pytest.raises(BlockedFormatError, match="file size"):
+            read_header(path)
+
+    def test_is_blocked_file(self, graph, tmp_path):
+        path = tmp_path / "g.rbcsr"
+        write_blocked(graph, path)
+        assert is_blocked_file(path)
+        assert not is_blocked_file(tmp_path / "missing.rbcsr")
+
+    def test_bad_edges_per_block_rejected(self, graph, tmp_path):
+        with pytest.raises(ValueError, match="edges_per_block"):
+            write_blocked(graph, tmp_path / "g.rbcsr", edges_per_block=0)
+
+
+class TestLazyIndices:
+    @pytest.fixture(scope="class")
+    def pair(self, tmp_path_factory):
+        g = rmat_graph(8, 8, seed=3)
+        path = tmp_path_factory.mktemp("lazy") / "g.rbcsr"
+        write_blocked(g, path, edges_per_block=53)
+        bg = BlockedGraph.open(path)
+        yield g, bg
+        bg.close()
+
+    def test_contiguous_slice(self, pair):
+        g, bg = pair
+        assert np.array_equal(bg.indices[100:400], g.indices[100:400])
+
+    def test_cross_block_slice(self, pair):
+        g, bg = pair
+        assert np.array_equal(bg.indices[40:120], g.indices[40:120])
+
+    def test_stepped_and_reversed(self, pair):
+        g, bg = pair
+        assert np.array_equal(bg.indices[::7], g.indices[::7])
+        assert np.array_equal(bg.indices[200:50:-3], g.indices[200:50:-3])
+
+    def test_scalar_and_negative(self, pair):
+        g, bg = pair
+        assert bg.indices[0] == g.indices[0]
+        assert bg.indices[-1] == g.indices[-1]
+        with pytest.raises(IndexError):
+            bg.indices[g.num_edges]
+
+    def test_fancy_gather(self, pair):
+        g, bg = pair
+        rng = np.random.default_rng(0)
+        pos = rng.integers(0, g.num_edges, 500)
+        assert np.array_equal(bg.indices[pos], g.indices[pos])
+
+    def test_bool_mask(self, pair):
+        g, bg = pair
+        mask = np.zeros(g.num_edges, dtype=bool)
+        mask[::11] = True
+        assert np.array_equal(bg.indices[mask], g.indices[mask])
+
+    def test_astype(self, pair):
+        g, bg = pair
+        assert np.array_equal(bg.indices.astype(np.int64),
+                              g.indices.astype(np.int64))
+
+    def test_duck_surface(self, pair):
+        g, bg = pair
+        assert len(bg.indices) == g.num_edges
+        assert bg.indices.shape == (g.num_edges,)
+        assert bg.indices.nbytes == g.indices.nbytes
+        assert np.array_equal(bg.degrees, g.degrees)
+        assert bg.max_degree_vertex() == g.max_degree_vertex()
+        v = g.max_degree_vertex()
+        assert np.array_equal(bg.neighbors(v), g.neighbors(v))
+        assert bg.has_edge(v, int(g.neighbors(v)[0]))
+
+    def test_materialize(self, pair):
+        g, bg = pair
+        m = bg.materialize()
+        assert np.array_equal(m.indptr, g.indptr)
+        assert np.array_equal(m.indices, g.indices)
+
+
+class TestBlockCache:
+    def test_budget_enforced(self):
+        cache = BlockCache(budget_bytes=100)
+        block = np.zeros(5, dtype=np.int64)  # 40 bytes each
+        for key in range(5):
+            cache.fetch(key, lambda _k: block.copy())
+        assert cache.resident_bytes <= 100
+        assert cache.peak_resident_bytes <= 100
+        assert cache.evictions >= 3
+
+    def test_hits_and_rereads(self):
+        cache = BlockCache(budget_bytes=40)
+        block = np.zeros(5, dtype=np.int64)
+        cache.fetch(0, lambda _k: block.copy())
+        cache.fetch(0, lambda _k: block.copy())    # resident: hit
+        assert cache.hits == 1 and cache.rereads == 0
+        cache.fetch(1, lambda _k: block.copy())    # evicts 0
+        cache.fetch(0, lambda _k: block.copy())    # seen before: reread
+        assert cache.rereads == 1
+        assert cache.fetches == 3
+
+    def test_unbounded(self):
+        cache = BlockCache(budget_bytes=None)
+        for key in range(10):
+            cache.fetch(key, lambda _k: np.zeros(100, dtype=np.int64))
+        assert cache.evictions == 0
+        assert cache.resident_bytes == 10 * 800
+
+
+class TestIoModel:
+    def test_transfer_ms_alpha_beta(self):
+        disk = DiskSpec(name="toy", latency_us=1000.0, bandwidth_mbps=1.0)
+        # 1 fetch: 1ms latency + 1e6 bytes at 1 MB/s = 1000ms
+        assert disk.transfer_ms(1_000_000) == pytest.approx(1001.0)
+        assert disk.transfer_ms(0, num_fetches=3) == pytest.approx(3.0)
+
+    def test_faster_disk_cheaper(self):
+        rec = {"bytes_read": 1 << 24, "blocks_read": 64,
+               "setup_bytes": 0, "setup_blocks": 0}
+        assert (simulate_io_time(rec, NVME_SSD)
+                < simulate_io_time(rec, SATA_SSD))
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            DiskSpec(name="bad", latency_us=-1.0, bandwidth_mbps=100.0)
+
+
+class TestStorageModes:
+    def test_canonical_folds_resident(self):
+        assert canonical_storage(None) is None
+        assert canonical_storage("resident") is None
+        assert canonical_storage("out_of_core") == "out_of_core"
+
+    def test_unknown_mode_lists_choices(self):
+        with pytest.raises(ValueError, match="out_of_core"):
+            validate_storage("floppy")
+        with pytest.raises(TypeError):
+            validate_storage(7)
+
+
+class TestRegistryIntegration:
+    def test_fingerprint_matches_resident(self, graph, tmp_path):
+        from repro.service import graph_fingerprint
+
+        path = tmp_path / "g.rbcsr"
+        write_blocked(graph, path, edges_per_block=64)
+        bg = BlockedGraph.open(path)
+        try:
+            assert graph_fingerprint(bg) == graph_fingerprint(graph)
+        finally:
+            bg.close()
+
+    def test_register_path_shares_cached_results(self, tmp_path):
+        from repro.service import CCService
+
+        g = load("Pkc", 0.2)
+        path = tmp_path / "pkc.rbcsr"
+        write_blocked(g, path, edges_per_block=256)
+        service = CCService()
+        entry = service.register_path(path, name="pkc-disk")
+        assert entry.fingerprint == service.register(g).fingerprint
+
+    def test_blocked_entry_rejects_mutation(self, graph, tmp_path):
+        from repro.service import GraphRegistry
+
+        path = tmp_path / "g.rbcsr"
+        write_blocked(graph, path)
+        registry = GraphRegistry()
+        registry.register_path(path, name="g")
+        with pytest.raises(ValueError, match="immutable"):
+            registry.mutate("g", insert=([0], [1]))
